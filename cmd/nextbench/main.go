@@ -1,0 +1,189 @@
+// Command nextbench regenerates every figure of the paper's evaluation
+// on the simulated Galaxy Note 9 and prints the rows/series the paper
+// reports. Optionally writes the underlying traces as CSV.
+//
+// Usage:
+//
+//	nextbench -fig all -seed 42 -out results/
+//	nextbench -fig 7            # just the Fig. 7 power matrix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"nextdvfs/internal/exp"
+	"nextdvfs/internal/sim"
+	"nextdvfs/internal/trace"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to reproduce: 1, 3, 4, 6, 7, 8 or all")
+	seed := flag.Int64("seed", 42, "experiment seed")
+	out := flag.String("out", "", "directory for CSV traces (optional)")
+	flag.Parse()
+
+	want := func(f string) bool { return *fig == "all" || *fig == f }
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "nextbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	if want("1") {
+		runFig1(*seed, *out)
+	}
+	if want("3") {
+		runFig3(*seed, *out)
+	}
+	if want("4") {
+		runFig4(*seed)
+	}
+	if want("6") {
+		runFig6(*seed)
+	}
+	if want("7") || want("8") {
+		runFig78(*seed, *fig)
+	}
+	if *fig == "refresh" || *fig == "all" {
+		runHighRefresh(*seed)
+	}
+}
+
+func runHighRefresh(seed int64) {
+	fmt.Println("== Extension: high-refresh panels (paper §I mentions 90/120 Hz) ==")
+	rows := exp.HighRefresh(seed)
+	fmt.Printf("%8s %12s %10s %10s %10s %10s\n", "panel", "sched P(W)", "next P(W)", "saving%", "schedFPS", "nextFPS")
+	for _, r := range rows {
+		fmt.Printf("%7dHz %12.2f %10.2f %10.1f %10.1f %10.1f\n",
+			r.RefreshHz, r.Sched.AvgPowerW, r.Next.AvgPowerW, r.SavingPct,
+			r.Sched.ActiveAvgFPS, r.Next.ActiveAvgFPS)
+	}
+	fmt.Println()
+}
+
+var clusterNames = []string{"big", "LITTLE", "GPU"}
+
+func runFig1(seed int64, out string) {
+	fmt.Println("== Fig. 1: FPS and CPU frequencies, home→Facebook→Spotify on schedutil ==")
+	r := exp.Fig1(seed)
+	fmt.Printf("%8s %-10s %-8s %6s %10s %10s\n", "t(s)", "app", "inter", "FPS", "f_big(MHz)", "f_LIT(MHz)")
+	for _, s := range r.Samples {
+		fmt.Printf("%8.0f %-10s %-8s %6.0f %10.0f %10.0f\n",
+			float64(s.TimeUS)/1e6, s.App, s.Interaction, s.FPS,
+			float64(s.FreqKHz[0])/1000, float64(s.FreqKHz[1])/1000)
+	}
+	fmt.Printf("session: avg FPS %.1f, avg power %.2f W, displayed %d, dropped %d\n\n",
+		r.Result.AvgFPS, r.Result.AvgPowerW, r.Result.FramesDisplayed, r.Result.FramesDropped)
+	saveCSV(out, "fig1_schedutil_trace.csv", r.Samples)
+}
+
+func runFig3(seed int64, out string) {
+	fmt.Println("== Fig. 3: power & big-CPU temperature, schedutil vs Next (same session) ==")
+	r := exp.Fig3(seed)
+	fmt.Printf("  avg power:  schedutil %.4f W | Next %.4f W  → saving %.2f%% (paper: 3.5154 → 2.0433 W, 41.88%%)\n",
+		r.Sched.AvgPowerW, r.Next.AvgPowerW, r.PowerSavingPct)
+	fmt.Printf("  avg T_big:  schedutil %.2f °C | Next %.2f °C → rise reduction %.2f%% (paper: 52.33 → 41.33 °C, 21.02%%)\n",
+		r.Sched.AvgTempBigC, r.Next.AvgTempBigC, r.AvgTempRedPct)
+	fmt.Printf("  peak T_big: schedutil %.2f °C | Next %.2f °C → rise reduction %.2f%%\n",
+		r.Sched.PeakTempBigC, r.Next.PeakTempBigC, r.PeakTempRedPct)
+	fmt.Printf("  QoS: active FPS schedutil %.1f | Next %.1f\n", r.Sched.ActiveAvgFPS, r.Next.ActiveAvgFPS)
+	for _, t := range r.Train {
+		fmt.Printf("  training %-10s sessions-converged=%v states=%d steps=%d (%.0f s on-device)\n",
+			t.App, t.Converged, t.States, t.Steps, float64(t.TrainedUS)/1e6)
+	}
+	fmt.Println()
+	saveCSV(out, "fig3_schedutil_trace.csv", r.Sched.Samples)
+	saveCSV(out, "fig3_next_trace.csv", r.Next.Samples)
+}
+
+func runFig4(seed int64) {
+	fmt.Println("== Fig. 4: PPDW vs FPS on Lineage 2 Revolution ==")
+	r := exp.Fig4(seed)
+	fmt.Printf("%8s %10s %10s %10s %s\n", "FPS", "PPDW", "P(W)", "T_big(°C)", "kind")
+	for _, p := range r.Points {
+		kind := "frontier"
+		if p.Worst {
+			kind = "worst (red in paper)"
+		}
+		fmt.Printf("%8.1f %10.4f %10.2f %10.1f %s\n", p.FPS, p.PPDW, p.PowerW, p.TempBigC, kind)
+	}
+	fmt.Printf("bounds: PPDW_worst %.4f < PPDW ≤ PPDW_best %.4f (Eq. 2)\n\n", r.Bounds.Worst, r.Bounds.Best)
+}
+
+func runFig6(seed int64) {
+	fmt.Println("== Fig. 6: training time vs FPS state granularity, online vs cloud ==")
+	points := exp.Fig6(exp.Fig6Options{Seed: seed})
+	fmt.Printf("%10s %12s %12s %10s\n", "FPS levels", "online (s)", "cloud (s)", "converged")
+	for _, p := range points {
+		fmt.Printf("%10d %12.0f %12.0f %10v\n", p.FPSLevels, p.OnlineS, p.CloudS, p.Converged)
+	}
+	fmt.Println("(paper: online 67→312 s, cloud 7→73 s as granularity grows)")
+	fmt.Println()
+}
+
+func runFig78(seed int64, which string) {
+	fmt.Println("== Fig. 7 / Fig. 8: per-app power and peak temperatures by scheme ==")
+	rows := exp.Evaluate(exp.EvalOptions{Seed: seed})
+	if which == "all" || which == "7" {
+		fmt.Println("-- Fig. 7: average power (W) --")
+		fmt.Printf("%-20s %10s %10s %10s %12s %12s\n", "app", "schedutil", "Next", "IntQoS", "Next sav%", "IntQoS sav%")
+		for _, r := range rows {
+			iq, iqs := "-", "-"
+			if r.IntQoS != nil {
+				iq = fmt.Sprintf("%.2f", r.IntQoS.AvgPowerW)
+				iqs = fmt.Sprintf("%.1f", r.IntQoSPowerSavingPct)
+			}
+			fmt.Printf("%-20s %10.2f %10.2f %10s %12.1f %12s\n",
+				r.App, r.Sched.AvgPowerW, r.Next.AvgPowerW, iq, r.NextPowerSavingPct, iqs)
+		}
+		fmt.Println("(paper Next savings: facebook 37.05, lineage 50.68, pubg 40.95, spotify 32.98, chrome 32.11, youtube 40.6;")
+		fmt.Println(" paper IntQoS savings: lineage 16.31, pubg 23.84)")
+		fmt.Println()
+	}
+	if which == "all" || which == "8" {
+		fmt.Println("-- Fig. 8: average peak temperature (°C) --")
+		fmt.Printf("%-20s %9s %9s %9s %9s %9s %9s %11s %11s\n",
+			"app", "schedB", "nextB", "iqB", "schedD", "nextD", "iqD", "nextB red%", "nextD red%")
+		for _, r := range rows {
+			iqB, iqD := "-", "-"
+			if r.IntQoS != nil {
+				iqB = fmt.Sprintf("%.1f", r.IntQoS.PeakTempBigC)
+				iqD = fmt.Sprintf("%.1f", r.IntQoS.PeakTempDevC)
+			}
+			fmt.Printf("%-20s %9.1f %9.1f %9s %9.1f %9.1f %9s %11.1f %11.1f\n",
+				r.App, r.Sched.PeakTempBigC, r.Next.PeakTempBigC, iqB,
+				r.Sched.PeakTempDevC, r.Next.PeakTempDevC, iqD,
+				r.NextBigTempRedPct, r.NextDevTempRedPct)
+		}
+		fmt.Println("(paper: Next up to 29.16% big / 21.21% device; IntQoS up to 22.80% big / 3.51% device)")
+		fmt.Println()
+	}
+	// QoS transparency: the paper does not report post-Next FPS; we do.
+	fmt.Println("-- QoS (active-phase average FPS) --")
+	fmt.Printf("%-20s %10s %10s %10s\n", "app", "schedutil", "Next", "IntQoS")
+	for _, r := range rows {
+		iq := "-"
+		if r.IntQoS != nil {
+			iq = fmt.Sprintf("%.1f", r.IntQoS.ActiveAvgFPS)
+		}
+		fmt.Printf("%-20s %10.1f %10.1f %10s\n", r.App, r.Sched.ActiveAvgFPS, r.Next.ActiveAvgFPS, iq)
+	}
+	fmt.Println()
+}
+
+func saveCSV(dir, name string, samples []sim.Sample) {
+	if dir == "" {
+		return
+	}
+	path := filepath.Join(dir, name)
+	if err := trace.SaveSamples(path, clusterNames, samples); err != nil {
+		fmt.Fprintln(os.Stderr, "nextbench: saving", name+":", err)
+		return
+	}
+	fmt.Println("   wrote", path)
+}

@@ -1,0 +1,79 @@
+// Command nextsim runs a single simulated session on the Note 9 and
+// prints (or saves) its trace — the quick way to eyeball a governor's
+// behaviour on one workload.
+//
+// Usage:
+//
+//	nextsim -app spotify -scheme schedutil -seconds 120 -csv out.csv
+//	nextsim -app lineage2revolution -scheme next -train 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nextdvfs"
+	"nextdvfs/internal/trace"
+)
+
+func main() {
+	app := flag.String("app", "spotify", "application preset: "+strings.Join(nextdvfs.Apps(), ", "))
+	scheme := flag.String("scheme", "schedutil", "management scheme: schedutil, next, intqospm, performance, powersave")
+	seconds := flag.Float64("seconds", 0, "session length (0 = paper default for the app class)")
+	seed := flag.Int64("seed", 1, "session seed")
+	train := flag.Int("train", 0, "for -scheme next: training sessions to run first")
+	csv := flag.String("csv", "", "write the trace to this CSV file")
+	every := flag.Float64("record", 1, "trace sample period in seconds")
+	flag.Parse()
+
+	opts := nextdvfs.RunOptions{
+		App:            *app,
+		Seconds:        *seconds,
+		Scheme:         nextdvfs.Scheme(*scheme),
+		Seed:           *seed,
+		RecordEverySec: *every,
+	}
+	if opts.Scheme == nextdvfs.SchemeNext && *train > 0 {
+		agent, stats, err := nextdvfs.TrainAgent(*app, nextdvfs.TrainOptions{
+			Sessions: *train, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trained %s: sessions=%d converged=%v on-device time=%.0f s, %d states\n",
+			*app, stats.Sessions, stats.Converged, float64(stats.TrainedUS)/1e6, stats.States)
+		opts.Agent = agent
+	}
+
+	res, err := nextdvfs.Run(opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("session: %s on %s, %.0f s\n", *app, res.Scheme, res.DurationS)
+	fmt.Printf("  power:   avg %.3f W, peak %.2f W, energy %.1f J\n", res.AvgPowerW, res.PeakPowerW, res.EnergyJ)
+	fmt.Printf("  thermal: big avg %.1f °C peak %.1f °C | device avg %.1f °C peak %.1f °C\n",
+		res.AvgTempBigC, res.PeakTempBigC, res.AvgTempDevC, res.PeakTempDevC)
+	fmt.Printf("  QoS:     avg FPS %.1f (active %.1f), displayed %d, dropped %d (%.2f%%)\n",
+		res.AvgFPS, res.ActiveAvgFPS, res.FramesDisplayed, res.FramesDropped, 100*res.DropRate())
+	if len(res.Samples) > 1 {
+		const w = 60
+		fmt.Printf("  fps      %s\n", trace.Sparkline(trace.SampleSeries(res.Samples, "fps"), w))
+		fmt.Printf("  power    %s\n", trace.Sparkline(trace.SampleSeries(res.Samples, "power"), w))
+		fmt.Printf("  temp_big %s\n", trace.Sparkline(trace.SampleSeries(res.Samples, "tempbig"), w))
+	}
+
+	if *csv != "" {
+		if err := trace.SaveSamples(*csv, []string{"big", "LITTLE", "GPU"}, res.Samples); err != nil {
+			fatal(err)
+		}
+		fmt.Println("trace written to", *csv)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nextsim:", err)
+	os.Exit(1)
+}

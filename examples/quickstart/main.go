@@ -1,0 +1,40 @@
+// Quickstart: train the Next agent on Spotify — the paper's headline
+// waste case (music playing, screen static, frequencies pinned high) —
+// then compare a session under stock schedutil against the trained
+// agent.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nextdvfs"
+)
+
+func main() {
+	const app = "spotify"
+
+	fmt.Println("training Next on", app, "(the paper trains each new app once)...")
+	agent, stats, err := nextdvfs.TrainAgent(app, nextdvfs.TrainOptions{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  converged=%v after %.0f s of simulated usage (%d Q-states)\n\n",
+		stats.Converged, float64(stats.TrainedUS)/1e6, stats.States)
+
+	sched, err := nextdvfs.Run(nextdvfs.RunOptions{App: app, Scheme: nextdvfs.SchemeSchedutil, Seed: 99})
+	if err != nil {
+		log.Fatal(err)
+	}
+	next, err := nextdvfs.Run(nextdvfs.RunOptions{App: app, Scheme: nextdvfs.SchemeNext, Agent: agent, Seed: 99})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-12s %10s %10s %12s %10s\n", "scheme", "power(W)", "peak°C", "energy(J)", "FPS")
+	fmt.Printf("%-12s %10.2f %10.1f %12.0f %10.1f\n", "schedutil", sched.AvgPowerW, sched.PeakTempBigC, sched.EnergyJ, sched.ActiveAvgFPS)
+	fmt.Printf("%-12s %10.2f %10.1f %12.0f %10.1f\n", "next", next.AvgPowerW, next.PeakTempBigC, next.EnergyJ, next.ActiveAvgFPS)
+	fmt.Printf("\nNext saved %.1f%% power and cut the peak big-CPU temperature rise by %.1f%%\n",
+		100*(1-next.AvgPowerW/sched.AvgPowerW),
+		100*(1-(next.PeakTempBigC-21)/(sched.PeakTempBigC-21)))
+}

@@ -1,0 +1,151 @@
+// Package cloud models Section IV-C of the paper: offloading agent
+// training to a cloud server and sharing learned Q-tables across a
+// fleet of devices with federated averaging.
+//
+// The paper measured training on an Intel Xeon E7-8860V3 server to be
+// roughly an order of magnitude faster than on-device (Fig. 6: 67→7 s,
+// 312→73 s across quantization levels) with at most 4 s of round-trip
+// communication overhead. This package reproduces that cost model and
+// implements the visit-weighted Q-table merge a federated deployment
+// would run.
+package cloud
+
+import (
+	"fmt"
+
+	"nextdvfs/internal/core"
+)
+
+// TrainerConfig is the cloud cost model.
+type TrainerConfig struct {
+	// Speedup is how much faster the cloud trains than the device
+	// (cloud wall time = device time / Speedup).
+	Speedup float64
+	// CommOverheadUS is the to-and-fro transfer overhead per training
+	// round (the paper observed a 4 s maximum).
+	CommOverheadUS int64
+}
+
+// DefaultTrainerConfig matches the paper's observations.
+func DefaultTrainerConfig() TrainerConfig {
+	return TrainerConfig{Speedup: 9.5, CommOverheadUS: 4_000_000}
+}
+
+// WallTimeUS converts an on-device training duration into the cloud
+// wall time the user experiences (compute at cloud speed plus the
+// communication overhead).
+func (c TrainerConfig) WallTimeUS(onDeviceUS int64) int64 {
+	if c.Speedup <= 0 {
+		return onDeviceUS + c.CommOverheadUS
+	}
+	return int64(float64(onDeviceUS)/c.Speedup) + c.CommOverheadUS
+}
+
+// MergeTables federated-averages Q-tables trained on different devices:
+// every state's action values are combined weighted by per-device visit
+// counts, so a device that explored a state thoroughly dominates
+// devices that barely saw it. Tables must share the action-space size.
+func MergeTables(tables []*core.QTable) (*core.QTable, error) {
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("cloud: nothing to merge")
+	}
+	for i, t := range tables {
+		if t == nil {
+			return nil, fmt.Errorf("cloud: table %d is nil", i)
+		}
+	}
+	actions := tables[0].Actions
+	for i, t := range tables {
+		if t.Actions != actions {
+			return nil, fmt.Errorf("cloud: table %d has %d actions, want %d", i, t.Actions, actions)
+		}
+	}
+	merged := core.NewQTable(actions)
+	type acc struct {
+		sum    []float64
+		weight int
+	}
+	accs := make(map[core.StateKey]*acc)
+	for _, t := range tables {
+		for s, row := range t.Q {
+			w := t.Visits[s]
+			if w <= 0 {
+				w = 1 // seen but unweighted: count once
+			}
+			a, ok := accs[s]
+			if !ok {
+				a = &acc{sum: make([]float64, actions)}
+				accs[s] = a
+			}
+			for i, v := range row {
+				a.sum[i] += v * float64(w)
+			}
+			a.weight += w
+		}
+		merged.Steps += t.Steps
+		if t.TrainedUS > merged.TrainedUS {
+			merged.TrainedUS = t.TrainedUS // fleet trains in parallel
+		}
+	}
+	for s, a := range accs {
+		row := make([]float64, actions)
+		for i := range row {
+			row[i] = a.sum[i] / float64(a.weight)
+		}
+		merged.Q[s] = row
+		merged.Visits[s] = a.weight
+	}
+	return merged, nil
+}
+
+// Fleet is a set of devices (agents) participating in federated
+// training of the same applications.
+type Fleet struct {
+	Devices []*core.Agent
+	Trainer TrainerConfig
+}
+
+// MergeApp merges the named app's tables across the fleet and installs
+// the merged, trained table on every device. It returns the merged
+// table and the user-visible wall time of the round (slowest device's
+// training time through the cloud cost model). Devices that never saw
+// the app are skipped as sources but still receive the merged table.
+func (f *Fleet) MergeApp(app string) (*core.QTable, int64, error) {
+	var tables []*core.QTable
+	var slowest int64
+	for _, d := range f.Devices {
+		t := d.TableFor(app)
+		if t == nil || t.Table == nil {
+			continue
+		}
+		tables = append(tables, t.Table)
+		if t.Table.TrainedUS > slowest {
+			slowest = t.Table.TrainedUS
+		}
+	}
+	merged, err := MergeTables(tables)
+	if err != nil {
+		return nil, 0, fmt.Errorf("cloud: merging %q: %w", app, err)
+	}
+	for _, d := range f.Devices {
+		d.InstallTable(app, cloneTable(merged), true)
+	}
+	return merged, f.Trainer.WallTimeUS(slowest), nil
+}
+
+// cloneTable deep-copies a Q-table so devices do not share rows.
+func cloneTable(t *core.QTable) *core.QTable {
+	c := core.NewQTable(t.Actions)
+	c.Steps = t.Steps
+	c.TrainedUS = t.TrainedUS
+	c.ConvergedAtUS = t.ConvergedAtUS
+	for s, row := range t.Q {
+		r := make([]float64, len(row))
+		copy(r, row)
+		c.Q[s] = r
+	}
+	for s, v := range t.Visits {
+		c.Visits[s] = v
+	}
+	return c
+}

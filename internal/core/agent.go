@@ -1,0 +1,385 @@
+package core
+
+import (
+	"math/rand"
+
+	"nextdvfs/internal/ctrl"
+)
+
+// AgentConfig parameterizes the Next agent. Defaults follow the paper:
+// 25 ms FPS sampling into a 4 s window, 100 ms control period,
+// Q-learning with PPDW reward over the quantized state space.
+type AgentConfig struct {
+	State  StateSpaceConfig
+	Reward RewardConfig
+
+	// Alpha is the learning rate, Gamma the discount (Eq. 3).
+	Alpha float64
+	Gamma float64
+
+	// EpsilonStart/Min/Decay drive ε-greedy exploration during
+	// training; ExploitEpsilon is used once a table is trained.
+	EpsilonStart   float64
+	EpsilonMin     float64
+	EpsilonDecay   float64
+	ExploitEpsilon float64
+
+	// ObserveUS is the FPS sampling period (25 ms), ControlUS the
+	// decision period (100 ms).
+	ObserveUS int64
+	ControlUS int64
+
+	// WindowSamples is the frame-window length (160 = 4 s / 25 ms);
+	// WarmupSamples gates the mode until the window has context.
+	WindowSamples int
+	WarmupSamples int
+
+	// Frozen stops Q-updates (deploy a trained table verbatim).
+	Frozen bool
+
+	// UseMeanTarget replaces the paper's mode-of-window target with the
+	// window mean (ablation).
+	UseMeanTarget bool
+
+	// Algo selects the TD update rule (default: the paper's Watkins
+	// Q-learning; Double Q and SARSA are extensions — see LearnAlgo).
+	Algo LearnAlgo
+
+	// EmergencyTempC is a safety layer above the learned policy: when
+	// the big-cluster sensor exceeds it, the agent force-lowers the big
+	// and GPU caps instead of consulting the Q-table, like a thermal
+	// zone's last-resort trip point. 0 disables (default — the paper's
+	// agent relies on the reward alone).
+	EmergencyTempC float64
+
+	// Convergence: training is declared complete when the exponentially
+	// averaged rate of greedy-action flips (how often an update changes
+	// a state's argmax) drops below ConvergeFlipTol after at least
+	// ConvergeMinSteps updates. Unlike a raw TD-error threshold, the
+	// flip rate is robust to the reward spikes at interaction-phase
+	// boundaries, and it naturally scales with the state-space size —
+	// which is exactly the training-time-vs-quantization trade-off the
+	// paper's Fig. 6 sweeps.
+	ConvergeFlipTol  float64
+	ConvergeMinSteps int
+	// Seed drives exploration.
+	Seed int64
+}
+
+// DefaultAgentConfig returns the paper-faithful configuration.
+func DefaultAgentConfig() AgentConfig {
+	return AgentConfig{
+		State:            DefaultStateSpaceConfig(),
+		Reward:           DefaultRewardConfig(),
+		Alpha:            0.30,
+		Gamma:            0.90,
+		EpsilonStart:     0.80,
+		EpsilonMin:       0.08,
+		EpsilonDecay:     0.9997,
+		ExploitEpsilon:   0.02,
+		ObserveUS:        25_000,
+		ControlUS:        100_000,
+		WindowSamples:    160,
+		WarmupSamples:    40,
+		ConvergeFlipTol:  0.015,
+		ConvergeMinSteps: 3500,
+	}
+}
+
+// Agent is the Next controller (implements ctrl.Controller). One agent
+// manages one device; it keeps a Q-table per application, trains tables
+// that have never been seen, and exploits trained ones.
+type Agent struct {
+	cfg AgentConfig
+	rng *rand.Rand
+
+	space  *StateSpace
+	window *FrameWindow
+
+	tables map[string]*AppTable
+	cur    *AppTable
+
+	prevValid  bool
+	prevState  StateKey
+	prevAction int
+	lastCtlUS  int64
+}
+
+// AppTable is a per-application Q-table plus training bookkeeping.
+type AppTable struct {
+	App    string
+	Table  *QTable
+	Policy Policy
+	// Trained is latched once convergence is detected (or set by
+	// LoadTrained); a trained table runs at ExploitEpsilon.
+	Trained bool
+
+	learner    *Learner
+	tdEWMA     float64
+	tdSeeded   bool
+	flipEWMA   float64
+	flipSeeded bool
+}
+
+// TDError returns the exponentially averaged |TD error| (diagnostics).
+func (t *AppTable) TDError() float64 { return t.tdEWMA }
+
+// FlipRate returns the exponentially averaged greedy-action flip rate —
+// the convergence signal.
+func (t *AppTable) FlipRate() float64 { return t.flipEWMA }
+
+// NewAgent builds an agent with the given configuration.
+func NewAgent(cfg AgentConfig) *Agent {
+	if cfg.ObserveUS <= 0 {
+		cfg.ObserveUS = 25_000
+	}
+	if cfg.ControlUS <= 0 {
+		cfg.ControlUS = 100_000
+	}
+	if cfg.WindowSamples <= 0 {
+		cfg.WindowSamples = 160
+	}
+	return &Agent{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		window: NewFrameWindow(cfg.WindowSamples, cfg.WarmupSamples),
+		tables: make(map[string]*AppTable),
+	}
+}
+
+// Name implements ctrl.Controller.
+func (a *Agent) Name() string { return "next" }
+
+// ObserveIntervalUS implements ctrl.Controller.
+func (a *Agent) ObserveIntervalUS() int64 { return a.cfg.ObserveUS }
+
+// ControlIntervalUS implements ctrl.Controller.
+func (a *Agent) ControlIntervalUS() int64 { return a.cfg.ControlUS }
+
+// Observe implements ctrl.Controller: push the 25 ms FPS sample into
+// the frame window.
+func (a *Agent) Observe(snap ctrl.Snapshot) {
+	a.window.Push(snap.FPS)
+}
+
+// AppChanged implements ctrl.Controller: switch (or create) the app's
+// Q-table and clear episode state. The frame window resets because the
+// target FPS of the previous app is meaningless for the next.
+func (a *Agent) AppChanged(name string, _ bool) {
+	a.cur = a.tableFor(name)
+	a.window.Reset()
+	a.prevValid = false
+	// Training time must not leak across apps: the gap since the
+	// previous app's last control step belongs to nobody.
+	a.lastCtlUS = 0
+}
+
+func (a *Agent) tableFor(name string) *AppTable {
+	if t, ok := a.tables[name]; ok {
+		return t
+	}
+	t := &AppTable{
+		App:   name,
+		Table: nil,
+		Policy: Policy{
+			Epsilon:    a.cfg.EpsilonStart,
+			EpsilonMin: a.cfg.EpsilonMin,
+			Decay:      a.cfg.EpsilonDecay,
+		},
+	}
+	a.tables[name] = t
+	return t
+}
+
+// Control implements ctrl.Controller: one Q-learning step per 100 ms.
+func (a *Agent) Control(snap ctrl.Snapshot, act ctrl.Actuator) {
+	if a.cur == nil {
+		a.AppChanged(snap.AppName, snap.AppClassGame)
+	}
+	if a.space == nil {
+		opps := make([]int, len(snap.Clusters))
+		for i, c := range snap.Clusters {
+			opps[i] = c.NumOPPs
+		}
+		a.space = NewStateSpace(opps, a.cfg.State)
+	}
+	t := a.cur
+	if t.learner == nil {
+		if t.Table != nil {
+			// Installed (persisted/federated) table: wrap it.
+			t.learner = &Learner{Algo: a.cfg.Algo, A: t.Table}
+			if a.cfg.Algo == AlgoDoubleQ {
+				t.learner.B = t.Table.Clone()
+			}
+		} else {
+			t.learner = NewLearner(a.cfg.Algo, a.space.Actions())
+			t.Table = t.learner.A
+		}
+	}
+
+	// Exploring starts: early in training, begin each episode from
+	// random caps so the walk visits operating points the ±1-step
+	// action set would take thousands of steps to reach. Gated on the
+	// exploration schedule so a mostly-learned policy (or a live user
+	// session) never gets a random frequency jolt.
+	if !a.prevValid && !t.Trained && !a.cfg.Frozen && t.Policy.Epsilon > 0.15 {
+		for _, c := range snap.Clusters {
+			act.SetCap(c.Name, a.rng.Intn(c.NumOPPs))
+		}
+	}
+
+	var target float64
+	if a.cfg.UseMeanTarget {
+		target = float64(a.window.MeanTarget())
+	} else {
+		target = float64(a.window.Target())
+	}
+	state := a.space.Key(snap, target)
+	reward := a.cfg.Reward.Reward(snap.FPS, target, snap.PowerW, snap.TempBigC, snap.AmbientC)
+
+	// Choose the next action first (SARSA's update needs the executed
+	// successor action; for Q-learning the order is immaterial).
+	var action int
+	emergency := a.cfg.EmergencyTempC > 0 && snap.TempBigC >= a.cfg.EmergencyTempC
+	switch {
+	case emergency:
+		action = -1 // safety override, no policy action
+	case t.Trained:
+		exploit := Policy{Epsilon: a.cfg.ExploitEpsilon, EpsilonMin: a.cfg.ExploitEpsilon}
+		action = exploit.Select(t.learner.Table(), state, a.rng)
+	default:
+		action = t.Policy.Select(t.learner.Table(), state, a.rng)
+	}
+
+	// Learn from the transition that produced this observation. Online
+	// RL keeps refining after convergence (at exploit ε); "trained" only
+	// stops the training-time accounting and the exploration schedule.
+	if a.prevValid && !a.cfg.Frozen {
+		nextAction := action
+		if nextAction < 0 {
+			nextAction, _ = t.learner.Table().Best(state)
+		}
+		bestBefore, _ := t.learner.Table().Best(a.prevState)
+		td := t.learner.Update(a.prevState, a.prevAction, reward, state, nextAction, a.cfg.Alpha, a.cfg.Gamma, a.rng)
+		bestAfter, _ := t.learner.Table().Best(a.prevState)
+		if !t.Trained {
+			a.trackConvergence(t, td, bestBefore != bestAfter)
+		}
+	}
+
+	// Account training time while the table is still learning.
+	if !t.Trained && a.lastCtlUS > 0 && snap.NowUS > a.lastCtlUS {
+		t.Table.TrainedUS += snap.NowUS - a.lastCtlUS
+	}
+	a.lastCtlUS = snap.NowUS
+
+	if emergency {
+		// Thermal trip: pull the hot clusters down two OPPs regardless
+		// of what the table says, and do not learn from the forced
+		// transition (it is not the policy's doing).
+		for _, c := range snap.Clusters {
+			if c.Name == "big" || c.IsGPU {
+				act.SetCap(c.Name, c.CurIdx-2)
+			}
+		}
+		a.prevValid = false
+		return
+	}
+
+	Action(action).Apply(snap, act)
+	a.prevState = state
+	a.prevAction = action
+	a.prevValid = true
+}
+
+// trackConvergence updates the diagnostics EWMAs and latches Trained
+// when the greedy policy has stopped flipping.
+func (a *Agent) trackConvergence(t *AppTable, td float64, flipped bool) {
+	if td < 0 {
+		td = -td
+	}
+	const tdAlpha = 0.05
+	if !t.tdSeeded {
+		t.tdEWMA = td
+		t.tdSeeded = true
+	} else {
+		t.tdEWMA += tdAlpha * (td - t.tdEWMA)
+	}
+
+	const flipAlpha = 1.0 / 400
+	f := 0.0
+	if flipped {
+		f = 1
+	}
+	if !t.flipSeeded {
+		t.flipEWMA = 1 // assume unstable until proven otherwise
+		t.flipSeeded = true
+	}
+	t.flipEWMA += flipAlpha * (f - t.flipEWMA)
+
+	if a.cfg.ConvergeFlipTol <= 0 || a.cfg.ConvergeMinSteps <= 0 {
+		return
+	}
+	if t.Table.Steps >= int64(a.cfg.ConvergeMinSteps) && t.flipEWMA < a.cfg.ConvergeFlipTol && !t.Trained {
+		t.Trained = true
+		if t.Table.ConvergedAtUS == 0 {
+			t.Table.ConvergedAtUS = t.Table.TrainedUS
+		}
+	}
+}
+
+// Reset implements ctrl.Controller: clears per-session episode state
+// while keeping all learned Q-tables (the paper stores tables across
+// sessions; training happens once per app).
+func (a *Agent) Reset() {
+	a.window.Reset()
+	a.prevValid = false
+	a.lastCtlUS = 0
+	a.cur = nil
+}
+
+// ForgetAll drops every learned table (a factory-reset test hook).
+func (a *Agent) ForgetAll() {
+	a.tables = make(map[string]*AppTable)
+	a.cur = nil
+	a.prevValid = false
+}
+
+// TableFor exposes the app's table (nil if the app was never seen).
+func (a *Agent) TableFor(app string) *AppTable {
+	return a.tables[app]
+}
+
+// Apps lists the applications the agent has tables for.
+func (a *Agent) Apps() []string {
+	names := make([]string, 0, len(a.tables))
+	for n := range a.tables {
+		names = append(names, n)
+	}
+	return names
+}
+
+// InstallTable installs (or replaces) a table for an app — the loading
+// path for persisted or cloud/federated-trained tables.
+func (a *Agent) InstallTable(app string, table *QTable, trained bool) {
+	t := a.tableFor(app)
+	t.Table = table
+	t.learner = nil // re-wrapped lazily around the new table
+	t.Trained = trained
+	if trained {
+		t.Policy.Epsilon = a.cfg.ExploitEpsilon
+	}
+}
+
+// MarkTrained force-latches an app's table as trained (used when an
+// external process — cloud training — decides convergence).
+func (a *Agent) MarkTrained(app string) {
+	t := a.tableFor(app)
+	t.Trained = true
+	if t.Table != nil && t.Table.ConvergedAtUS == 0 {
+		t.Table.ConvergedAtUS = t.Table.TrainedUS
+	}
+}
+
+// Config returns the agent's configuration (read-only copy).
+func (a *Agent) Config() AgentConfig { return a.cfg }

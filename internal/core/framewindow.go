@@ -1,0 +1,63 @@
+package core
+
+import "nextdvfs/internal/stats"
+
+// FrameWindow is the paper's sliding window of frame-rate samples: the
+// agent samples the displayed FPS every 25 ms for 4 s (160 samples) and
+// takes the mathematical mode as the target FPS for the session's
+// current interaction pattern.
+type FrameWindow struct {
+	counter *stats.ModeCounter
+	warmup  int
+	lastFPS int
+}
+
+// NewFrameWindow builds a window of n samples requiring warmup samples
+// before the mode is trusted (before that, Target falls back to the
+// latest sample so a fresh agent is not anchored at zero).
+func NewFrameWindow(n, warmup int) *FrameWindow {
+	if warmup > n {
+		warmup = n
+	}
+	return &FrameWindow{counter: stats.NewModeCounter(n), warmup: warmup}
+}
+
+// Push records one FPS sample (rounded to the integer frame rates the
+// mode operates on).
+func (w *FrameWindow) Push(fps float64) {
+	v := int(fps + 0.5)
+	if v < 0 {
+		v = 0
+	}
+	w.lastFPS = v
+	w.counter.Push(v)
+}
+
+// Target returns the mode of the window — the paper's target FPS. Until
+// warmup samples have arrived it returns the latest sample.
+func (w *FrameWindow) Target() int {
+	if w.counter.Len() < w.warmup {
+		return w.lastFPS
+	}
+	mode, _ := w.counter.Mode()
+	return mode
+}
+
+// MeanTarget returns the window average instead of the mode — the
+// ablation the benchmarks compare against the paper's mode choice.
+func (w *FrameWindow) MeanTarget() int {
+	if w.counter.Len() < w.warmup {
+		return w.lastFPS
+	}
+	return int(w.counter.Mean() + 0.5)
+}
+
+// Len reports the number of samples currently held.
+func (w *FrameWindow) Len() int { return w.counter.Len() }
+
+// Reset empties the window (used on app switch: the previous app's
+// interaction pattern says nothing about the next one).
+func (w *FrameWindow) Reset() {
+	w.counter.Reset()
+	w.lastFPS = 0
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPPDWMatchesEquationOne(t *testing.T) {
+	// PPDW = FPS / (ΔT × P): 60 FPS at 10 K rise and 3 W → 2.0.
+	got := PPDW(60, 3, 31, 21)
+	if math.Abs(got-2.0) > 1e-12 {
+		t.Fatalf("PPDW = %g, want 2.0", got)
+	}
+}
+
+func TestPPDWZeroFPSIsZero(t *testing.T) {
+	// Fig. 4 marks FPS 0 as PPDW 0.0000.
+	if got := PPDW(0, 5, 50, 21); got != 0 {
+		t.Fatalf("PPDW at 0 FPS = %g, want 0", got)
+	}
+}
+
+func TestPPDWFloorsDegenerateDenominators(t *testing.T) {
+	// Temperature at/below ambient and near-zero power must not blow up.
+	if v := PPDW(30, 0, 21, 21); math.IsInf(v, 0) || math.IsNaN(v) {
+		t.Fatalf("degenerate PPDW = %g", v)
+	}
+	if v := PPDW(30, 0.001, 20, 21); v <= 0 {
+		t.Fatalf("degenerate PPDW should stay positive: %g", v)
+	}
+}
+
+func TestPPDWMonotonicity(t *testing.T) {
+	// More FPS at equal cost → better; more power/temp at equal FPS → worse.
+	rng := rand.New(rand.NewSource(8))
+	f := func(fpsSeed, pSeed, tSeed uint8) bool {
+		fps := 1 + float64(fpsSeed%60)
+		p := 0.5 + float64(pSeed%150)/10
+		temp := 25 + float64(tSeed%60)
+		base := PPDW(fps, p, temp, 21)
+		return PPDW(fps+1, p, temp, 21) > base &&
+			PPDW(fps, p+0.5, temp, 21) < base &&
+			PPDW(fps, p, temp+5, 21) < base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundsOrdering(t *testing.T) {
+	b := NewBounds(60, 16, 1.5, 95, 25, 21)
+	if b.Worst >= b.Best {
+		t.Fatalf("worst (%g) must be below best (%g)", b.Worst, b.Best)
+	}
+	// A typical operating point sits inside Eq. 2's range.
+	typical := PPDW(60, 5, 55, 21)
+	if !b.InRange(typical) {
+		t.Fatalf("typical PPDW %g outside [%g, %g]", typical, b.Worst, b.Best)
+	}
+	if b.InRange(b.Worst) {
+		t.Fatal("range excludes worst (strict inequality)")
+	}
+	if !b.InRange(b.Best) {
+		t.Fatal("range includes best")
+	}
+}
+
+func TestRewardPrefersMeetingTarget(t *testing.T) {
+	rc := DefaultRewardConfig()
+	onTarget := rc.Reward(60, 60, 5, 50, 21)
+	under := rc.Reward(30, 60, 5, 50, 21)
+	if onTarget <= under {
+		t.Fatalf("meeting target (%g) must beat missing it (%g)", onTarget, under)
+	}
+}
+
+func TestRewardPrefersLowerPowerAtIdle(t *testing.T) {
+	// Target 0, FPS 0: the FPS floor keeps a gradient toward lower
+	// power and temperature (the Spotify case).
+	rc := DefaultRewardConfig()
+	hot := rc.Reward(0, 0, 3.5, 45, 21)
+	cool := rc.Reward(0, 0, 1.8, 32, 21)
+	if cool <= hot {
+		t.Fatalf("idle reward should prefer low power: cool=%g hot=%g", cool, hot)
+	}
+}
+
+func TestRewardPenalizesOvershootThroughPower(t *testing.T) {
+	// Overshoot carries no direct penalty (the mode-derived target lags
+	// interaction by up to 4 s, so "above target" is often "the user
+	// just started scrolling"). It is discouraged through PPDW instead:
+	// rendering 60 when 30 suffices costs extra watts and degrees, and
+	// that realistic cost must lose to the exact-target operating point.
+	rc := DefaultRewardConfig()
+	exact := rc.Reward(30, 30, 3.5, 42, 21)
+	over := rc.Reward(60, 30, 7.0, 55, 21)
+	if over >= exact {
+		t.Fatalf("costly overshoot (%g) should not beat exact target (%g)", over, exact)
+	}
+}
+
+func TestRewardBounded(t *testing.T) {
+	rc := DefaultRewardConfig()
+	rng := rand.New(rand.NewSource(9))
+	f := func(a, b, c, d uint8) bool {
+		r := rc.Reward(float64(a%61), float64(b%61), float64(c)/10, 21+float64(d%70), 21)
+		return r > -2 && r < 1.5 && !math.IsNaN(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}

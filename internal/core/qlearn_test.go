@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQTableUpdateMatchesEquationThree(t *testing.T) {
+	q := NewQTable(9)
+	s, s2 := StateKey(1), StateKey(2)
+	// Seed next-state values.
+	q.row(s2)[3] = 2.0
+	td := q.Update(s, 0, 1.0, s2, 0.5, 0.9)
+	// td = r + γ·max Q(s') − Q(s,a) = 1 + 0.9*2 − 0 = 2.8
+	if math.Abs(td-2.8) > 1e-12 {
+		t.Fatalf("td = %g, want 2.8", td)
+	}
+	// Q(s,a) = 0 + 0.5*2.8 = 1.4
+	if got := q.Q[s][0]; math.Abs(got-1.4) > 1e-12 {
+		t.Fatalf("Q = %g, want 1.4", got)
+	}
+	if q.Visits[s] != 1 || q.Steps != 1 {
+		t.Fatal("bookkeeping wrong")
+	}
+}
+
+func TestQTableBestTieBreaksLowIndex(t *testing.T) {
+	q := NewQTable(3)
+	s := StateKey(7)
+	q.row(s)[0] = 1.0
+	q.row(s)[2] = 1.0
+	a, v := q.Best(s)
+	if a != 0 || v != 1.0 {
+		t.Fatalf("best = (%d, %g), want (0, 1)", a, v)
+	}
+}
+
+func TestQTableUnvisitedStateIsZero(t *testing.T) {
+	q := NewQTable(9)
+	a, v := q.Best(StateKey(99))
+	if a != 0 || v != 0 {
+		t.Fatalf("unvisited best = (%d,%g)", a, v)
+	}
+	if q.States() != 0 {
+		t.Fatal("Best must not allocate rows")
+	}
+}
+
+func TestQLearningConvergesOnTwoStateChain(t *testing.T) {
+	// Classic sanity: two states, action 1 in s0 moves to s1 with
+	// reward 1; everything else rewards 0 and stays. The learned Q must
+	// rank action 1 highest in s0.
+	q := NewQTable(2)
+	rng := rand.New(rand.NewSource(10))
+	s0, s1 := StateKey(0), StateKey(1)
+	for i := 0; i < 5000; i++ {
+		var a int
+		if rng.Float64() < 0.3 {
+			a = rng.Intn(2)
+		} else {
+			a, _ = q.Best(s0)
+		}
+		if a == 1 {
+			q.Update(s0, 1, 1.0, s1, 0.1, 0.5)
+			q.Update(s1, 0, 0, s0, 0.1, 0.5) // return transition
+		} else {
+			q.Update(s0, 0, 0, s0, 0.1, 0.5)
+		}
+	}
+	if a, _ := q.Best(s0); a != 1 {
+		t.Fatalf("policy did not learn the rewarding action: best=%d", a)
+	}
+}
+
+func TestQValuesBoundedByRewardOverOneMinusGamma(t *testing.T) {
+	// Property: with rewards in [-1, 1] and γ=0.9, |Q| ≤ 1/(1-γ) = 10.
+	rng := rand.New(rand.NewSource(11))
+	f := func(ops []uint8) bool {
+		q := NewQTable(4)
+		for _, op := range ops {
+			s := StateKey(op % 8)
+			a := int(op>>3) % 4
+			r := float64(int(op%3) - 1) // -1, 0, 1
+			next := StateKey((op * 7) % 8)
+			q.Update(s, a, r, next, 0.3, 0.9)
+		}
+		for _, row := range q.Q {
+			for _, v := range row {
+				if v > 10.0001 || v < -10.0001 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyEpsilonDecay(t *testing.T) {
+	p := Policy{Epsilon: 1.0, EpsilonMin: 0.1, Decay: 0.5}
+	q := NewQTable(4)
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 20; i++ {
+		p.Select(q, StateKey(0), rng)
+	}
+	if p.Epsilon != 0.1 {
+		t.Fatalf("epsilon = %g, want decayed to min 0.1", p.Epsilon)
+	}
+}
+
+func TestPolicyGreedyWhenEpsilonZero(t *testing.T) {
+	p := Policy{Epsilon: 0, EpsilonMin: 0}
+	q := NewQTable(3)
+	s := StateKey(5)
+	q.row(s)[2] = 9
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 50; i++ {
+		if a := p.Select(q, s, rng); a != 2 {
+			t.Fatalf("greedy policy picked %d", a)
+		}
+	}
+}
+
+func TestPolicyExploresAtHighEpsilon(t *testing.T) {
+	p := Policy{Epsilon: 1.0, EpsilonMin: 1.0}
+	q := NewQTable(9)
+	rng := rand.New(rand.NewSource(14))
+	seen := map[int]bool{}
+	for i := 0; i < 500; i++ {
+		seen[p.Select(q, StateKey(0), rng)] = true
+	}
+	if len(seen) != 9 {
+		t.Fatalf("exploration covered %d/9 actions", len(seen))
+	}
+}
+
+func TestNewQTablePanicsOnBadActions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewQTable(0)
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// tableDTO is the JSON wire format for a persisted Q-table. Map keys
+// are stringified state keys (JSON requires string keys).
+type tableDTO struct {
+	App           string               `json:"app"`
+	Actions       int                  `json:"actions"`
+	Steps         int64                `json:"steps"`
+	TrainedUS     int64                `json:"trained_us"`
+	ConvergedAtUS int64                `json:"converged_at_us"`
+	Trained       bool                 `json:"trained"`
+	Q             map[string][]float64 `json:"q"`
+	Visits        map[string]int       `json:"visits"`
+}
+
+// MarshalTable serializes an app's table for storage ("the Q-table
+// results are stored on the memory so that later ... the agent is able
+// to refer to the Q-table").
+func MarshalTable(app string, t *QTable, trained bool) ([]byte, error) {
+	if t == nil {
+		return nil, fmt.Errorf("core: nil table for %q", app)
+	}
+	dto := tableDTO{
+		App:           app,
+		Actions:       t.Actions,
+		Steps:         t.Steps,
+		TrainedUS:     t.TrainedUS,
+		ConvergedAtUS: t.ConvergedAtUS,
+		Trained:       trained,
+		Q:             make(map[string][]float64, len(t.Q)),
+		Visits:        make(map[string]int, len(t.Visits)),
+	}
+	for k, v := range t.Q {
+		dto.Q[strconv.FormatUint(uint64(k), 10)] = v
+	}
+	for k, v := range t.Visits {
+		dto.Visits[strconv.FormatUint(uint64(k), 10)] = v
+	}
+	return json.MarshalIndent(dto, "", " ")
+}
+
+// UnmarshalTable parses a persisted table.
+func UnmarshalTable(data []byte) (app string, t *QTable, trained bool, err error) {
+	var dto tableDTO
+	if err = json.Unmarshal(data, &dto); err != nil {
+		return "", nil, false, err
+	}
+	if dto.Actions <= 0 {
+		return "", nil, false, fmt.Errorf("core: table for %q has invalid action count %d", dto.App, dto.Actions)
+	}
+	t = NewQTable(dto.Actions)
+	t.Steps = dto.Steps
+	t.TrainedUS = dto.TrainedUS
+	t.ConvergedAtUS = dto.ConvergedAtUS
+	for k, v := range dto.Q {
+		key, perr := strconv.ParseUint(k, 10, 64)
+		if perr != nil {
+			return "", nil, false, fmt.Errorf("core: bad state key %q: %w", k, perr)
+		}
+		if len(v) != dto.Actions {
+			return "", nil, false, fmt.Errorf("core: state %q has %d action values, want %d", k, len(v), dto.Actions)
+		}
+		t.Q[StateKey(key)] = v
+	}
+	for k, v := range dto.Visits {
+		key, perr := strconv.ParseUint(k, 10, 64)
+		if perr != nil {
+			return "", nil, false, fmt.Errorf("core: bad visit key %q: %w", k, perr)
+		}
+		t.Visits[StateKey(key)] = v
+	}
+	return dto.App, t, dto.Trained, nil
+}
+
+// Store persists Q-tables under a directory, one JSON file per app.
+type Store struct{ Dir string }
+
+// path returns the file for an app, sanitized to a flat name.
+func (s Store) path(app string) string {
+	return filepath.Join(s.Dir, app+".qtable.json")
+}
+
+// Save writes the app's table.
+func (s Store) Save(app string, t *QTable, trained bool) error {
+	data, err := MarshalTable(app, t, trained)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(s.path(app), data, 0o644)
+}
+
+// Load reads the app's table; os.IsNotExist(err) distinguishes "never
+// trained" from corruption.
+func (s Store) Load(app string) (*QTable, bool, error) {
+	data, err := os.ReadFile(s.path(app))
+	if err != nil {
+		return nil, false, err
+	}
+	_, t, trained, err := UnmarshalTable(data)
+	return t, trained, err
+}
+
+// SaveAgent persists every table the agent holds.
+func (s Store) SaveAgent(a *Agent) error {
+	for _, app := range a.Apps() {
+		t := a.TableFor(app)
+		if t == nil || t.Table == nil {
+			continue
+		}
+		if err := s.Save(app, t.Table, t.Trained); err != nil {
+			return fmt.Errorf("core: saving %q: %w", app, err)
+		}
+	}
+	return nil
+}
+
+// LoadAgent installs every stored table into the agent.
+func (s Store) LoadAgent(a *Agent) error {
+	entries, err := os.ReadDir(s.Dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.Dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		app, t, trained, err := UnmarshalTable(data)
+		if err != nil {
+			return fmt.Errorf("core: loading %q: %w", e.Name(), err)
+		}
+		a.InstallTable(app, t, trained)
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package core
+
+import "math/rand"
+
+// LearnAlgo selects the temporal-difference update rule. The paper uses
+// Watkins Q-learning (Eq. 3); the variants are extensions for studying
+// the design space:
+//
+//   - Double Q-learning decouples action selection from evaluation with
+//     two tables, removing the max-operator's overestimation bias —
+//     relevant here because the PPDW reward is noisy (power jitter,
+//     FPS quantization edges) and noise is what max() overestimates;
+//   - SARSA is the on-policy rule: it evaluates the ε-greedy behaviour
+//     actually executed, which makes a deployed agent more conservative
+//     around exploratory dips.
+type LearnAlgo int
+
+// Available update rules.
+const (
+	AlgoQLearning LearnAlgo = iota
+	AlgoDoubleQ
+	AlgoSARSA
+)
+
+var algoNames = [...]string{"qlearning", "doubleq", "sarsa"}
+
+// String names the algorithm.
+func (a LearnAlgo) String() string {
+	if int(a) < len(algoNames) {
+		return algoNames[a]
+	}
+	return "LearnAlgo?"
+}
+
+// Learner wraps one or two QTables under a chosen update rule. The
+// agent talks to a Learner; the default configuration degenerates to
+// the paper's single-table Q-learning with zero overhead.
+type Learner struct {
+	Algo LearnAlgo
+	// A is the primary table (the only one for Q-learning/SARSA).
+	A *QTable
+	// B is the second estimator for Double Q-learning (nil otherwise).
+	B *QTable
+}
+
+// NewLearner builds a learner over the given action count.
+func NewLearner(algo LearnAlgo, actions int) *Learner {
+	l := &Learner{Algo: algo, A: NewQTable(actions)}
+	if algo == AlgoDoubleQ {
+		l.B = NewQTable(actions)
+	}
+	return l
+}
+
+// Table returns the table used for greedy action selection. For Double
+// Q-learning that is A; the policy's view stays a single table.
+func (l *Learner) Table() *QTable { return l.A }
+
+// CombinedBest returns the greedy action under the learner's value
+// estimate: A for single-table rules, (A+B)/2 for Double Q.
+func (l *Learner) CombinedBest(s StateKey) (int, float64) {
+	if l.Algo != AlgoDoubleQ || l.B == nil {
+		return l.A.Best(s)
+	}
+	ra, okA := l.A.Q[s]
+	rb, okB := l.B.Q[s]
+	if !okA && !okB {
+		return 0, 0
+	}
+	best, bestV := 0, combinedAt(ra, rb, 0)
+	for a := 1; a < l.A.Actions; a++ {
+		if v := combinedAt(ra, rb, a); v > bestV {
+			best, bestV = a, v
+		}
+	}
+	return best, bestV
+}
+
+func combinedAt(ra, rb []float64, a int) float64 {
+	var v float64
+	if ra != nil {
+		v += ra[a] / 2
+	}
+	if rb != nil {
+		v += rb[a] / 2
+	}
+	return v
+}
+
+// Update applies one TD step for the transition (s, a, r, s'). next2 is
+// the action taken in s' (needed by SARSA only; pass the behaviour
+// policy's choice). rng drives Double Q's coin flip. Returns the TD
+// error before the step.
+func (l *Learner) Update(s StateKey, a int, reward float64, next StateKey, nextAction int, alpha, gamma float64, rng *rand.Rand) float64 {
+	switch l.Algo {
+	case AlgoSARSA:
+		row := l.A.row(s)
+		nextRow, ok := l.A.Q[next]
+		var nextV float64
+		if ok && nextAction < len(nextRow) {
+			nextV = nextRow[nextAction]
+		}
+		td := reward + gamma*nextV - row[a]
+		row[a] += alpha * td
+		l.A.Visits[s]++
+		l.A.Steps++
+		return td
+
+	case AlgoDoubleQ:
+		// Flip which estimator updates; select with one, evaluate with
+		// the other (van Hasselt 2010).
+		upd, eval := l.A, l.B
+		if rng.Intn(2) == 1 {
+			upd, eval = l.B, l.A
+		}
+		row := upd.row(s)
+		selAction, _ := upd.Best(next)
+		var nextV float64
+		if evalRow, ok := eval.Q[next]; ok {
+			nextV = evalRow[selAction]
+		}
+		td := reward + gamma*nextV - row[a]
+		row[a] += alpha * td
+		// Bookkeeping lives on A so persistence/merging see one table.
+		l.A.Visits[s]++
+		l.A.Steps++
+		return td
+
+	default: // AlgoQLearning — the paper's Eq. 3.
+		return l.A.Update(s, a, reward, next, alpha, gamma)
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nextdvfs/internal/ctrl"
+)
+
+func TestLearnerQDegeneratesToPaperRule(t *testing.T) {
+	// The default learner must produce byte-identical updates to the
+	// raw Eq. 3 implementation.
+	rng := rand.New(rand.NewSource(1))
+	l := NewLearner(AlgoQLearning, 4)
+	q := NewQTable(4)
+	for i := 0; i < 500; i++ {
+		s := StateKey(rng.Intn(6))
+		a := rng.Intn(4)
+		r := rng.Float64() - 0.5
+		next := StateKey(rng.Intn(6))
+		tdL := l.Update(s, a, r, next, rng.Intn(4), 0.2, 0.9, rng)
+		tdQ := q.Update(s, a, r, next, 0.2, 0.9)
+		if tdL != tdQ {
+			t.Fatalf("step %d: td %g vs %g", i, tdL, tdQ)
+		}
+	}
+	for s, row := range q.Q {
+		for i := range row {
+			if l.A.Q[s][i] != row[i] {
+				t.Fatal("learner diverged from raw Q-learning")
+			}
+		}
+	}
+}
+
+func TestSARSAUsesExecutedAction(t *testing.T) {
+	l := NewLearner(AlgoSARSA, 3)
+	rng := rand.New(rand.NewSource(2))
+	s, next := StateKey(1), StateKey(2)
+	l.A.row(next)[0] = 10 // greedy value
+	l.A.row(next)[2] = 1  // executed action's value
+	// SARSA must bootstrap from the executed action (2), not the max (0).
+	td := l.Update(s, 0, 0, next, 2, 1.0, 0.5, rng)
+	if math.Abs(td-0.5) > 1e-12 { // 0 + 0.5*1 − 0
+		t.Fatalf("td = %g, want 0.5 (bootstrapped from executed action)", td)
+	}
+}
+
+func TestDoubleQMaintainsTwoEstimators(t *testing.T) {
+	l := NewLearner(AlgoDoubleQ, 3)
+	if l.B == nil {
+		t.Fatal("double Q needs a second table")
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		l.Update(StateKey(i%4), i%3, 1, StateKey((i+1)%4), 0, 0.1, 0.9, rng)
+	}
+	if len(l.A.Q) == 0 || len(l.B.Q) == 0 {
+		t.Fatal("both estimators should receive updates")
+	}
+	if a, _ := l.CombinedBest(StateKey(0)); a < 0 || a > 2 {
+		t.Fatalf("combined best out of range: %d", a)
+	}
+}
+
+func TestDoubleQReducesOverestimationUnderNoise(t *testing.T) {
+	// Classic construction: all actions have true value 0 but rewards
+	// are ±1 noise. Q-learning's max() drags values upward; Double Q
+	// should sit closer to the truth.
+	biasOf := func(algo LearnAlgo, seed int64) float64 {
+		rng := rand.New(rand.NewSource(seed))
+		l := NewLearner(algo, 8)
+		s := StateKey(0)
+		for i := 0; i < 30_000; i++ {
+			a := rng.Intn(8)
+			r := 1.0
+			if rng.Intn(2) == 0 {
+				r = -1.0
+			}
+			l.Update(s, a, r, s, rng.Intn(8), 0.1, 0.9, rng)
+		}
+		_, v := l.CombinedBest(s)
+		return v
+	}
+	q := biasOf(AlgoQLearning, 4)
+	dq := biasOf(AlgoDoubleQ, 4)
+	if dq >= q {
+		t.Fatalf("double Q value (%g) should be below Q-learning's optimistic estimate (%g)", dq, q)
+	}
+}
+
+func TestLearnAlgoStrings(t *testing.T) {
+	if AlgoQLearning.String() != "qlearning" || AlgoDoubleQ.String() != "doubleq" || AlgoSARSA.String() != "sarsa" {
+		t.Fatal("algo names wrong")
+	}
+	if LearnAlgo(9).String() != "LearnAlgo?" {
+		t.Fatal("unknown algo formatting")
+	}
+}
+
+func TestAgentRunsWithEachAlgo(t *testing.T) {
+	for _, algo := range []LearnAlgo{AlgoQLearning, AlgoDoubleQ, AlgoSARSA} {
+		cfg := DefaultAgentConfig()
+		cfg.Seed = 5
+		cfg.Algo = algo
+		a := NewAgent(cfg)
+		a.AppChanged("app", false)
+		act := &recordActuator{caps: map[string]int{}}
+		for i := 1; i <= 30; i++ {
+			stepAgent(a, act, int64(i)*100_000, 30, 4, 45, 38, [3]int{9, 5, 3})
+		}
+		tab := a.TableFor("app")
+		if tab == nil || tab.Table == nil || tab.Table.Steps == 0 {
+			t.Fatalf("%v: agent did not learn", algo)
+		}
+	}
+}
+
+func TestEmergencyTempOverridesPolicy(t *testing.T) {
+	cfg := DefaultAgentConfig()
+	cfg.Seed = 6
+	cfg.EmergencyTempC = 80
+	a := NewAgent(cfg)
+	a.AppChanged("hot", true)
+	act := &recordActuator{caps: map[string]int{}}
+
+	// Normal temperature: policy actions at most ±1.
+	snap, _ := snapWith([3]int{9, 5, 3}, 60, 0, 6, 70, 50)
+	snap.NowUS = 100_000
+	snap.AppName = "hot"
+	a.Observe(snap)
+	a.Control(snap, act)
+
+	// Over the trip point: big and GPU caps must drop by 2 regardless
+	// of the table.
+	hot, _ := snapWith([3]int{9, 5, 3}, 60, 0, 8, 92, 60)
+	hot.NowUS = 200_000
+	hot.AppName = "hot"
+	act2 := &recordActuator{caps: map[string]int{}}
+	a.Observe(hot)
+	a.Control(hot, act2)
+	if act2.caps["big"] != 7 {
+		t.Fatalf("emergency big cap = %d, want cur-2 = 7", act2.caps["big"])
+	}
+	if act2.caps["GPU"] != 1 {
+		t.Fatalf("emergency GPU cap = %d, want cur-2 = 1", act2.caps["GPU"])
+	}
+}
+
+func TestEmergencyDisabledByDefault(t *testing.T) {
+	cfg := DefaultAgentConfig()
+	if cfg.EmergencyTempC != 0 {
+		t.Fatal("emergency layer must be opt-in (the paper's agent has none)")
+	}
+	// Frozen isolates the check from exploring starts: with the layer
+	// disabled, even a scorching sensor must not force ±2 cap drops —
+	// only ordinary ±1 policy actions may fire.
+	cfg.Frozen = true
+	a := NewAgent(cfg)
+	a.AppChanged("x", false)
+	act := &recordActuator{caps: map[string]int{}}
+	snap, _ := snapWith([3]int{9, 5, 3}, 60, 0, 8, 99, 70)
+	snap.AppName = "x"
+	a.Control(snap, act)
+	if v, ok := act.caps["big"]; ok && v < 8 {
+		t.Fatalf("disabled emergency forced the big cap to %d (want >= cur-1)", v)
+	}
+	if v, ok := act.caps["GPU"]; ok && v < 2 {
+		t.Fatalf("disabled emergency forced the GPU cap to %d (want >= cur-1)", v)
+	}
+}
+
+var _ = ctrl.Snapshot{} // keep the import stable alongside helpers

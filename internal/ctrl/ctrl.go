@@ -1,0 +1,85 @@
+// Package ctrl defines the contract between the simulation engine and
+// the power/thermal management policies that sit above the frequency
+// governor: the Next agent (internal/core) and the Int. QoS PM baseline
+// (internal/governor). Keeping the contract in its own package lets the
+// agent stay independent of the engine — on the paper's platform the
+// agent is an ordinary Android application reading sysfs, and this
+// interface is the simulated equivalent of that surface.
+package ctrl
+
+// ClusterView is the read-only per-cluster state a controller observes:
+// the same information the paper's agent reads from cpufreq/devfreq
+// sysfs nodes.
+type ClusterView struct {
+	Name     string
+	IsGPU    bool
+	NumOPPs  int
+	CurIdx   int
+	CapIdx   int
+	FloorIdx int
+	FreqKHz  int
+	// OPPKHz is the ascending frequency table (the sysfs
+	// scaling_available_frequencies equivalent). Shared, do not mutate.
+	OPPKHz []int
+	// Util is busy/capacity at the current frequency (0..1).
+	Util float64
+	// NormUtil is busy/capacity at the maximum frequency (0..1) — the
+	// scale-invariant load signal.
+	NormUtil float64
+}
+
+// Snapshot is one observation of the whole platform, delivered to
+// controllers on their observe/control cadence.
+type Snapshot struct {
+	NowUS int64
+	// FPS is the current displayed frame rate (front-buffer updates over
+	// the trailing second).
+	FPS float64
+	// PowerW is instantaneous whole-device power.
+	PowerW float64
+	// TempBigC is the big-cluster thermal sensor.
+	TempBigC float64
+	// TempDeviceC is the virtual device sensor.
+	TempDeviceC float64
+	// AmbientC is the ambient temperature (the paper's PPDW needs ΔT).
+	AmbientC float64
+	// AppName and AppClassGame identify the foreground application.
+	AppName      string
+	AppClassGame bool
+	// Clusters in chip order.
+	Clusters []ClusterView
+}
+
+// Actuator is the write surface a controller may use. The engine
+// implements it on the chip; tests implement it with fakes.
+type Actuator interface {
+	// SetCap moves a cluster's maxfreq cap (the Next agent's only
+	// actuation, mirroring scaling_max_freq).
+	SetCap(cluster string, idx int)
+	// SetFloor moves a cluster's minfreq floor.
+	SetFloor(cluster string, idx int)
+	// Pin sets floor = cap = idx, fixing the frequency outright (what
+	// Int. QoS PM does).
+	Pin(cluster string, idx int)
+}
+
+// Controller is a management policy invoked on two cadences: Observe on
+// a fine sampling period (the Next agent samples FPS every 25 ms) and
+// Control on the decision period (the agent acts every 100 ms).
+type Controller interface {
+	// Name identifies the policy in traces and reports.
+	Name() string
+	// ObserveIntervalUS is the sampling cadence (0 = no sampling).
+	ObserveIntervalUS() int64
+	// ControlIntervalUS is the decision cadence.
+	ControlIntervalUS() int64
+	// Observe records a fine-grained sample.
+	Observe(snap Snapshot)
+	// Control makes a decision and actuates.
+	Control(snap Snapshot, act Actuator)
+	// AppChanged notifies the controller that the foreground app
+	// switched (the agent swaps Q-tables; Int. QoS re-baselines).
+	AppChanged(name string, isGame bool)
+	// Reset restores initial state for a fresh run.
+	Reset()
+}

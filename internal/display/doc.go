@@ -1,0 +1,12 @@
+// Package display models Android's VSync display path as the paper
+// describes it: a front buffer shown by the panel plus two back buffers
+// the CPU/GPU render into (triple buffering). The panel refreshes on
+// every VSync (16.67 ms at the default 60 Hz); if a newly rendered frame
+// is waiting in a back buffer it is flipped to the front, otherwise the
+// previous frame is repeated — a frame drop, the stutter the user
+// perceives.
+//
+// The package also provides the FPS estimator the Next agent samples
+// every 25 ms: the count of front-buffer updates over a one-second
+// sliding horizon.
+package display

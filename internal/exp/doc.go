@@ -1,0 +1,18 @@
+// Package exp contains one runner per figure of the paper's evaluation,
+// each returning a structured result that cmd/nextbench prints and the
+// root bench_test.go wraps in testing.B benchmarks:
+//
+//	Fig1  — FPS + big/LITTLE frequency trace of the home→Facebook→
+//	        Spotify session under schedutil (the motivation figure);
+//	Fig3  — power and big-CPU temperature for the same session,
+//	        schedutil vs a trained Next agent;
+//	Fig4  — the PPDW-vs-FPS trend on Lineage 2 Revolution, including
+//	        the worst-case anchors at FPS 0/1/10;
+//	Fig6  — training time vs FPS state-granularity, online vs cloud;
+//	Fig7  — average power per application for schedutil, Next and
+//	        Int. QoS PM (games only);
+//	Fig8  — average peak temperatures (big cluster and device) for the
+//	        same matrix.
+//
+// Runners are deterministic given their seed.
+package exp

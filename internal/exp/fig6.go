@@ -1,0 +1,130 @@
+package exp
+
+import (
+	"math/rand"
+
+	"nextdvfs/internal/cloud"
+	"nextdvfs/internal/core"
+	"nextdvfs/internal/session"
+	"nextdvfs/internal/workload"
+)
+
+// Fig6Point is one x-position of Fig. 6: training time at a given FPS
+// state granularity, online vs cloud.
+type Fig6Point struct {
+	// FPSLevels is the number of distinct frame-rate values admitted
+	// into the state (the paper's x-axis; 60 ⇒ no quantization).
+	FPSLevels int
+	// OnlineS is on-device training time in (simulated) seconds.
+	OnlineS float64
+	// CloudS is the user-visible wall time when the same training runs
+	// in the cloud (speedup + ≤4 s communication overhead).
+	CloudS float64
+	// Converged reports whether the policy actually reached its plateau
+	// within the session budget (false = censored at the budget).
+	Converged bool
+}
+
+// Fig6Options sizes the sweep.
+type Fig6Options struct {
+	Seed        int64
+	MaxSessions int
+	SessionSecs float64
+	Levels      []int
+	// Repeats averages the training time over this many seeds per level
+	// (tabular RL convergence is noisy; the paper reports averages).
+	Repeats int
+	Trainer cloud.TrainerConfig
+}
+
+func (o *Fig6Options) defaults() {
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 18
+	}
+	if o.SessionSecs <= 0 {
+		o.SessionSecs = 120
+	}
+	if len(o.Levels) == 0 {
+		// Paper x-positions: ~{1, 15, 30, 45, 60} distinct frame rates;
+		// a quantizer needs ≥ 2 levels, so the first becomes 2.
+		o.Levels = []int{2, 15, 30, 45, 61}
+	}
+	if o.Repeats <= 0 {
+		o.Repeats = 3
+	}
+	if o.Trainer.Speedup == 0 {
+		o.Trainer = cloud.DefaultTrainerConfig()
+	}
+}
+
+// Fig6 measures training time per FPS granularity as state-space
+// coverage time: tabular Q-learning is trained when the agent has
+// visited (and revisited) the situations the workload produces, so
+// training is "complete" at the first session that discovers almost no
+// new states (< 2 % growth of the visited set). Coverage time grows
+// with the quantization granularity by construction — finer FPS bins
+// mean more distinct states for the same behaviour — which is exactly
+// the trade-off the paper's Fig. 6 sweeps.
+func Fig6(opts Fig6Options) []Fig6Point {
+	opts.defaults()
+	points := make([]Fig6Point, 0, len(opts.Levels))
+	for _, levels := range opts.Levels {
+		var sumOnline float64
+		converged := true
+		for r := 0; r < opts.Repeats; r++ {
+			p := fig6Level(levels, int64(r)*31337, &opts)
+			sumOnline += p.OnlineS
+			converged = converged && p.Converged
+		}
+		onlineUS := int64(sumOnline / float64(opts.Repeats) * 1e6)
+		points = append(points, Fig6Point{
+			FPSLevels: levels,
+			OnlineS:   float64(onlineUS) / 1e6,
+			CloudS:    float64(opts.Trainer.WallTimeUS(onlineUS)) / 1e6,
+			Converged: converged,
+		})
+	}
+	return points
+}
+
+func fig6Level(levels int, seedOffset int64, opts *Fig6Options) Fig6Point {
+	cfg := core.DefaultAgentConfig()
+	cfg.State.FPSLevels = levels
+	cfg.State.TargetLevels = levels
+	cfg.Seed = opts.Seed + int64(levels)*1000 + seedOffset
+	agent := core.NewAgent(cfg)
+	appName := workload.NameFacebook
+
+	statesBySession := make([]int, 0, opts.MaxSessions)
+	for i := 1; i <= opts.MaxSessions; i++ {
+		seed := cfg.Seed + int64(i)
+		rng := rand.New(rand.NewSource(seed))
+		tl := &session.Timeline{Scripts: []session.Script{
+			session.ForApp(workload.Facebook(), session.Seconds(opts.SessionSecs), rng),
+		}}
+		runWith(tl, seed, agent)
+		n := 0
+		if tab := agent.TableFor(appName); tab != nil && tab.Table != nil {
+			n = tab.Table.States()
+		}
+		statesBySession = append(statesBySession, n)
+	}
+
+	convergedAt := len(statesBySession) // censored by default
+	converged := false
+	for i := 1; i < len(statesBySession); i++ {
+		grown := statesBySession[i] - statesBySession[i-1]
+		if statesBySession[i] > 0 && float64(grown)/float64(statesBySession[i]) < 0.02 {
+			convergedAt = i + 1
+			converged = true
+			break
+		}
+	}
+	onlineUS := int64(float64(convergedAt) * opts.SessionSecs * 1e6)
+	return Fig6Point{
+		FPSLevels: levels,
+		OnlineS:   float64(onlineUS) / 1e6,
+		CloudS:    float64(opts.Trainer.WallTimeUS(onlineUS)) / 1e6,
+		Converged: converged,
+	}
+}

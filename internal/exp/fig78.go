@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"math/rand"
+	"nextdvfs/internal/core"
+
+	"nextdvfs/internal/session"
+	"nextdvfs/internal/sim"
+	"nextdvfs/internal/workload"
+)
+
+// AppRow is one application's results across the three schemes of
+// Fig. 7 (power) and Fig. 8 (temperatures). IntQoS is nil for
+// non-games (the baseline only manages games; the paper evaluated it
+// on Lineage and PubG only).
+type AppRow struct {
+	App    string
+	Game   bool
+	Sched  sim.Result
+	Next   sim.Result
+	IntQoS *sim.Result
+
+	// Fig. 7 derived numbers.
+	NextPowerSavingPct   float64
+	IntQoSPowerSavingPct float64 // 0 for non-games
+	// Fig. 8 derived numbers (peak temperature reductions vs schedutil,
+	// measured as rise over the 21 °C ambient).
+	NextBigTempRedPct   float64
+	NextDevTempRedPct   float64
+	IntQoSBigTempRedPct float64
+	IntQoSDevTempRedPct float64
+
+	Train TrainStats
+}
+
+// EvalOptions sizes the Fig. 7 / Fig. 8 evaluation.
+type EvalOptions struct {
+	Seed        int64
+	MaxSessions int
+	SessionSecs float64
+}
+
+// Evaluate runs the full Fig. 7 / Fig. 8 matrix: for each of the six
+// Play-store applications, train Next, then replay an identical
+// evaluation session under schedutil, Next and (for games) Int. QoS PM.
+func Evaluate(opts EvalOptions) []AppRow {
+	if opts.MaxSessions <= 0 {
+		opts.MaxSessions = 12
+	}
+	if opts.SessionSecs <= 0 {
+		opts.SessionSecs = 120
+	}
+	makers := []func() *workload.ProfileApp{
+		workload.Facebook, workload.Lineage, workload.PubG,
+		workload.Spotify, workload.Chrome, workload.YouTube,
+	}
+	rows := make([]AppRow, 0, len(makers))
+	for i, mk := range makers {
+		rows = append(rows, evaluateApp(mk, opts, int64(i+1)))
+	}
+	return rows
+}
+
+// EvaluateApp runs the Fig. 7/8 protocol for one preset app name with
+// an optional agent-configuration override (used by the ablation
+// benchmarks). It panics on unknown names: the callers are code.
+func EvaluateApp(name string, opts EvalOptions, agentCfg *core.AgentConfig) AppRow {
+	if workload.ByName(name) == nil {
+		panic("exp: unknown app " + name)
+	}
+	if opts.MaxSessions <= 0 {
+		opts.MaxSessions = 12
+	}
+	if opts.SessionSecs <= 0 {
+		opts.SessionSecs = 120
+	}
+	return evaluateAppCfg(func() *workload.ProfileApp { return workload.ByName(name) }, opts, 99, agentCfg)
+}
+
+func evaluateApp(mk func() *workload.ProfileApp, opts EvalOptions, ordinal int64) AppRow {
+	return evaluateAppCfg(mk, opts, ordinal, nil)
+}
+
+func evaluateAppCfg(mk func() *workload.ProfileApp, opts EvalOptions, ordinal int64, agentCfg *core.AgentConfig) AppRow {
+	app := mk()
+	seed := opts.Seed + ordinal*10_000
+
+	agent, stats := Train(mk, TrainOptions{
+		MaxSessions: opts.MaxSessions,
+		SessionSecs: opts.SessionSecs,
+		BaseSeed:    seed,
+		AgentConfig: agentCfg,
+	})
+
+	evalSeed := seed + 500
+	evalTL := func() *session.Timeline {
+		return session.EvalTimeline(mk(), rand.New(rand.NewSource(evalSeed)))
+	}
+	sched := runWith(evalTL(), evalSeed, nil)
+	next := runWith(evalTL(), evalSeed, agent)
+
+	row := AppRow{
+		App:                mk().Name(),
+		Game:               app.Class() == workload.ClassGame,
+		Sched:              sched,
+		Next:               next,
+		NextPowerSavingPct: pctLess(sched.AvgPowerW, next.AvgPowerW),
+		NextBigTempRedPct:  pctLess(sched.PeakTempBigC-21, next.PeakTempBigC-21),
+		NextDevTempRedPct:  pctLess(sched.PeakTempDevC-21, next.PeakTempDevC-21),
+		Train:              stats,
+	}
+	if row.Game {
+		iq := runWith(evalTL(), evalSeed, NewIntQoS())
+		row.IntQoS = &iq
+		row.IntQoSPowerSavingPct = pctLess(sched.AvgPowerW, iq.AvgPowerW)
+		row.IntQoSBigTempRedPct = pctLess(sched.PeakTempBigC-21, iq.PeakTempBigC-21)
+		row.IntQoSDevTempRedPct = pctLess(sched.PeakTempDevC-21, iq.PeakTempDevC-21)
+	}
+	return row
+}

@@ -1,0 +1,108 @@
+package exp
+
+import (
+	"math/rand"
+
+	"nextdvfs/internal/core"
+	"nextdvfs/internal/ctrl"
+	"nextdvfs/internal/session"
+	"nextdvfs/internal/sim"
+	"nextdvfs/internal/workload"
+)
+
+// TrainOptions controls on-device training of a Next agent.
+type TrainOptions struct {
+	// MaxSessions bounds training when convergence never latches.
+	MaxSessions int
+	// SessionSecs is the length of each training session.
+	SessionSecs float64
+	// BaseSeed derives per-session seeds.
+	BaseSeed int64
+	// AgentConfig overrides the default agent configuration.
+	AgentConfig *core.AgentConfig
+}
+
+func (o *TrainOptions) defaults() {
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 16
+	}
+	if o.SessionSecs <= 0 {
+		o.SessionSecs = 150
+	}
+}
+
+// TrainStats reports how training went.
+type TrainStats struct {
+	App       string
+	Sessions  int
+	Converged bool
+	// TrainedUS is the accumulated on-device training time (the paper's
+	// "training period"; ~3 min 27 s on average for a new app).
+	TrainedUS int64
+	States    int
+	Steps     int64
+}
+
+// Train runs repeated sessions of the app on a fresh Note 9 until the
+// agent's Q-table converges (or MaxSessions elapse) and returns the
+// trained agent. makeApp must return a fresh instance per call.
+func Train(makeApp func() *workload.ProfileApp, opts TrainOptions) (*core.Agent, TrainStats) {
+	opts.defaults()
+	cfg := core.DefaultAgentConfig()
+	if opts.AgentConfig != nil {
+		cfg = *opts.AgentConfig
+	}
+	cfg.Seed = opts.BaseSeed
+	agent := core.NewAgent(cfg)
+	name := makeApp().Name()
+
+	// The full session budget always runs: convergence only timestamps
+	// the "trained" point (the paper's training-period measurement);
+	// the remaining sessions keep refining the policy online, exactly
+	// as a deployed agent would across a user's day.
+	stats := TrainStats{App: name}
+	for i := 1; i <= opts.MaxSessions; i++ {
+		seed := opts.BaseSeed + int64(i)
+		rng := rand.New(rand.NewSource(seed))
+		tl := &session.Timeline{Scripts: []session.Script{
+			session.ForApp(makeApp(), session.Seconds(opts.SessionSecs), rng),
+		}}
+		runWith(tl, seed, agent)
+		stats.Sessions = i
+		if tab := agent.TableFor(name); tab != nil && tab.Trained {
+			stats.Converged = true
+		}
+	}
+	if tab := agent.TableFor(name); tab != nil && tab.Table != nil {
+		stats.TrainedUS = tab.Table.TrainedUS
+		stats.States = tab.Table.States()
+		stats.Steps = tab.Table.Steps
+		if tab.Table.ConvergedAtUS > 0 {
+			stats.TrainedUS = tab.Table.ConvergedAtUS
+		}
+	}
+	return agent, stats
+}
+
+// runWith executes a timeline on a Note 9 with an optional controller
+// (nil = bare schedutil) and an optional config mutator.
+func runWith(tl *session.Timeline, seed int64, controller ctrl.Controller, mutate ...func(*sim.Config)) sim.Result {
+	cfg := sim.Note9Config(tl, seed)
+	if controller != nil {
+		cfg.Controller = controller
+	}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	eng, err := sim.New(cfg)
+	if err != nil {
+		panic(err) // experiment wiring is code, not input
+	}
+	return eng.Run()
+}
+
+// RunTimeline executes a timeline with an optional controller — the
+// exported single-run entry point used by tools and examples.
+func RunTimeline(tl *session.Timeline, seed int64, controller ctrl.Controller) sim.Result {
+	return runWith(tl, seed, controller)
+}

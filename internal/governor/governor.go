@@ -1,0 +1,30 @@
+package governor
+
+import "nextdvfs/internal/soc"
+
+// Observation is the per-cluster input to a governor decision.
+type Observation struct {
+	Cluster *soc.Cluster
+	// Util is busy/capacity at the current frequency (0..1).
+	Util float64
+	// NormUtil is busy/capacity at maximum frequency (0..1).
+	NormUtil float64
+}
+
+// Governor selects cluster OPPs from utilization. Decide is called on
+// the governor's interval with one observation per cluster and applies
+// its choices through Cluster.SetCur (which clamps into [floor, cap] —
+// a controller's caps always win).
+type Governor interface {
+	Name() string
+	IntervalUS() int64
+	Decide(nowUS int64, obs []Observation)
+	Reset()
+}
+
+// InputBooster is implemented by governors that react to user input
+// events (Android's touch boost). The engine calls OnInput at the start
+// of every touch/scroll interaction.
+type InputBooster interface {
+	OnInput(nowUS int64)
+}

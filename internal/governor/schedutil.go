@@ -1,0 +1,135 @@
+package governor
+
+import "nextdvfs/internal/soc"
+
+// SchedutilConfig tunes the schedutil model.
+type SchedutilConfig struct {
+	// Headroom is the util multiplier (kernel uses 1.25: "go 25 % above
+	// the measured utilization so there is room to grow").
+	Headroom float64
+	// IntervalUS is the decision period (10 ms models the kernel's
+	// rate-limited update path).
+	IntervalUS int64
+	// DownRateLimitUS delays frequency drops: a cluster only scales
+	// down after this long below the current choice, mimicking the
+	// kernel's down_rate_limit and contributing to post-burst waste.
+	DownRateLimitUS int64
+	// BoostDurationUS is how long a touch boost holds the floors up.
+	// Zero disables input boost.
+	BoostDurationUS int64
+	// BoostFloorFrac is the fraction of the OPP table (0..1) the CPU
+	// floors jump to during a boost (Android vendors commonly floor the
+	// big cluster around 60-70 % of the table on touch).
+	BoostFloorFrac float64
+}
+
+// DefaultSchedutilConfig returns the stock-Android-like configuration
+// used for the paper's schedutil baseline.
+func DefaultSchedutilConfig() SchedutilConfig {
+	return SchedutilConfig{
+		Headroom:        1.25,
+		IntervalUS:      10_000,
+		DownRateLimitUS: 120_000,
+		BoostDurationUS: 250_000,
+		BoostFloorFrac:  0.70,
+	}
+}
+
+// Schedutil is the utilization-driven default governor.
+type Schedutil struct {
+	cfg SchedutilConfig
+
+	boostUntilUS int64
+	lastDownOK   map[string]int64 // per cluster: time since when a down-switch is allowed
+	savedFloors  map[string]int   // floors to restore when the boost window closes
+}
+
+// NewSchedutil returns a schedutil governor with the given config.
+func NewSchedutil(cfg SchedutilConfig) *Schedutil {
+	if cfg.Headroom <= 0 {
+		cfg.Headroom = 1.25
+	}
+	if cfg.IntervalUS <= 0 {
+		cfg.IntervalUS = 10_000
+	}
+	return &Schedutil{
+		cfg:        cfg,
+		lastDownOK: make(map[string]int64),
+	}
+}
+
+// Name implements Governor.
+func (s *Schedutil) Name() string { return "schedutil" }
+
+// IntervalUS implements Governor.
+func (s *Schedutil) IntervalUS() int64 { return s.cfg.IntervalUS }
+
+// OnInput implements InputBooster: raise CPU floors for the boost
+// window. GPU is not boosted (Android input boost is a CPU mechanism).
+func (s *Schedutil) OnInput(nowUS int64) {
+	if s.cfg.BoostDurationUS <= 0 {
+		return
+	}
+	s.boostUntilUS = nowUS + s.cfg.BoostDurationUS
+}
+
+// Decide implements Governor.
+func (s *Schedutil) Decide(nowUS int64, obs []Observation) {
+	boosting := s.cfg.BoostDurationUS > 0 && nowUS < s.boostUntilUS
+	for _, o := range obs {
+		c := o.Cluster
+
+		// Input boost: floor CPU clusters while the boost window is
+		// open; restore when it closes.
+		if c.Kind == soc.KindCPU {
+			if boosting {
+				if s.savedFloors == nil {
+					s.savedFloors = make(map[string]int)
+				}
+				if _, saved := s.savedFloors[c.Name]; !saved {
+					s.savedFloors[c.Name] = c.Floor()
+				}
+				boostIdx := int(float64(c.NumOPPs()-1) * s.cfg.BoostFloorFrac)
+				c.SetFloor(boostIdx)
+			} else if saved, ok := s.savedFloors[c.Name]; ok {
+				c.SetFloor(saved)
+				delete(s.savedFloors, c.Name)
+			}
+		}
+
+		// Kernel formula: next_freq = headroom * f_max * util_norm.
+		targetKHz := int(s.cfg.Headroom * float64(c.MaxOPP().FreqKHz) * o.NormUtil)
+		idx := c.IndexForFreqKHz(targetKHz)
+
+		if idx < c.Cur() {
+			// Down-switches are rate limited.
+			if s.cfg.DownRateLimitUS > 0 {
+				if since, ok := s.lastDownOK[c.Name]; !ok {
+					s.lastDownOK[c.Name] = nowUS
+					continue
+				} else if nowUS-since < s.cfg.DownRateLimitUS {
+					continue
+				}
+			}
+			c.SetCur(idx)
+			s.lastDownOK[c.Name] = nowUS
+		} else if idx > c.Cur() {
+			c.SetCur(idx)
+			delete(s.lastDownOK, c.Name)
+		} else {
+			delete(s.lastDownOK, c.Name)
+		}
+	}
+	if !boosting && len(s.savedFloors) == 0 {
+		s.savedFloors = nil
+	}
+}
+
+// Reset clears governor state for a fresh run. The caller is expected
+// to reset the chip's DVFS state too (the engine does): a mid-boost
+// Reset cannot restore floors it no longer remembers.
+func (s *Schedutil) Reset() {
+	s.boostUntilUS = 0
+	s.savedFloors = nil
+	s.lastDownOK = make(map[string]int64)
+}

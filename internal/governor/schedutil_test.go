@@ -1,0 +1,146 @@
+package governor
+
+import (
+	"testing"
+
+	"nextdvfs/internal/soc"
+)
+
+func obsFor(chip *soc.Chip, norm map[string]float64) []Observation {
+	var obs []Observation
+	for _, c := range chip.Clusters {
+		n := norm[c.Name]
+		u := 0.0
+		if c.MaxOPP().FreqKHz > 0 {
+			u = n * float64(c.MaxOPP().FreqKHz) / float64(c.CurOPP().FreqKHz)
+			if u > 1 {
+				u = 1
+			}
+		}
+		obs = append(obs, Observation{Cluster: c, Util: u, NormUtil: n})
+	}
+	return obs
+}
+
+func TestSchedutilFormulaPicksHeadroomFrequency(t *testing.T) {
+	chip := soc.Exynos9810()
+	cfg := DefaultSchedutilConfig()
+	cfg.BoostDurationUS = 0
+	cfg.DownRateLimitUS = 0
+	g := NewSchedutil(cfg)
+	big := chip.MustCluster(soc.ClusterBig)
+
+	// normUtil 0.5 → target = 1.25*0.5*2704 = 1690 MHz exactly on an OPP.
+	g.Decide(0, obsFor(chip, map[string]float64{soc.ClusterBig: 0.5}))
+	if got := big.CurOPP().FreqMHz(); got != 1690 {
+		t.Fatalf("big freq = %g MHz, want 1690", got)
+	}
+}
+
+func TestSchedutilZeroUtilGoesToFloorEventually(t *testing.T) {
+	chip := soc.Exynos9810()
+	cfg := DefaultSchedutilConfig()
+	cfg.BoostDurationUS = 0
+	g := NewSchedutil(cfg)
+	big := chip.MustCluster(soc.ClusterBig)
+	// Start hot.
+	g.Decide(0, obsFor(chip, map[string]float64{soc.ClusterBig: 1.0}))
+	if big.Cur() != big.NumOPPs()-1 {
+		t.Fatal("full util should pick top OPP")
+	}
+	// Zero util: the first decisions are held back by the down-rate
+	// limit, then the governor falls to the floor.
+	for now := int64(10_000); now <= 500_000; now += 10_000 {
+		g.Decide(now, obsFor(chip, map[string]float64{soc.ClusterBig: 0.0}))
+	}
+	if big.Cur() != 0 {
+		t.Fatalf("idle big OPP = %d, want 0", big.Cur())
+	}
+}
+
+func TestSchedutilDownRateLimitDelaysDrop(t *testing.T) {
+	chip := soc.Exynos9810()
+	cfg := DefaultSchedutilConfig()
+	cfg.BoostDurationUS = 0
+	cfg.DownRateLimitUS = 40_000
+	g := NewSchedutil(cfg)
+	big := chip.MustCluster(soc.ClusterBig)
+
+	g.Decide(0, obsFor(chip, map[string]float64{soc.ClusterBig: 1.0}))
+	top := big.Cur()
+	// 10 ms later the load vanishes: must still hold (rate limit).
+	g.Decide(10_000, obsFor(chip, map[string]float64{soc.ClusterBig: 0.0}))
+	if big.Cur() != top {
+		t.Fatal("down-switch should be rate limited")
+	}
+	// After the limit expires it may drop.
+	g.Decide(60_000, obsFor(chip, map[string]float64{soc.ClusterBig: 0.0}))
+	if big.Cur() == top {
+		t.Fatal("down-switch should have happened after the rate limit")
+	}
+}
+
+func TestSchedutilRespectsCap(t *testing.T) {
+	chip := soc.Exynos9810()
+	cfg := DefaultSchedutilConfig()
+	cfg.BoostDurationUS = 0
+	g := NewSchedutil(cfg)
+	big := chip.MustCluster(soc.ClusterBig)
+	big.SetCap(5) // the Next agent capped the cluster
+	g.Decide(0, obsFor(chip, map[string]float64{soc.ClusterBig: 1.0}))
+	if big.Cur() > 5 {
+		t.Fatalf("schedutil exceeded cap: %d", big.Cur())
+	}
+}
+
+func TestInputBoostRaisesCPUFloorsOnly(t *testing.T) {
+	chip := soc.Exynos9810()
+	g := NewSchedutil(DefaultSchedutilConfig())
+	g.OnInput(0)
+	g.Decide(1000, obsFor(chip, nil))
+	big := chip.MustCluster(soc.ClusterBig)
+	little := chip.MustCluster(soc.ClusterLITTLE)
+	gpu := chip.MustCluster(soc.ClusterGPU)
+	if big.Floor() == 0 || little.Floor() == 0 {
+		t.Fatal("boost should raise CPU floors")
+	}
+	if gpu.Floor() != 0 {
+		t.Fatal("boost must not touch the GPU floor")
+	}
+	// Boost expiry restores floors.
+	g.Decide(1_000_000, obsFor(chip, nil))
+	if big.Floor() != 0 || little.Floor() != 0 {
+		t.Fatalf("floors not restored after boost: big=%d little=%d", big.Floor(), little.Floor())
+	}
+}
+
+func TestInputBoostKeepsFrequencyHighAtZeroLoad(t *testing.T) {
+	// The waste the paper measures: touches keep frequency up while FPS
+	// may be near zero.
+	chip := soc.Exynos9810()
+	g := NewSchedutil(DefaultSchedutilConfig())
+	big := chip.MustCluster(soc.ClusterBig)
+	g.OnInput(0)
+	for now := int64(1000); now <= 150_000; now += 10_000 {
+		g.Decide(now, obsFor(chip, map[string]float64{soc.ClusterBig: 0.05}))
+	}
+	if big.CurOPP().FreqMHz() < 1000 {
+		t.Fatalf("boosted big freq = %g MHz, expected >= boost floor", big.CurOPP().FreqMHz())
+	}
+}
+
+func TestSchedutilReset(t *testing.T) {
+	chip := soc.Exynos9810()
+	g := NewSchedutil(DefaultSchedutilConfig())
+	g.OnInput(0)
+	g.Decide(1000, obsFor(chip, nil))
+	// Reset pairs with a chip DVFS reset (as the engine does).
+	g.Reset()
+	chip.ResetDVFS()
+	// No boost state may survive: a decide long after must not raise
+	// floors again.
+	g.Decide(10_000_000, obsFor(chip, map[string]float64{}))
+	if chip.MustCluster(soc.ClusterBig).Floor() != 0 {
+		t.Fatal("reset should clear boost state")
+	}
+}

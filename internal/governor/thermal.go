@@ -1,0 +1,94 @@
+package governor
+
+import (
+	"nextdvfs/internal/ctrl"
+)
+
+// ThermalCapConfig tunes the thermal-zone controller.
+type ThermalCapConfig struct {
+	// TripC is the big-sensor temperature above which capping begins.
+	TripC float64
+	// ReleaseC is the hysteresis release temperature (caps lift one
+	// step at a time below it).
+	ReleaseC float64
+	// IntervalUS is the control period.
+	IntervalUS int64
+}
+
+// DefaultThermalCapConfig mirrors a typical handset thermal zone:
+// trip at 75 °C on the big sensor, release below 65 °C.
+func DefaultThermalCapConfig() ThermalCapConfig {
+	return ThermalCapConfig{TripC: 75, ReleaseC: 65, IntervalUS: 500_000}
+}
+
+// ThermalCap is a kernel-thermal-zone-style controller (an
+// IPA-simplified baseline): it runs on top of any frequency governor
+// and steps the big/GPU maxfreq caps down while the big sensor exceeds
+// the trip point, releasing them with hysteresis. It knows nothing
+// about the user, frames or QoS — it exists as the "thermal-only"
+// reference against which user-aware management is worth comparing.
+type ThermalCap struct {
+	cfg ThermalCapConfig
+	// capped tracks how many steps each cluster has been pulled down.
+	capped map[string]int
+}
+
+// NewThermalCap builds the controller.
+func NewThermalCap(cfg ThermalCapConfig) *ThermalCap {
+	if cfg.TripC <= 0 {
+		cfg.TripC = 75
+	}
+	if cfg.ReleaseC <= 0 || cfg.ReleaseC >= cfg.TripC {
+		cfg.ReleaseC = cfg.TripC - 10
+	}
+	if cfg.IntervalUS <= 0 {
+		cfg.IntervalUS = 500_000
+	}
+	return &ThermalCap{cfg: cfg, capped: make(map[string]int)}
+}
+
+// Name implements ctrl.Controller.
+func (g *ThermalCap) Name() string { return "thermalcap" }
+
+// ObserveIntervalUS implements ctrl.Controller (no fine sampling).
+func (g *ThermalCap) ObserveIntervalUS() int64 { return 0 }
+
+// ControlIntervalUS implements ctrl.Controller.
+func (g *ThermalCap) ControlIntervalUS() int64 { return g.cfg.IntervalUS }
+
+// Observe implements ctrl.Controller.
+func (g *ThermalCap) Observe(ctrl.Snapshot) {}
+
+// AppChanged implements ctrl.Controller.
+func (g *ThermalCap) AppChanged(string, bool) {}
+
+// Control implements ctrl.Controller.
+func (g *ThermalCap) Control(snap ctrl.Snapshot, act ctrl.Actuator) {
+	switch {
+	case snap.TempBigC >= g.cfg.TripC:
+		// Step the hot clusters down one OPP per period.
+		for _, c := range snap.Clusters {
+			if c.Name != "big" && !c.IsGPU {
+				continue
+			}
+			if c.CurIdx > 0 {
+				act.SetCap(c.Name, c.CurIdx-1)
+				g.capped[c.Name]++
+			}
+		}
+	case snap.TempBigC <= g.cfg.ReleaseC:
+		// Release one step of capping per period.
+		for _, c := range snap.Clusters {
+			if g.capped[c.Name] > 0 {
+				act.SetCap(c.Name, c.CapIdx+1)
+				g.capped[c.Name]--
+				if g.capped[c.Name] == 0 {
+					act.SetCap(c.Name, c.NumOPPs-1)
+				}
+			}
+		}
+	}
+}
+
+// Reset implements ctrl.Controller.
+func (g *ThermalCap) Reset() { g.capped = make(map[string]int) }

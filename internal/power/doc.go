@@ -1,0 +1,12 @@
+// Package power models the electrical behaviour of the MPSoC: per-cluster
+// dynamic switching power (C·V²·f scaled by utilization), temperature-
+// dependent static leakage, a constant rest-of-device floor (display,
+// memory, radios) and an energy integrator.
+//
+// The paper measures whole-device power on a Galaxy Note 9 (session
+// averages 2–3.5 W, transient peaks above 10 W during gaming). The
+// coefficients in Exynos9810Model are calibrated so that the simulator's
+// sessions land in the same envelope; see DESIGN.md §2 for the
+// substitution argument. Absolute watts are not the reproduction target —
+// the relative savings between governors are.
+package power

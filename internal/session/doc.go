@@ -1,0 +1,15 @@
+// Package session generates user-interaction timelines: who is using
+// which app, doing what, for how long. The paper grounds its evaluation
+// in market research (Deloitte / RescueTime): a user picks up the phone
+// ~52 times per workday, 70 % of sessions are under 2 minutes, 25 % last
+// 2–10 minutes and 5 % exceed 10 minutes — sessions are stochastic in
+// nature, which is precisely why static DVFS policies waste power.
+//
+// A Timeline is a sequence of per-app Scripts; a Script is a sequence of
+// interaction Phases (loading, scroll, touch, idle, watch, play). Phase
+// synthesis is class-specific: browsers alternate page-load bursts with
+// scroll-and-read cycles, music apps idle for long stretches while
+// audio plays, games render continuously between menu pauses. All
+// randomness flows from a caller-supplied *rand.Rand, so every timeline
+// is reproducible from its seed.
+package session

@@ -1,0 +1,196 @@
+package session
+
+import (
+	"math/rand"
+	"testing"
+
+	"nextdvfs/internal/workload"
+)
+
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestForAppExactDuration(t *testing.T) {
+	apps := []workload.App{
+		workload.Home(), workload.Facebook(), workload.Spotify(),
+		workload.Chrome(), workload.Lineage(), workload.PubG(), workload.YouTube(),
+	}
+	for _, app := range apps {
+		for _, durS := range []float64{10, 90, 300} {
+			s := ForApp(app, Seconds(durS), rng(7))
+			if err := s.Validate(); err != nil {
+				t.Fatalf("%s: invalid script: %v", app.Name(), err)
+			}
+			if got := s.DurUS(); got != Seconds(durS) {
+				t.Errorf("%s %gs: duration = %d µs, want %d", app.Name(), durS, got, Seconds(durS))
+			}
+		}
+	}
+}
+
+func TestScriptsStartWithExpectedOpening(t *testing.T) {
+	// All non-launcher apps open with a loading splash.
+	for _, app := range []workload.App{workload.Facebook(), workload.Lineage(), workload.YouTube(), workload.Chrome(), workload.Spotify()} {
+		s := ForApp(app, Seconds(60), rng(11))
+		if s.Phases[0].Inter != workload.InterLoading {
+			t.Errorf("%s should open with loading, got %v", app.Name(), s.Phases[0].Inter)
+		}
+	}
+}
+
+func TestGameScriptsMostlyPlay(t *testing.T) {
+	s := ForApp(workload.Lineage(), Seconds(300), rng(13))
+	var play, total int64
+	for _, p := range s.Phases {
+		total += p.DurUS
+		if p.Inter == workload.InterPlay {
+			play += p.DurUS
+		}
+	}
+	if frac := float64(play) / float64(total); frac < 0.6 {
+		t.Fatalf("game session play fraction = %.2f, want >0.6", frac)
+	}
+}
+
+func TestMusicScriptsMostlyIdle(t *testing.T) {
+	s := ForApp(workload.Spotify(), Seconds(180), rng(17))
+	var idle, total int64
+	for _, p := range s.Phases {
+		total += p.DurUS
+		if p.Inter == workload.InterIdle {
+			idle += p.DurUS
+		}
+	}
+	if frac := float64(idle) / float64(total); frac < 0.6 {
+		t.Fatalf("music session idle fraction = %.2f, want >0.6 (screen static while audio plays)", frac)
+	}
+}
+
+func TestCursorWalksWholeTimeline(t *testing.T) {
+	tl := Fig1Timeline(rng(19))
+	if err := tl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cur := NewCursor(tl)
+	var lastApp workload.App
+	enters := 0
+	for now := int64(0); now < tl.DurUS(); now += 1000 {
+		app, _, entered, ok := cur.At(now)
+		if !ok {
+			t.Fatalf("cursor ended early at %d µs (timeline %d µs)", now, tl.DurUS())
+		}
+		if entered {
+			enters++
+			if app == lastApp {
+				t.Fatal("appEntered fired twice for the same script")
+			}
+			lastApp = app
+		}
+	}
+	if enters != 3 {
+		t.Fatalf("script entries = %d, want 3 (home, facebook, spotify)", enters)
+	}
+	if _, _, _, ok := cur.At(tl.DurUS() + 1); ok {
+		t.Fatal("cursor should report exhaustion past the end")
+	}
+}
+
+func TestFig1TimelineShape(t *testing.T) {
+	tl := Fig1Timeline(rng(23))
+	if len(tl.Scripts) != 3 {
+		t.Fatalf("scripts = %d, want 3", len(tl.Scripts))
+	}
+	wantApps := []string{workload.NameHome, workload.NameFacebook, workload.NameSpotify}
+	wantDur := []int64{Seconds(70), Seconds(110), Seconds(100)}
+	for i, s := range tl.Scripts {
+		if s.App.Name() != wantApps[i] {
+			t.Errorf("script %d app = %s, want %s", i, s.App.Name(), wantApps[i])
+		}
+		if s.DurUS() != wantDur[i] {
+			t.Errorf("script %d dur = %d, want %d", i, s.DurUS(), wantDur[i])
+		}
+	}
+	if got := tl.DurUS(); got != Seconds(280) {
+		t.Fatalf("total = %d µs, want 280 s", got)
+	}
+}
+
+func TestPickupDurationDistribution(t *testing.T) {
+	r := rng(29)
+	var short, mid, long int
+	const n = 20000
+	for i := 0; i < n; i++ {
+		d := PickupDuration(r)
+		switch {
+		case d < Seconds(120):
+			short++
+		case d < Seconds(600):
+			mid++
+		default:
+			long++
+		}
+	}
+	// Expect ≈70/25/5 within generous tolerance.
+	if f := float64(short) / n; f < 0.65 || f > 0.75 {
+		t.Errorf("short fraction = %.3f, want ≈0.70", f)
+	}
+	if f := float64(mid) / n; f < 0.20 || f > 0.30 {
+		t.Errorf("mid fraction = %.3f, want ≈0.25", f)
+	}
+	if f := float64(long) / n; f < 0.02 || f > 0.08 {
+		t.Errorf("long fraction = %.3f, want ≈0.05", f)
+	}
+}
+
+func TestPickupTimeline(t *testing.T) {
+	apps := []workload.App{workload.Facebook(), workload.YouTube()}
+	tl := Pickup(apps, rng(31))
+	if err := tl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Scripts) != 2 {
+		t.Fatalf("pickup scripts = %d, want 2 (home + app)", len(tl.Scripts))
+	}
+	if tl.Scripts[0].App.Name() != workload.NameHome {
+		t.Fatal("pickup should start on the home screen")
+	}
+}
+
+func TestEvalTimelineDurations(t *testing.T) {
+	game := EvalTimeline(workload.PubG(), rng(37))
+	if game.DurUS() != Seconds(300) {
+		t.Fatalf("game eval = %d µs, want 300 s", game.DurUS())
+	}
+	other := EvalTimeline(workload.Facebook(), rng(37))
+	if other.DurUS() < Seconds(90) || other.DurUS() > Seconds(180) {
+		t.Fatalf("app eval = %d µs, want 90-180 s", other.DurUS())
+	}
+}
+
+func TestDeterminismAcrossSeeds(t *testing.T) {
+	a := ForApp(workload.Chrome(), Seconds(120), rng(99))
+	b := ForApp(workload.Chrome(), Seconds(120), rng(99))
+	if len(a.Phases) != len(b.Phases) {
+		t.Fatal("same seed produced different phase counts")
+	}
+	for i := range a.Phases {
+		if a.Phases[i] != b.Phases[i] {
+			t.Fatalf("phase %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestValidateCatchesBadScripts(t *testing.T) {
+	if err := (Script{}).Validate(); err == nil {
+		t.Error("nil app should fail")
+	}
+	if err := (Script{App: workload.Home()}).Validate(); err == nil {
+		t.Error("empty phases should fail")
+	}
+	s := Script{App: workload.Home(), Phases: []Phase{{workload.InterIdle, 0}}}
+	if err := s.Validate(); err == nil {
+		t.Error("zero-duration phase should fail")
+	}
+	if err := (&Timeline{}).Validate(); err == nil {
+		t.Error("empty timeline should fail")
+	}
+}

@@ -1,0 +1,128 @@
+package session
+
+import (
+	"fmt"
+
+	"nextdvfs/internal/workload"
+)
+
+// Phase is one interaction state held for a duration.
+type Phase struct {
+	Inter workload.Interaction
+	DurUS int64
+}
+
+// Script is one app session: the app plus its interaction phases.
+type Script struct {
+	App    workload.App
+	Phases []Phase
+}
+
+// DurUS returns the script's total duration.
+func (s Script) DurUS() int64 {
+	var d int64
+	for _, p := range s.Phases {
+		d += p.DurUS
+	}
+	return d
+}
+
+// Validate reports an inconsistency (nil app, empty or non-positive
+// phases), or nil.
+func (s Script) Validate() error {
+	if s.App == nil {
+		return fmt.Errorf("session: script has no app")
+	}
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("session: script for %q has no phases", s.App.Name())
+	}
+	for i, p := range s.Phases {
+		if p.DurUS <= 0 {
+			return fmt.Errorf("session: script for %q phase %d has duration %d", s.App.Name(), i, p.DurUS)
+		}
+	}
+	return nil
+}
+
+// Timeline is a sequence of scripts executed back to back — one user
+// session possibly spanning several apps (like the paper's
+// home→Facebook→Spotify session in Fig. 1/Fig. 3).
+type Timeline struct {
+	Scripts []Script
+}
+
+// DurUS returns the total timeline duration.
+func (t *Timeline) DurUS() int64 {
+	var d int64
+	for _, s := range t.Scripts {
+		d += s.DurUS()
+	}
+	return d
+}
+
+// Validate checks every script.
+func (t *Timeline) Validate() error {
+	if len(t.Scripts) == 0 {
+		return fmt.Errorf("session: empty timeline")
+	}
+	for _, s := range t.Scripts {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Cursor walks a timeline in non-decreasing time order with O(1)
+// amortized lookups. The engine holds one cursor per run.
+type Cursor struct {
+	tl        *Timeline
+	si, pi    int
+	phaseEnd  int64 // absolute end time of current phase
+	scriptNew bool  // true when the cursor just entered a new script
+}
+
+// NewCursor returns a cursor positioned at time 0.
+func NewCursor(tl *Timeline) *Cursor {
+	c := &Cursor{tl: tl, scriptNew: true}
+	if len(tl.Scripts) > 0 && len(tl.Scripts[0].Phases) > 0 {
+		c.phaseEnd = tl.Scripts[0].Phases[0].DurUS
+	}
+	return c
+}
+
+// At returns the active app and interaction at nowUS. ok is false once
+// the timeline is exhausted. appEntered is true exactly once per script:
+// on the first call that falls inside it (the engine uses it to Reset
+// the app and notify controllers of an app switch).
+//
+// nowUS must be non-decreasing across calls.
+func (c *Cursor) At(nowUS int64) (app workload.App, inter workload.Interaction, appEntered, ok bool) {
+	for {
+		if c.si >= len(c.tl.Scripts) {
+			return nil, workload.InterIdle, false, false
+		}
+		s := c.tl.Scripts[c.si]
+		if c.pi < len(s.Phases) && nowUS < c.phaseEnd {
+			entered := c.scriptNew
+			c.scriptNew = false
+			return s.App, s.Phases[c.pi].Inter, entered, true
+		}
+		// advance phase
+		c.pi++
+		if c.pi < len(s.Phases) {
+			c.phaseEnd += s.Phases[c.pi].DurUS
+			continue
+		}
+		// advance script
+		c.si++
+		c.pi = 0
+		c.scriptNew = true
+		if c.si < len(c.tl.Scripts) {
+			c.phaseEnd += c.tl.Scripts[c.si].Phases[0].DurUS
+		}
+	}
+}
+
+// Seconds converts seconds to the µs units used across the simulator.
+func Seconds(s float64) int64 { return int64(s * 1e6) }

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"fmt"
+
+	"nextdvfs/internal/ctrl"
+	"nextdvfs/internal/display"
+	"nextdvfs/internal/governor"
+	"nextdvfs/internal/power"
+	"nextdvfs/internal/session"
+	"nextdvfs/internal/soc"
+	"nextdvfs/internal/thermal"
+)
+
+// Config assembles one simulation run.
+type Config struct {
+	Chip     *soc.Chip
+	Power    *power.Model
+	Thermal  *thermal.Model
+	DevSense *thermal.VirtualSensor
+	Display  *display.Pipeline
+	Timeline *session.Timeline
+	Governor governor.Governor
+	// Controller is the optional management layer (Next, Int. QoS PM).
+	Controller ctrl.Controller
+	// TickUS is the integration step (default 1000 µs).
+	TickUS int64
+	// Seed drives all stochastic draws in the run.
+	Seed int64
+	// RecordIntervalUS is the trace sampling period (default 1 s;
+	// set smaller for figure-resolution traces).
+	RecordIntervalUS int64
+	// SkinPowerFrac is the share of the base (display/rest-of-device)
+	// power deposited into the skin thermal node.
+	SkinPowerFrac float64
+	// SnapshotFault optionally corrupts controller observations before
+	// delivery — the failure-injection hook (sensor dropout, FPS jitter).
+	SnapshotFault func(*ctrl.Snapshot)
+}
+
+// Validate reports missing mandatory pieces.
+func (c *Config) Validate() error {
+	switch {
+	case c.Chip == nil:
+		return fmt.Errorf("sim: config needs a chip")
+	case c.Power == nil:
+		return fmt.Errorf("sim: config needs a power model")
+	case c.Thermal == nil:
+		return fmt.Errorf("sim: config needs a thermal model")
+	case c.Display == nil:
+		return fmt.Errorf("sim: config needs a display pipeline")
+	case c.Timeline == nil:
+		return fmt.Errorf("sim: config needs a timeline")
+	case c.Governor == nil:
+		return fmt.Errorf("sim: config needs a governor")
+	}
+	if err := c.Timeline.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (c *Config) applyDefaults() {
+	if c.TickUS <= 0 {
+		c.TickUS = 1000
+	}
+	if c.RecordIntervalUS <= 0 {
+		c.RecordIntervalUS = 1_000_000
+	}
+	if c.SkinPowerFrac <= 0 {
+		c.SkinPowerFrac = 0.7
+	}
+	if c.DevSense == nil {
+		c.DevSense = thermal.Note9DeviceSensor(c.Thermal)
+	}
+}
+
+// Note9Config returns a ready-to-run Galaxy Note 9 configuration at the
+// paper's 21 °C ambient: Exynos 9810, calibrated power/thermal models, a
+// 60 Hz panel and the stock schedutil governor. Callers supply the
+// timeline and optionally swap the governor/controller.
+func Note9Config(tl *session.Timeline, seed int64) Config {
+	th := thermal.Note9(21)
+	return Config{
+		Chip:     soc.Exynos9810(),
+		Power:    power.Exynos9810Model(),
+		Thermal:  th,
+		DevSense: thermal.Note9DeviceSensor(th),
+		Display:  display.NewPipeline(60),
+		Timeline: tl,
+		Governor: governor.NewSchedutil(governor.DefaultSchedutilConfig()),
+		Seed:     seed,
+	}
+}

@@ -1,0 +1,21 @@
+// Package sim is the discrete-time simulation engine that wires the
+// substrates together: the SoC's DVFS clusters, the power and thermal
+// models, the VSync display pipeline, an application workload driven by
+// a user-interaction timeline, a frequency governor and (optionally) a
+// management controller such as the Next agent or Int. QoS PM.
+//
+// Time advances in fixed ticks (default 1 ms) expressed in microseconds.
+// Each tick:
+//
+//  1. the session cursor resolves the active app and interaction;
+//  2. the app produces its demand (frame pending? background load?);
+//  3. the two-stage frame renderer drains CPU then GPU work and offers
+//     completed frames to the display pipeline (back-pressure applies);
+//  4. per-cluster utilization, power and temperatures integrate;
+//  5. VSync events flip or drop frames;
+//  6. on their own cadences, the governor picks OPPs from utilization
+//     and the controller observes (25 ms for Next) and acts (100 ms).
+//
+// All stochastic draws flow from one seeded source, so runs are
+// reproducible bit-for-bit.
+package sim

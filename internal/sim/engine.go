@@ -1,0 +1,536 @@
+package sim
+
+import (
+	"math/rand"
+
+	"nextdvfs/internal/ctrl"
+	"nextdvfs/internal/governor"
+	"nextdvfs/internal/power"
+	"nextdvfs/internal/session"
+	"nextdvfs/internal/soc"
+	"nextdvfs/internal/stats"
+	"nextdvfs/internal/thermal"
+	"nextdvfs/internal/workload"
+)
+
+// Engine executes one configured simulation. Create with New, run with
+// Run. Engines are single-goroutine; build one per concurrent run.
+type Engine struct {
+	cfg Config
+	rng *rand.Rand
+
+	// renderer state: a two-stage CPU→GPU frame pipeline.
+	cpuRemaining float64
+	cpuJob       workload.FrameJob
+	cpuActive    bool
+	gpuRemaining float64
+	gpuActive    bool
+	gpuDone      bool // frame finished GPU but waiting for a back buffer
+
+	// per-cluster integration state.
+	big, little, gpu *soc.Cluster
+	busyCycles       []float64 // since last governor decision
+	curCapCycles     []float64
+	maxCapCycles     []float64
+	utilEWMA         []stats.EWMA
+	lastUtil         []float64
+
+	// thermal wiring.
+	nodeIdx  []int // cluster i -> thermal node index (-1 if absent)
+	skinIdx  int
+	powerBuf []float64
+
+	// per-tick render-thread cycles per cluster (chip order), consumed
+	// by integratePower so background work only gets the leftovers —
+	// Android UI/render threads outrank background work.
+	tickRender []float64
+
+	// cadence bookkeeping.
+	nextGovUS     int64
+	nextObsUS     int64
+	nextCtlUS     int64
+	nextRecUS     int64
+	lastPowerW    float64
+	ctlPowerSum   float64 // power integrated since the last Control
+	ctlPowerN     int
+	prevInter     workload.Interaction
+	prevRendering bool
+
+	views []ctrl.ClusterView
+	opps  [][]int
+}
+
+// New builds an engine; the config is validated and defaulted.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.applyDefaults()
+	e := &Engine{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+
+	n := len(cfg.Chip.Clusters)
+	e.busyCycles = make([]float64, n)
+	e.curCapCycles = make([]float64, n)
+	e.maxCapCycles = make([]float64, n)
+	e.utilEWMA = make([]stats.EWMA, n)
+	e.lastUtil = make([]float64, n)
+	for i := range e.utilEWMA {
+		e.utilEWMA[i].Alpha = 0.5
+	}
+	e.views = make([]ctrl.ClusterView, n)
+	e.opps = make([][]int, n)
+	e.nodeIdx = make([]int, n)
+	for i, c := range cfg.Chip.Clusters {
+		khz := make([]int, c.NumOPPs())
+		for k := range khz {
+			khz[k] = c.OPPAt(k).FreqKHz
+		}
+		e.opps[i] = khz
+		if idx, ok := cfg.Thermal.Index(c.Name); ok {
+			e.nodeIdx[i] = idx
+		} else {
+			e.nodeIdx[i] = -1
+		}
+		switch c.Name {
+		case soc.ClusterBig:
+			e.big = c
+		case soc.ClusterLITTLE:
+			e.little = c
+		case soc.ClusterGPU:
+			e.gpu = c
+		}
+	}
+	if e.big == nil || e.gpu == nil {
+		// The renderer needs a big CPU stage and a GPU stage; fall back
+		// to the first CPU/GPU clusters by kind.
+		for _, c := range cfg.Chip.Clusters {
+			if e.big == nil && c.Kind == soc.KindCPU {
+				e.big = c
+			}
+			if e.gpu == nil && c.Kind == soc.KindGPU {
+				e.gpu = c
+			}
+		}
+	}
+	if skin, ok := cfg.Thermal.Index(thermal.NodeSkin); ok {
+		e.skinIdx = skin
+	} else {
+		e.skinIdx = -1
+	}
+	e.powerBuf = make([]float64, cfg.Thermal.NumNodes())
+	e.tickRender = make([]float64, n)
+	return e, nil
+}
+
+// Run executes the configured session and returns its Result.
+func (e *Engine) Run() Result {
+	cfg := &e.cfg
+	cfg.Chip.ResetDVFS()
+	cfg.Thermal.Reset()
+	cfg.Display.Reset()
+	cfg.Governor.Reset()
+	if cfg.Controller != nil {
+		cfg.Controller.Reset()
+	}
+	e.resetRunState()
+
+	cursor := session.NewCursor(cfg.Timeline)
+	var acc accumulators
+	var meter power.Meter
+	var result Result
+	result.Scheme = e.schemeName()
+
+	dt := cfg.TickUS
+	dtSec := float64(dt) / 1e6
+	now := int64(0)
+
+	for {
+		now += dt
+		app, inter, entered, ok := cursor.At(now)
+		if !ok {
+			break
+		}
+		if entered {
+			app.Reset()
+			e.dropInFlightFrame()
+			if cfg.Controller != nil {
+				cfg.Controller.AppChanged(app.Name(), app.Class() == workload.ClassGame)
+			}
+		}
+
+		// Input boost fires on every tick of an active gesture, like the
+		// stream of input events Android sees. Gameplay counts: a game
+		// session is a continuous stream of touchscreen input, which is
+		// precisely why stock Android keeps CPU floors boosted through
+		// entire matches.
+		if inter == workload.InterTouch || inter == workload.InterScroll || inter == workload.InterPlay {
+			if b, isBooster := cfg.Governor.(governor.InputBooster); isBooster {
+				b.OnInput(now)
+			}
+		}
+		e.prevInter = inter
+
+		demand := app.Tick(now, dt, inter, e.rng)
+		rendering := e.advanceRenderer(app, inter, demand, dtSec)
+
+		// Power for this tick, integrating cluster utilization.
+		tickPower := e.integratePower(demand, dtSec)
+		e.lastPowerW = tickPower
+		e.ctlPowerSum += tickPower
+		e.ctlPowerN++
+		meter.Accumulate(tickPower, dtSec)
+		acc.power.Push(tickPower)
+
+		// Thermal step.
+		cfg.Thermal.Step(dtSec, e.powerBuf)
+		tb := cfg.Thermal.TempByName(thermal.NodeBig)
+		td := cfg.DevSense.ReadC()
+		acc.tempBig.Push(tb)
+		acc.tempDev.Push(td)
+
+		// Display.
+		expecting := rendering || demand.WantFrame
+		cfg.Display.Tick(now, expecting)
+		fps := cfg.Display.FPS(now)
+		acc.fps.Push(fps)
+		if expecting {
+			acc.activeFPS.Push(fps)
+		}
+		e.prevRendering = rendering
+
+		// Governor cadence.
+		if now >= e.nextGovUS {
+			e.decideGovernor(now)
+			e.nextGovUS = now + cfg.Governor.IntervalUS()
+		}
+
+		// Controller cadences.
+		if c := cfg.Controller; c != nil {
+			if iv := c.ObserveIntervalUS(); iv > 0 && now >= e.nextObsUS {
+				snap := e.snapshot(now, fps, app, tb, td)
+				c.Observe(snap)
+				e.nextObsUS = now + iv
+			}
+			if iv := c.ControlIntervalUS(); iv > 0 && now >= e.nextCtlUS {
+				snap := e.snapshot(now, fps, app, tb, td)
+				// Controllers read window-averaged power, like the
+				// integrating fuel gauge a real agent samples.
+				if e.ctlPowerN > 0 {
+					snap.PowerW = e.ctlPowerSum / float64(e.ctlPowerN)
+				}
+				e.ctlPowerSum, e.ctlPowerN = 0, 0
+				c.Control(snap, chipActuator{cfg.Chip})
+				e.nextCtlUS = now + iv
+			}
+		}
+
+		// Trace recording.
+		if now >= e.nextRecUS {
+			result.Samples = append(result.Samples, e.sample(now, app, inter, fps, tickPower, tb, td))
+			e.nextRecUS = now + cfg.RecordIntervalUS
+		}
+	}
+
+	result.DurationS = float64(cfg.Timeline.DurUS()) / 1e6
+	result.AvgPowerW = meter.AvgW()
+	result.PeakPowerW = acc.power.Max()
+	result.EnergyJ = meter.EnergyJ
+	result.AvgTempBigC = acc.tempBig.Mean()
+	result.PeakTempBigC = acc.tempBig.Max()
+	result.AvgTempDevC = acc.tempDev.Mean()
+	result.PeakTempDevC = acc.tempDev.Max()
+	result.AvgFPS = acc.fps.Mean()
+	result.ActiveAvgFPS = acc.activeFPS.Mean()
+	result.FramesDisplayed = cfg.Display.Displayed()
+	result.FramesDropped = cfg.Display.Dropped()
+	result.VSyncs = cfg.Display.VSyncs()
+	return result
+}
+
+func (e *Engine) schemeName() string {
+	if e.cfg.Controller != nil {
+		return e.cfg.Controller.Name()
+	}
+	return e.cfg.Governor.Name()
+}
+
+func (e *Engine) resetRunState() {
+	e.cpuActive, e.gpuActive, e.gpuDone = false, false, false
+	e.cpuRemaining, e.gpuRemaining = 0, 0
+	for i := range e.busyCycles {
+		e.busyCycles[i] = 0
+		e.curCapCycles[i] = 0
+		e.maxCapCycles[i] = 0
+		e.utilEWMA[i].Reset()
+		e.lastUtil[i] = 0
+	}
+	e.nextGovUS, e.nextObsUS, e.nextCtlUS, e.nextRecUS = 0, 0, 0, 0
+	e.lastPowerW = 0
+	e.ctlPowerSum, e.ctlPowerN = 0, 0
+	e.prevInter = workload.InterIdle
+	e.prevRendering = false
+}
+
+// dropInFlightFrame abandons any partially rendered frame on app switch.
+func (e *Engine) dropInFlightFrame() {
+	e.cpuActive, e.gpuActive, e.gpuDone = false, false, false
+	e.cpuRemaining, e.gpuRemaining = 0, 0
+}
+
+// advanceRenderer drains the CPU and GPU stages by one tick and reports
+// whether any stage is busy (a frame is in flight). Render threads run
+// at Android UI priority: they take the cores they can use and the
+// app's background work gets the leftovers (integratePower clips it).
+func (e *Engine) advanceRenderer(app workload.App, inter workload.Interaction, demand workload.Demand, dtSec float64) bool {
+	for i := range e.tickRender {
+		e.tickRender[i] = 0
+	}
+
+	// Start a new frame when the CPU stage is free, the app wants one
+	// and the pipeline can eventually take it.
+	if !e.cpuActive && demand.WantFrame && e.cfg.Display.BackBufferFree() {
+		e.cpuJob = app.StartFrame(inter, e.rng)
+		e.cpuRemaining = e.cpuJob.CPUWork
+		e.cpuActive = true
+	}
+
+	// CPU stage on the big cluster.
+	if e.cpuActive && e.big != nil {
+		cores := e.cpuJob.Parallelism
+		if max := float64(e.big.Cores); cores > max {
+			cores = max
+		}
+		drain := float64(e.big.FreqKHz()) * 1e3 * e.big.IPC * cores * dtSec
+		used := drain
+		if used > e.cpuRemaining {
+			used = e.cpuRemaining
+		}
+		e.cpuRemaining -= used
+		e.noteRender(e.big, used)
+		if e.cpuRemaining <= 0 {
+			e.cpuActive = false
+			// Hand to GPU stage (stalls if GPU still busy with previous).
+			if !e.gpuActive && !e.gpuDone {
+				e.gpuRemaining = e.cpuJob.GPUWork
+				e.gpuActive = true
+			} else {
+				// GPU busy: model the handoff queue of depth 1 by
+				// leaving the CPU stage blocked until the GPU frees.
+				e.cpuActive = true
+				e.cpuRemaining = 0
+			}
+		}
+	}
+
+	// Unblock a finished CPU stage waiting on the GPU.
+	if e.cpuActive && e.cpuRemaining <= 0 && !e.gpuActive && !e.gpuDone {
+		e.gpuRemaining = e.cpuJob.GPUWork
+		e.gpuActive = true
+		e.cpuActive = false
+	}
+
+	// GPU stage: rendering owns the GPU; decode/composition background
+	// shares but yields priority.
+	if e.gpuActive && e.gpu != nil {
+		drain := float64(e.gpu.FreqKHz()) * 1e3 * e.gpu.IPC * float64(e.gpu.Cores) * dtSec
+		used := drain
+		if used > e.gpuRemaining {
+			used = e.gpuRemaining
+		}
+		e.gpuRemaining -= used
+		e.noteRender(e.gpu, used)
+		if e.gpuRemaining <= 0 {
+			e.gpuActive = false
+			e.gpuDone = true
+		}
+	}
+
+	// Offer the completed frame; back-pressure holds it if buffers full.
+	if e.gpuDone {
+		if e.cfg.Display.OfferFrame() {
+			e.gpuDone = false
+		}
+	}
+
+	return e.cpuActive || e.gpuActive || e.gpuDone
+}
+
+// noteRender charges render cycles to the cluster's tick accounting.
+func (e *Engine) noteRender(c *soc.Cluster, used float64) {
+	for i, cc := range e.cfg.Chip.Clusters {
+		if cc == c {
+			e.tickRender[i] += used
+			e.busyCycles[i] += used
+			return
+		}
+	}
+}
+
+// integratePower computes this tick's device power, charges background
+// utilization, and fills the thermal power buffer. Returns total watts.
+func (e *Engine) integratePower(demand workload.Demand, dtSec float64) float64 {
+	cfg := &e.cfg
+	total := cfg.Power.BaseW
+	for i := range e.powerBuf {
+		e.powerBuf[i] = 0
+	}
+	if e.skinIdx >= 0 {
+		e.powerBuf[e.skinIdx] = cfg.Power.BaseW * cfg.SkinPowerFrac
+	}
+
+	for i, c := range cfg.Chip.Clusters {
+		// Background demand is an absolute rate: a fraction of MAX
+		// capacity, clipped by what the current clock can deliver.
+		bg := 0.0
+		switch c {
+		case e.big:
+			bg = demand.BigBg
+		case e.little:
+			bg = demand.LittleBg
+		case e.gpu:
+			bg = demand.GPUBg
+		}
+		capCur := float64(c.FreqKHz()) * 1e3 * c.IPC * float64(c.Cores) * dtSec
+		capMax := float64(c.MaxOPP().FreqKHz) * 1e3 * c.IPC * float64(c.Cores) * dtSec
+		// Background work takes whatever capacity the render thread
+		// left this tick (UI priority wins on Android).
+		avail := capCur - e.tickRender[i]
+		if avail < 0 {
+			avail = 0
+		}
+		bgCycles := bg * capMax
+		if bgCycles > avail {
+			bgCycles = avail
+		}
+		e.busyCycles[i] += bgCycles
+		e.curCapCycles[i] += capCur
+		e.maxCapCycles[i] += capMax
+
+		// Window-average utilization since the last governor decision;
+		// converges within a governor interval and smooths tick noise.
+		util := 0.0
+		if e.curCapCycles[i] > 0 {
+			util = e.busyCycles[i] / e.curCapCycles[i]
+		}
+		if util > 1 {
+			util = 1
+		}
+		e.lastUtil[i] = util
+
+		nodeTemp := cfg.Thermal.AmbientC
+		if e.nodeIdx[i] >= 0 {
+			nodeTemp = cfg.Thermal.TempC(e.nodeIdx[i])
+		}
+		w := cfg.Power.ClusterPower(c, util, nodeTemp)
+		total += w
+		if e.nodeIdx[i] >= 0 {
+			e.powerBuf[e.nodeIdx[i]] += w
+		} else if e.skinIdx >= 0 {
+			e.powerBuf[e.skinIdx] += w
+		}
+	}
+	return total
+}
+
+// decideGovernor hands the governor its per-cluster observations and
+// resets the utilization windows.
+func (e *Engine) decideGovernor(nowUS int64) {
+	obs := make([]governor.Observation, len(e.cfg.Chip.Clusters))
+	for i, c := range e.cfg.Chip.Clusters {
+		util, norm := 0.0, 0.0
+		if e.curCapCycles[i] > 0 {
+			util = e.busyCycles[i] / e.curCapCycles[i]
+		}
+		if e.maxCapCycles[i] > 0 {
+			norm = e.busyCycles[i] / e.maxCapCycles[i]
+		}
+		if util > 1 {
+			util = 1
+		}
+		if norm > 1 {
+			norm = 1
+		}
+		norm = e.utilEWMA[i].Push(norm)
+		e.lastUtil[i] = util
+		obs[i] = governor.Observation{Cluster: c, Util: util, NormUtil: norm}
+		e.busyCycles[i] = 0
+		e.curCapCycles[i] = 0
+		e.maxCapCycles[i] = 0
+	}
+	e.cfg.Governor.Decide(nowUS, obs)
+}
+
+// snapshot builds the controller view of the platform.
+func (e *Engine) snapshot(nowUS int64, fps float64, app workload.App, tempBig, tempDev float64) ctrl.Snapshot {
+	for i, c := range e.cfg.Chip.Clusters {
+		e.views[i] = ctrl.ClusterView{
+			Name:     c.Name,
+			IsGPU:    c.Kind == soc.KindGPU,
+			NumOPPs:  c.NumOPPs(),
+			CurIdx:   c.Cur(),
+			CapIdx:   c.Cap(),
+			FloorIdx: c.Floor(),
+			FreqKHz:  c.FreqKHz(),
+			OPPKHz:   e.opps[i],
+			Util:     e.lastUtil[i],
+			NormUtil: e.utilEWMA[i].Value(),
+		}
+	}
+	snap := ctrl.Snapshot{
+		NowUS:        nowUS,
+		FPS:          fps,
+		PowerW:       e.lastPowerW,
+		TempBigC:     tempBig,
+		TempDeviceC:  tempDev,
+		AmbientC:     e.cfg.Thermal.AmbientC,
+		AppName:      app.Name(),
+		AppClassGame: app.Class() == workload.ClassGame,
+		Clusters:     e.views,
+	}
+	if e.cfg.SnapshotFault != nil {
+		e.cfg.SnapshotFault(&snap)
+	}
+	return snap
+}
+
+func (e *Engine) sample(nowUS int64, app workload.App, inter workload.Interaction, fps, powerW, tb, td float64) Sample {
+	s := Sample{
+		TimeUS:      nowUS,
+		App:         app.Name(),
+		Interaction: inter.String(),
+		FPS:         fps,
+		PowerW:      powerW,
+		TempBigC:    tb,
+		TempDevC:    td,
+	}
+	for _, c := range e.cfg.Chip.Clusters {
+		s.FreqKHz = append(s.FreqKHz, c.FreqKHz())
+		s.CapIdx = append(s.CapIdx, c.Cap())
+	}
+	s.Util = append(s.Util, e.lastUtil...)
+	return s
+}
+
+// chipActuator implements ctrl.Actuator on the chip.
+type chipActuator struct{ chip *soc.Chip }
+
+func (a chipActuator) SetCap(cluster string, idx int) {
+	if c := a.chip.Cluster(cluster); c != nil {
+		c.SetCap(idx)
+	}
+}
+
+func (a chipActuator) SetFloor(cluster string, idx int) {
+	if c := a.chip.Cluster(cluster); c != nil {
+		c.SetFloor(idx)
+	}
+}
+
+func (a chipActuator) Pin(cluster string, idx int) {
+	if c := a.chip.Cluster(cluster); c != nil {
+		// Order matters: widen first so the clamp cannot bite.
+		c.SetFloor(0)
+		c.SetCap(idx)
+		c.SetFloor(idx)
+	}
+}

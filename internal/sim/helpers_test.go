@@ -1,0 +1,26 @@
+package sim
+
+import "nextdvfs/internal/ctrl"
+
+// ctrlSnapshotAlias keeps the fault-hook test readable.
+type ctrlSnapshotAlias = ctrl.Snapshot
+
+// ctrlActuatorAlias mirrors it for controller test doubles.
+type ctrlActuatorAlias = ctrl.Actuator
+
+// fixedCapController caps one cluster at a fixed OPP index — a minimal
+// ctrl.Controller used to test engine/controller plumbing.
+type fixedCapController struct {
+	cluster string
+	idx     int
+}
+
+func (f *fixedCapController) Name() string             { return "fixedcap" }
+func (f *fixedCapController) ObserveIntervalUS() int64 { return 25_000 }
+func (f *fixedCapController) ControlIntervalUS() int64 { return 100_000 }
+func (f *fixedCapController) Observe(ctrl.Snapshot)    {}
+func (f *fixedCapController) Control(_ ctrl.Snapshot, act ctrl.Actuator) {
+	act.SetCap(f.cluster, f.idx)
+}
+func (f *fixedCapController) AppChanged(string, bool) {}
+func (f *fixedCapController) Reset()                  {}

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nextdvfs/internal/session"
+	"nextdvfs/internal/workload"
+)
+
+// TestRunInvariantsAcrossRandomSessions drives the full engine with
+// randomized apps/durations/seeds and checks the physical invariants no
+// configuration may violate.
+func TestRunInvariantsAcrossRandomSessions(t *testing.T) {
+	apps := []func() *workload.ProfileApp{
+		workload.Home, workload.Facebook, workload.Spotify,
+		workload.Chrome, workload.Lineage, workload.PubG, workload.YouTube,
+	}
+	rng := rand.New(rand.NewSource(20))
+	f := func(appSeed uint8, durSeed uint8, seed int16) bool {
+		mk := apps[int(appSeed)%len(apps)]
+		dur := 10 + float64(durSeed%30) // 10-40 s
+		r := rand.New(rand.NewSource(int64(seed)))
+		tl := &session.Timeline{Scripts: []session.Script{
+			session.ForApp(mk(), session.Seconds(dur), r),
+		}}
+		cfg := Note9Config(tl, int64(seed))
+		eng, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		res := eng.Run()
+		switch {
+		case res.AvgPowerW <= 0 || math.IsNaN(res.AvgPowerW):
+			return false
+		case res.PeakPowerW < res.AvgPowerW:
+			return false
+		case res.AvgTempBigC < 21-1e-6 || res.AvgTempDevC < 21-1e-6:
+			return false // nothing may cool below ambient
+		case res.PeakTempBigC > 120:
+			return false // silicon melts
+		case res.AvgFPS < 0 || res.AvgFPS > 60:
+			return false
+		case res.FramesDisplayed+res.FramesDropped > res.VSyncs:
+			return false
+		case res.EnergyJ < 0:
+			return false
+		case math.Abs(res.EnergyJ-res.AvgPowerW*res.DurationS) > 0.02*res.EnergyJ+1:
+			return false // energy must integrate consistently
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCapMonotonePower pins the big/GPU caps at descending levels on
+// the same game session: average power must be non-increasing (within
+// jitter tolerance) as caps descend — the physical premise the whole
+// paper rests on.
+func TestCapMonotonePower(t *testing.T) {
+	run := func(level int) float64 {
+		r := rand.New(rand.NewSource(33))
+		tl := &session.Timeline{Scripts: []session.Script{{
+			App: workload.Lineage(),
+			Phases: []session.Phase{
+				{Inter: workload.InterPlay, DurUS: session.Seconds(40)},
+			},
+		}}}
+		_ = r
+		cfg := Note9Config(tl, 33)
+		cfg.Controller = &fixedTripleCap{big: level * 17 / 4, little: level * 9 / 4, gpu: level * 5 / 4}
+		eng, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng.Run().AvgPowerW
+	}
+	prev := math.Inf(1)
+	for level := 4; level >= 0; level-- { // caps descend from top to floor
+		p := run(level)
+		if p > prev*1.05 {
+			t.Fatalf("power increased while caps descended: level %d → %.2f W (prev %.2f)", level, p, prev)
+		}
+		prev = p
+	}
+}
+
+// fixedTripleCap pins all three clusters' caps every control period.
+type fixedTripleCap struct{ big, little, gpu int }
+
+func (f *fixedTripleCap) Name() string             { return "tricap" }
+func (f *fixedTripleCap) ObserveIntervalUS() int64 { return 0 }
+func (f *fixedTripleCap) ControlIntervalUS() int64 { return 50_000 }
+func (f *fixedTripleCap) Observe(ctrlSnapshotAlias) {
+}
+func (f *fixedTripleCap) Control(_ ctrlSnapshotAlias, act ctrlActuatorAlias) {
+	act.SetCap("big", f.big)
+	act.SetCap("LITTLE", f.little)
+	act.SetCap("GPU", f.gpu)
+}
+func (f *fixedTripleCap) AppChanged(string, bool) {}
+func (f *fixedTripleCap) Reset()                  {}

@@ -1,0 +1,67 @@
+package sim
+
+import "nextdvfs/internal/stats"
+
+// Sample is one row of the recorded trace.
+type Sample struct {
+	TimeUS      int64
+	App         string
+	Interaction string
+	FPS         float64
+	PowerW      float64
+	TempBigC    float64
+	TempDevC    float64
+	// FreqKHz per cluster in chip order.
+	FreqKHz []int
+	// CapIdx per cluster in chip order (what a controller set).
+	CapIdx []int
+	// Util per cluster in chip order.
+	Util []float64
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	// Scheme names the governor/controller stack ("schedutil", "next",
+	// "intqospm", ...).
+	Scheme string
+	// DurationS is simulated session length.
+	DurationS float64
+
+	AvgPowerW  float64
+	PeakPowerW float64
+	EnergyJ    float64
+
+	AvgTempBigC  float64
+	PeakTempBigC float64
+	AvgTempDevC  float64
+	PeakTempDevC float64
+
+	AvgFPS          float64
+	FramesDisplayed int64
+	FramesDropped   int64
+	VSyncs          int64
+
+	// ActiveAvgFPS averages FPS only over ticks where the workload
+	// wanted frames — the QoS that users perceive.
+	ActiveAvgFPS float64
+
+	Samples []Sample
+}
+
+// DropRate returns dropped/(displayed+dropped), 0 when no frames.
+func (r *Result) DropRate() float64 {
+	total := r.FramesDisplayed + r.FramesDropped
+	if total == 0 {
+		return 0
+	}
+	return float64(r.FramesDropped) / float64(total)
+}
+
+// accumulators aggregates the running statistics during a run.
+type accumulators struct {
+	power     stats.Summary
+	tempBig   stats.Summary
+	tempDev   stats.Summary
+	fps       stats.Summary
+	activeFPS stats.Summary
+}

@@ -1,0 +1,117 @@
+package soc
+
+import "fmt"
+
+// Canonical cluster names used by the Exynos 9810 preset and expected by
+// the Next agent's default configuration.
+const (
+	ClusterBig    = "big"
+	ClusterLITTLE = "LITTLE"
+	ClusterGPU    = "GPU"
+)
+
+// Chip is a set of DVFS clusters sharing one die. Cluster order is
+// stable and significant: the Next agent's action space enumerates
+// clusters in chip order.
+type Chip struct {
+	Name     string
+	Clusters []*Cluster
+}
+
+// Cluster returns the cluster with the given name, or nil if absent.
+func (ch *Chip) Cluster(name string) *Cluster {
+	for _, c := range ch.Clusters {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// MustCluster is Cluster but panics when the name is unknown; used where
+// a missing cluster means the platform preset is inconsistent.
+func (ch *Chip) MustCluster(name string) *Cluster {
+	c := ch.Cluster(name)
+	if c == nil {
+		panic(fmt.Sprintf("soc: chip %q has no cluster %q", ch.Name, name))
+	}
+	return c
+}
+
+// ResetDVFS restores every cluster to boot state.
+func (ch *Chip) ResetDVFS() {
+	for _, c := range ch.Clusters {
+		c.ResetDVFS()
+	}
+}
+
+// voltageCurve synthesizes a monotone V/f curve for an ascending
+// frequency table: V(f) = vMin + (vMax−vMin)·x^1.6 with x the normalized
+// frequency. The 1.6 exponent bends the curve upward at high frequency,
+// matching the shape of published mobile DVFS tables (voltage rises
+// steeply near fmax, which is what makes the top OPPs so expensive and
+// capping them so profitable).
+func voltageCurve(freqsMHz []int, vMinMicro, vMaxMicro int) []OPP {
+	n := len(freqsMHz)
+	opps := make([]OPP, n)
+	fMin := float64(freqsMHz[0])
+	fMax := float64(freqsMHz[n-1])
+	for i, f := range freqsMHz {
+		x := 0.0
+		if fMax > fMin {
+			x = (float64(f) - fMin) / (fMax - fMin)
+		}
+		// x^1.6 without math.Pow in a loop-friendly way is not worth the
+		// obscurity; the preset is built once.
+		v := float64(vMinMicro) + (float64(vMaxMicro)-float64(vMinMicro))*pow16(x)
+		opps[i] = OPP{FreqKHz: f * 1000, VoltMicro: int(v)}
+	}
+	return opps
+}
+
+// pow16 computes x^1.6 for x in [0,1] as x * x^0.6, with x^0.6 via
+// exp/log avoided: we use the identity x^0.6 = (x^3)^0.2 ≈ sqrt(sqrt(x))
+// blends poorly, so just use math.Pow at preset-build time.
+func pow16(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return powf(x, 1.6)
+}
+
+// Exynos9810 returns the Samsung Galaxy Note 9 platform exactly as the
+// paper describes it: 4 Mongoose 3 big cores (18 OPPs, 650–2704 MHz),
+// 4 Cortex-A55 LITTLE cores (10 OPPs, 455–1794 MHz) and the Mali-G72
+// MP18 GPU (6 OPPs, 260–572 MHz).
+func Exynos9810() *Chip {
+	// Paper lists tables descending; stored ascending.
+	bigMHz := []int{650, 741, 858, 962, 1066, 1170, 1261, 1469, 1586, 1690, 1794, 1924, 2002, 2106, 2314, 2496, 2652, 2704}
+	littleMHz := []int{455, 598, 715, 832, 949, 1053, 1248, 1456, 1690, 1794}
+	gpuMHz := []int{260, 299, 338, 455, 546, 572}
+
+	return &Chip{
+		Name: "Exynos 9810",
+		Clusters: []*Cluster{
+			NewCluster(ClusterBig, KindCPU, 4, 2.2, voltageCurve(bigMHz, 600_000, 1_150_000)),
+			NewCluster(ClusterLITTLE, KindCPU, 4, 1.0, voltageCurve(littleMHz, 550_000, 950_000)),
+			NewCluster(ClusterGPU, KindGPU, 18, 1.0, voltageCurve(gpuMHz, 600_000, 900_000)),
+		},
+	}
+}
+
+// GenericPhone returns a small three-cluster platform with short OPP
+// tables. It exists for tests that need a tractable state space and to
+// prove the agent is not hard-coded to the Exynos preset.
+func GenericPhone() *Chip {
+	bigMHz := []int{600, 1000, 1400, 1800, 2200}
+	littleMHz := []int{400, 800, 1200, 1600}
+	gpuMHz := []int{200, 400, 600}
+	return &Chip{
+		Name: "GenericPhone",
+		Clusters: []*Cluster{
+			NewCluster(ClusterBig, KindCPU, 4, 2.0, voltageCurve(bigMHz, 600_000, 1_100_000)),
+			NewCluster(ClusterLITTLE, KindCPU, 4, 1.0, voltageCurve(littleMHz, 550_000, 900_000)),
+			NewCluster(ClusterGPU, KindGPU, 8, 1.0, voltageCurve(gpuMHz, 600_000, 850_000)),
+		},
+	}
+}

@@ -1,0 +1,20 @@
+// Package soc models the hardware control surface of a heterogeneous
+// mobile MPSoC: processing-element clusters, their operating performance
+// points (OPPs: frequency/voltage pairs) and the per-cluster DVFS
+// controls (current OPP, maxfreq cap, minfreq floor).
+//
+// The paper's platform — the Exynos 9810 in the Samsung Galaxy Note 9 —
+// is provided as a preset with the exact frequency tables the paper
+// lists: 18 OPPs for the Mongoose 3 big cluster (650–2704 MHz), 10 for
+// the Cortex-A55 LITTLE cluster (455–1794 MHz) and 6 for the Mali-G72
+// MP18 GPU (260–572 MHz). Voltages are not published in the paper, so a
+// calibrated monotone V/f curve is synthesized per cluster (see
+// DESIGN.md §2).
+//
+// DVFS semantics mirror Linux cpufreq: a governor (or the Next agent)
+// never sets "the frequency" directly — it moves the cap/floor or
+// requests an OPP, and the cluster clamps the request into
+// [floor, cap]. This is exactly the control surface the paper's agent
+// uses ("setting the maxfreq provides the flexibility for the PEs to
+// operate within the range").
+package soc

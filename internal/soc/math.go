@@ -1,0 +1,8 @@
+package soc
+
+import "math"
+
+// powf is math.Pow, isolated so the one transcendental call in this
+// package is easy to spot (it only runs at preset construction time,
+// never on the simulation hot path).
+func powf(x, y float64) float64 { return math.Pow(x, y) }

@@ -1,0 +1,67 @@
+package stats
+
+// Histogram counts samples into the bins of a Quantizer. It backs the
+// experiment harness' distribution reports (e.g. the PPDW-vs-FPS trend
+// of Fig. 4) and the workload validation tests.
+type Histogram struct {
+	Q      Quantizer
+	Counts []int
+	total  int
+}
+
+// NewHistogram returns an empty histogram over q's bins.
+func NewHistogram(q Quantizer) *Histogram {
+	return &Histogram{Q: q, Counts: make([]int, q.Levels)}
+}
+
+// Push records one sample.
+func (h *Histogram) Push(v float64) {
+	h.Counts[h.Q.Index(v)]++
+	h.total++
+}
+
+// Total returns the number of samples recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// Fraction returns the share of samples that fell into bin idx.
+func (h *Histogram) Fraction(idx int) float64 {
+	if h.total == 0 || idx < 0 || idx >= len(h.Counts) {
+		return 0
+	}
+	return float64(h.Counts[idx]) / float64(h.total)
+}
+
+// ArgMax returns the index of the fullest bin (ties toward the higher
+// bin, matching Mode's QoS-safe behaviour).
+func (h *Histogram) ArgMax() int {
+	best, bestC := 0, -1
+	for i, c := range h.Counts {
+		if c >= bestC {
+			best, bestC = i, c
+		}
+	}
+	return best
+}
+
+// Clamp restricts v to [lo, hi]. It is the shared scalar helper used
+// across the simulator's models.
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ClampInt restricts v to [lo, hi].
+func ClampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,63 @@
+package stats
+
+import "fmt"
+
+// Quantizer maps a continuous value in [Min, Max] onto one of Levels
+// uniform bins and back to a representative value (the bin midpoint,
+// except the first and last bins which snap to Min and Max so that the
+// extremes of the range survive a round trip).
+//
+// The Next agent uses quantizers to fold continuous observations (power,
+// temperature, FPS) into a tabular Q-learning state. The paper's Fig. 6
+// sweeps the FPS quantization granularity; Levels is that knob.
+type Quantizer struct {
+	Min    float64
+	Max    float64
+	Levels int
+}
+
+// NewQuantizer returns a quantizer over [min, max] with levels bins.
+// It panics if levels < 2 or max <= min: a one-bin quantizer carries no
+// information and would silently break the agent's state space.
+func NewQuantizer(min, max float64, levels int) Quantizer {
+	if levels < 2 {
+		panic(fmt.Sprintf("stats: quantizer needs at least 2 levels, got %d", levels))
+	}
+	if max <= min {
+		panic(fmt.Sprintf("stats: quantizer range invalid: [%g, %g]", min, max))
+	}
+	return Quantizer{Min: min, Max: max, Levels: levels}
+}
+
+// Index returns the bin index for v, clamped to [0, Levels-1].
+func (q Quantizer) Index(v float64) int {
+	if v <= q.Min {
+		return 0
+	}
+	if v >= q.Max {
+		return q.Levels - 1
+	}
+	idx := int((v - q.Min) / (q.Max - q.Min) * float64(q.Levels))
+	if idx >= q.Levels {
+		idx = q.Levels - 1
+	}
+	return idx
+}
+
+// Value returns the representative value for bin idx. Out-of-range
+// indices are clamped.
+func (q Quantizer) Value(idx int) float64 {
+	if idx <= 0 {
+		return q.Min
+	}
+	if idx >= q.Levels-1 {
+		return q.Max
+	}
+	width := (q.Max - q.Min) / float64(q.Levels)
+	return q.Min + (float64(idx)+0.5)*width
+}
+
+// Step returns the width of one bin.
+func (q Quantizer) Step() float64 {
+	return (q.Max - q.Min) / float64(q.Levels)
+}

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantizerIndexBounds(t *testing.T) {
+	q := NewQuantizer(0, 60, 3) // the paper's "30" granularity: bins {0,30,60}
+	tests := []struct {
+		v    float64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {19.9, 0},
+		{20, 1}, {30, 1}, {39.9, 1},
+		{40, 2}, {60, 2}, {120, 2},
+	}
+	for _, tt := range tests {
+		if got := q.Index(tt.v); got != tt.want {
+			t.Errorf("Index(%g) = %d, want %d", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestQuantizerRoundTrip(t *testing.T) {
+	// Property: Value(Index(v)) stays within one bin width of v for v in
+	// range, for any level count >= 2.
+	rng := rand.New(rand.NewSource(2))
+	f := func(raw uint16, lv uint8) bool {
+		levels := int(lv%60) + 2
+		q := NewQuantizer(0, 60, levels)
+		v := float64(raw%6000) / 100 // 0..59.99
+		idx := q.Index(v)
+		if idx < 0 || idx >= levels {
+			return false
+		}
+		rep := q.Value(idx)
+		diff := rep - v
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= q.Step()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizerExtremesSurviveRoundTrip(t *testing.T) {
+	q := NewQuantizer(0, 60, 7)
+	if got := q.Value(q.Index(0)); got != 0 {
+		t.Errorf("min round trip = %g, want 0", got)
+	}
+	if got := q.Value(q.Index(60)); got != 60 {
+		t.Errorf("max round trip = %g, want 60", got)
+	}
+}
+
+func TestQuantizerIndexMonotone(t *testing.T) {
+	q := NewQuantizer(20, 95, 8) // temperature-like range
+	prev := -1
+	for v := 15.0; v <= 100; v += 0.5 {
+		idx := q.Index(v)
+		if idx < prev {
+			t.Fatalf("Index not monotone at v=%g: %d < %d", v, idx, prev)
+		}
+		prev = idx
+	}
+}
+
+func TestNewQuantizerPanics(t *testing.T) {
+	for _, tt := range []struct {
+		name     string
+		min, max float64
+		levels   int
+	}{
+		{"one level", 0, 1, 1},
+		{"inverted range", 10, 0, 4},
+		{"empty range", 5, 5, 4},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			NewQuantizer(tt.min, tt.max, tt.levels)
+		})
+	}
+}

@@ -1,0 +1,132 @@
+package stats
+
+// Rolling is a fixed-capacity sliding window over float64 samples that
+// maintains the running sum, so mean queries are O(1). Max and Min are
+// O(n) but the windows used by the simulator are small (tens of entries).
+//
+// The zero value is not usable; construct with NewRolling.
+type Rolling struct {
+	buf    []float64
+	head   int
+	filled bool
+	sum    float64
+}
+
+// NewRolling returns a rolling window with capacity n (n > 0).
+func NewRolling(n int) *Rolling {
+	if n <= 0 {
+		panic("stats: Rolling window size must be positive")
+	}
+	return &Rolling{buf: make([]float64, n)}
+}
+
+// Push adds a sample, evicting the oldest if full.
+func (r *Rolling) Push(v float64) {
+	if r.filled {
+		r.sum -= r.buf[r.head]
+	}
+	r.buf[r.head] = v
+	r.sum += v
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+		r.filled = true
+	}
+}
+
+// Len reports the number of samples currently held.
+func (r *Rolling) Len() int {
+	if r.filled {
+		return len(r.buf)
+	}
+	return r.head
+}
+
+// Full reports whether the window is at capacity.
+func (r *Rolling) Full() bool { return r.filled }
+
+// Mean returns the average of the samples in the window (0 when empty).
+func (r *Rolling) Mean() float64 {
+	n := r.Len()
+	if n == 0 {
+		return 0
+	}
+	return r.sum / float64(n)
+}
+
+// Max returns the largest sample in the window (0 when empty).
+func (r *Rolling) Max() float64 {
+	n := r.Len()
+	if n == 0 {
+		return 0
+	}
+	max := r.buf[0]
+	for i := 1; i < n; i++ {
+		if r.buf[i] > max {
+			max = r.buf[i]
+		}
+	}
+	return max
+}
+
+// Min returns the smallest sample in the window (0 when empty).
+func (r *Rolling) Min() float64 {
+	n := r.Len()
+	if n == 0 {
+		return 0
+	}
+	min := r.buf[0]
+	for i := 1; i < n; i++ {
+		if r.buf[i] < min {
+			min = r.buf[i]
+		}
+	}
+	return min
+}
+
+// Reset empties the window.
+func (r *Rolling) Reset() {
+	r.head = 0
+	r.filled = false
+	r.sum = 0
+}
+
+// Summary accumulates count/sum/min/max/peak statistics over an unbounded
+// stream. It is used by the metrics recorder for per-session aggregates
+// (average power, peak temperature, ...). The zero value is ready to use.
+type Summary struct {
+	N    int
+	Sum  float64
+	MinV float64
+	MaxV float64
+}
+
+// Push folds a sample into the summary.
+func (s *Summary) Push(v float64) {
+	if s.N == 0 {
+		s.MinV, s.MaxV = v, v
+	} else {
+		if v < s.MinV {
+			s.MinV = v
+		}
+		if v > s.MaxV {
+			s.MaxV = v
+		}
+	}
+	s.N++
+	s.Sum += v
+}
+
+// Mean returns the stream average (0 when empty).
+func (s *Summary) Mean() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.N)
+}
+
+// Max returns the largest sample seen (0 when empty).
+func (s *Summary) Max() float64 { return s.MaxV }
+
+// Min returns the smallest sample seen (0 when empty).
+func (s *Summary) Min() float64 { return s.MinV }

@@ -1,0 +1,14 @@
+// Package thermal models heat flow in the handset as a lumped RC
+// network: one node per PE cluster (big, LITTLE, GPU) plus a skin node
+// (chassis, display, battery mass), all coupled to each other and to the
+// ambient boundary through thermal conductances. Forward-Euler
+// integration per simulation tick is numerically stable at the 1 ms tick
+// the engine uses (dt·G/C ≪ 1 for every node).
+//
+// The Galaxy Note 9 exposes a big-cluster sensor and a "virtual" device
+// sensor computed by a proprietary vendor formula; this package mirrors
+// that with a direct node read for the big sensor and a weighted virtual
+// sensor for the device temperature. Parameters are calibrated so that a
+// sustained gaming load lands big-cluster temperatures in the paper's
+// 55–75 °C band at the paper's 21 °C ambient (see DESIGN.md §2).
+package thermal

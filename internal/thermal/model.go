@@ -1,0 +1,210 @@
+package thermal
+
+import "fmt"
+
+// NodeSpec describes one thermal node.
+type NodeSpec struct {
+	Name string
+	// CapJPerK is the lumped heat capacity in joules per kelvin.
+	CapJPerK float64
+	// GAmbWPerK is the direct conductance to ambient in watts per kelvin
+	// (0 for nodes that only reach ambient through other nodes).
+	GAmbWPerK float64
+}
+
+// Link couples two nodes with conductance GWPerK.
+type Link struct {
+	A, B   string
+	GWPerK float64
+}
+
+// Model is a lumped RC thermal network. All node temperatures start at
+// ambient. Construct with NewModel.
+type Model struct {
+	AmbientC float64
+
+	names []string
+	index map[string]int
+	capJK []float64
+	gAmb  []float64
+	// g is the dense symmetric inter-node conductance matrix; the
+	// networks here have ≤ 6 nodes, so dense is both simplest and
+	// fastest.
+	g     [][]float64
+	tempC []float64
+	// scratch for Step
+	dT []float64
+}
+
+// NewModel builds a network from node specs and links. It panics on
+// duplicate node names, unknown link endpoints, or non-positive heat
+// capacities — all malformed-platform programming errors.
+func NewModel(ambientC float64, nodes []NodeSpec, links []Link) *Model {
+	m := &Model{
+		AmbientC: ambientC,
+		index:    make(map[string]int, len(nodes)),
+	}
+	for i, n := range nodes {
+		if _, dup := m.index[n.Name]; dup {
+			panic(fmt.Sprintf("thermal: duplicate node %q", n.Name))
+		}
+		if n.CapJPerK <= 0 {
+			panic(fmt.Sprintf("thermal: node %q needs positive heat capacity", n.Name))
+		}
+		if n.GAmbWPerK < 0 {
+			panic(fmt.Sprintf("thermal: node %q has negative ambient conductance", n.Name))
+		}
+		m.index[n.Name] = i
+		m.names = append(m.names, n.Name)
+		m.capJK = append(m.capJK, n.CapJPerK)
+		m.gAmb = append(m.gAmb, n.GAmbWPerK)
+		m.tempC = append(m.tempC, ambientC)
+	}
+	n := len(nodes)
+	m.g = make([][]float64, n)
+	for i := range m.g {
+		m.g[i] = make([]float64, n)
+	}
+	for _, l := range links {
+		a, okA := m.index[l.A]
+		b, okB := m.index[l.B]
+		if !okA || !okB {
+			panic(fmt.Sprintf("thermal: link %q-%q references unknown node", l.A, l.B))
+		}
+		if l.GWPerK <= 0 {
+			panic(fmt.Sprintf("thermal: link %q-%q needs positive conductance", l.A, l.B))
+		}
+		m.g[a][b] += l.GWPerK
+		m.g[b][a] += l.GWPerK
+	}
+	m.dT = make([]float64, n)
+	return m
+}
+
+// NumNodes returns the node count.
+func (m *Model) NumNodes() int { return len(m.names) }
+
+// Index returns the node index for name; the engine caches this so the
+// per-tick path is map-free. The second result is false for unknown
+// names.
+func (m *Model) Index(name string) (int, bool) {
+	i, ok := m.index[name]
+	return i, ok
+}
+
+// MustIndex is Index but panics on unknown names.
+func (m *Model) MustIndex(name string) int {
+	i, ok := m.index[name]
+	if !ok {
+		panic(fmt.Sprintf("thermal: unknown node %q", name))
+	}
+	return i
+}
+
+// TempC returns the temperature of node i in °C.
+func (m *Model) TempC(i int) float64 { return m.tempC[i] }
+
+// TempByName returns the temperature of the named node.
+func (m *Model) TempByName(name string) float64 { return m.tempC[m.MustIndex(name)] }
+
+// SetTempC forces node i to a temperature (test hook / sensor fault
+// injection).
+func (m *Model) SetTempC(i int, t float64) { m.tempC[i] = t }
+
+// Reset returns every node to ambient.
+func (m *Model) Reset() {
+	for i := range m.tempC {
+		m.tempC[i] = m.AmbientC
+	}
+}
+
+// Step advances the network by dtSec with the given per-node power
+// injection (powerW indexed like the nodes; missing/extra entries are a
+// programming error and panic via bounds check).
+func (m *Model) Step(dtSec float64, powerW []float64) {
+	if len(powerW) != len(m.tempC) {
+		panic(fmt.Sprintf("thermal: Step got %d powers for %d nodes", len(powerW), len(m.tempC)))
+	}
+	for i := range m.tempC {
+		flow := powerW[i] - m.gAmb[i]*(m.tempC[i]-m.AmbientC)
+		row := m.g[i]
+		ti := m.tempC[i]
+		for j, gij := range row {
+			if gij != 0 {
+				flow -= gij * (ti - m.tempC[j])
+			}
+		}
+		m.dT[i] = flow / m.capJK[i] * dtSec
+	}
+	for i := range m.tempC {
+		m.tempC[i] += m.dT[i]
+	}
+}
+
+// SteadyState iterates Step with constant power until the largest
+// per-second temperature derivative drops below tolKPerS, and returns
+// the node temperatures. Intended for calibration and tests, not the
+// simulation hot path.
+func (m *Model) SteadyState(powerW []float64, tolKPerS float64) []float64 {
+	const dt = 0.05
+	for iter := 0; iter < 2_000_000; iter++ {
+		prev := make([]float64, len(m.tempC))
+		copy(prev, m.tempC)
+		m.Step(dt, powerW)
+		maxRate := 0.0
+		for i := range m.tempC {
+			r := (m.tempC[i] - prev[i]) / dt
+			if r < 0 {
+				r = -r
+			}
+			if r > maxRate {
+				maxRate = r
+			}
+		}
+		if maxRate < tolKPerS {
+			break
+		}
+	}
+	out := make([]float64, len(m.tempC))
+	copy(out, m.tempC)
+	return out
+}
+
+// VirtualSensor is a weighted blend of node temperatures, mirroring the
+// Note 9's proprietary "device temperature" formula.
+type VirtualSensor struct {
+	model   *Model
+	indices []int
+	weights []float64
+}
+
+// NewVirtualSensor builds a sensor from node-name weights. Weights are
+// normalized to sum to 1.
+func NewVirtualSensor(m *Model, weights map[string]float64) *VirtualSensor {
+	s := &VirtualSensor{model: m}
+	var sum float64
+	for name, w := range weights {
+		if w <= 0 {
+			panic(fmt.Sprintf("thermal: sensor weight for %q must be positive", name))
+		}
+		s.indices = append(s.indices, m.MustIndex(name))
+		s.weights = append(s.weights, w)
+		sum += w
+	}
+	if sum == 0 {
+		panic("thermal: virtual sensor needs at least one weight")
+	}
+	for i := range s.weights {
+		s.weights[i] /= sum
+	}
+	return s
+}
+
+// ReadC returns the blended temperature in °C.
+func (s *VirtualSensor) ReadC() float64 {
+	var t float64
+	for k, i := range s.indices {
+		t += s.weights[k] * s.model.TempC(i)
+	}
+	return t
+}

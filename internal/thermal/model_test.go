@@ -1,0 +1,232 @@
+package thermal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func powers(m *Model, w map[string]float64) []float64 {
+	p := make([]float64, m.NumNodes())
+	for name, v := range w {
+		p[m.MustIndex(name)] = v
+	}
+	return p
+}
+
+func TestNodesStartAtAmbient(t *testing.T) {
+	m := Note9(21)
+	for i := 0; i < m.NumNodes(); i++ {
+		if m.TempC(i) != 21 {
+			t.Fatalf("node %d starts at %g, want 21", i, m.TempC(i))
+		}
+	}
+}
+
+func TestZeroPowerStaysAtAmbient(t *testing.T) {
+	m := Note9(21)
+	p := make([]float64, m.NumNodes())
+	for i := 0; i < 10_000; i++ {
+		m.Step(0.001, p)
+	}
+	for i := 0; i < m.NumNodes(); i++ {
+		if math.Abs(m.TempC(i)-21) > 1e-9 {
+			t.Fatalf("node %d drifted to %g with zero power", i, m.TempC(i))
+		}
+	}
+}
+
+func TestHeatingAndCooling(t *testing.T) {
+	m := Note9(21)
+	hot := powers(m, map[string]float64{NodeBig: 4.0})
+	for i := 0; i < 30_000; i++ { // 30 s
+		m.Step(0.001, hot)
+	}
+	heated := m.TempByName(NodeBig)
+	if heated <= 30 {
+		t.Fatalf("big should heat well above ambient, got %.1f", heated)
+	}
+	cool := make([]float64, m.NumNodes())
+	for i := 0; i < 30_000; i++ {
+		m.Step(0.001, cool)
+	}
+	cooled := m.TempByName(NodeBig)
+	if cooled >= heated {
+		t.Fatalf("big should cool after power removal: %.1f -> %.1f", heated, cooled)
+	}
+	if cooled < 21-1e-6 {
+		t.Fatalf("cooling undershot ambient: %.2f", cooled)
+	}
+}
+
+func TestSteadyStateMonotoneInPower(t *testing.T) {
+	// Property: more big-cluster power → higher big steady temperature.
+	prev := 0.0
+	for _, w := range []float64{0.5, 1, 2, 4, 6} {
+		m := Note9(21)
+		temps := m.SteadyState(powers(m, map[string]float64{NodeBig: w}), 0.001)
+		tb := temps[m.MustIndex(NodeBig)]
+		if tb <= prev {
+			t.Fatalf("steady big temp not monotone: %.2f at %g W (prev %.2f)", tb, w, prev)
+		}
+		prev = tb
+	}
+}
+
+func TestGamingSteadyStateInPaperBand(t *testing.T) {
+	// Calibration check: sustained gaming load (big 3.5 W, GPU 2.5 W,
+	// LITTLE 0.4 W, skin 0.6 W from display) lands the big sensor in the
+	// paper's 55-75 °C band at 21 °C ambient, with the device sensor
+	// noticeably cooler.
+	m := Note9(21)
+	temps := m.SteadyState(powers(m, map[string]float64{
+		NodeBig: 3.5, NodeGPU: 2.5, NodeLITTLE: 0.4, NodeSkin: 0.6,
+	}), 0.0005)
+	big := temps[m.MustIndex(NodeBig)]
+	if big < 55 || big > 75 {
+		t.Fatalf("gaming steady big temp = %.1f °C, want 55-75", big)
+	}
+	dev := Note9DeviceSensor(m).ReadC()
+	if dev >= big {
+		t.Fatalf("device sensor (%.1f) should read below big hot spot (%.1f)", dev, big)
+	}
+	if dev < 30 || dev > 60 {
+		t.Fatalf("gaming device temp = %.1f °C, want 30-60", dev)
+	}
+}
+
+func TestBigIsHotSpot(t *testing.T) {
+	// With the same power injected, the big node (higher R to skin than
+	// GPU in our calibration is not guaranteed) — instead verify the
+	// paper's actual claim: under a CPU-heavy load the big cluster is
+	// the hottest node.
+	m := Note9(21)
+	temps := m.SteadyState(powers(m, map[string]float64{
+		NodeBig: 3.0, NodeLITTLE: 0.5, NodeGPU: 0.8, NodeSkin: 0.6,
+	}), 0.001)
+	big := temps[m.MustIndex(NodeBig)]
+	for _, n := range []string{NodeLITTLE, NodeGPU, NodeSkin} {
+		if temps[m.MustIndex(n)] >= big {
+			t.Fatalf("big should be the hot spot: big=%.1f, %s=%.1f", big, n, temps[m.MustIndex(n)])
+		}
+	}
+}
+
+func TestEnergyConservationAtEquilibrium(t *testing.T) {
+	// At steady state, power in == power out to ambient (within tol).
+	m := Note9(21)
+	in := powers(m, map[string]float64{NodeBig: 2.0, NodeGPU: 1.0})
+	m.SteadyState(in, 0.0001)
+	// Only skin has ambient conductance in the Note9 preset.
+	skin := m.MustIndex(NodeSkin)
+	out := (m.TempC(skin) - 21) * (1 / 2.6)
+	if math.Abs(out-3.0) > 0.1 {
+		t.Fatalf("steady heat outflow %.3f W, want ≈3.0 W", out)
+	}
+}
+
+func TestStepStabilityAt1msTick(t *testing.T) {
+	// Forward Euler must not oscillate/diverge at the engine tick.
+	m := Note9(21)
+	p := powers(m, map[string]float64{NodeBig: 8.0, NodeGPU: 3.5, NodeLITTLE: 1.2, NodeSkin: 0.9})
+	prevBig := m.TempByName(NodeBig)
+	for i := 0; i < 200_000; i++ { // 200 s of worst-case power
+		m.Step(0.001, p)
+		b := m.TempByName(NodeBig)
+		if math.IsNaN(b) || b > 200 {
+			t.Fatalf("diverged at step %d: %.1f", i, b)
+		}
+		if b < prevBig-0.5 {
+			t.Fatalf("oscillation at step %d: %.2f -> %.2f", i, prevBig, b)
+		}
+		prevBig = b
+	}
+}
+
+func TestVirtualSensorWeights(t *testing.T) {
+	m := Note9(21)
+	m.SetTempC(m.MustIndex(NodeBig), 80)
+	m.SetTempC(m.MustIndex(NodeLITTLE), 40)
+	m.SetTempC(m.MustIndex(NodeGPU), 60)
+	m.SetTempC(m.MustIndex(NodeSkin), 35)
+	s := Note9DeviceSensor(m)
+	got := s.ReadC()
+	want := 0.60*35 + 0.20*80 + 0.12*60 + 0.08*40
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("virtual sensor = %.3f, want %.3f", got, want)
+	}
+}
+
+func TestVirtualSensorBoundedByNodeTemps(t *testing.T) {
+	// Property: a convex blend can never leave [minTemp, maxTemp].
+	rng := rand.New(rand.NewSource(5))
+	f := func(a, b, c, d uint8) bool {
+		m := Note9(21)
+		temps := []float64{float64(a) + 20, float64(b) + 20, float64(c) + 20, float64(d) + 20}
+		lo, hi := temps[0], temps[0]
+		for i, tv := range temps {
+			m.SetTempC(i, tv)
+			if tv < lo {
+				lo = tv
+			}
+			if tv > hi {
+				hi = tv
+			}
+		}
+		r := Note9DeviceSensor(m).ReadC()
+		return r >= lo-1e-9 && r <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelValidationPanics(t *testing.T) {
+	node := NodeSpec{Name: "a", CapJPerK: 1}
+	for _, tt := range []struct {
+		name string
+		fn   func()
+	}{
+		{"duplicate node", func() { NewModel(21, []NodeSpec{node, node}, nil) }},
+		{"bad capacity", func() { NewModel(21, []NodeSpec{{Name: "a"}}, nil) }},
+		{"unknown link", func() {
+			NewModel(21, []NodeSpec{node}, []Link{{A: "a", B: "zzz", GWPerK: 1}})
+		}},
+		{"bad conductance", func() {
+			NewModel(21, []NodeSpec{node, {Name: "b", CapJPerK: 1}}, []Link{{A: "a", B: "b", GWPerK: 0}})
+		}},
+		{"step power mismatch", func() {
+			m := NewModel(21, []NodeSpec{node}, nil)
+			m.Step(0.001, []float64{1, 2})
+		}},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			tt.fn()
+		})
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := Note9(21)
+	m.SetTempC(0, 99)
+	m.Reset()
+	if m.TempC(0) != 21 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestIndexLookup(t *testing.T) {
+	m := Note9(21)
+	if _, ok := m.Index(NodeBig); !ok {
+		t.Fatal("big index missing")
+	}
+	if _, ok := m.Index("nope"); ok {
+		t.Fatal("unknown index should fail")
+	}
+}

@@ -1,0 +1,49 @@
+package thermal
+
+// Node names used by the handset presets.
+const (
+	NodeBig    = "big"
+	NodeLITTLE = "LITTLE"
+	NodeGPU    = "GPU"
+	NodeSkin   = "skin"
+)
+
+// Note9 returns the thermal network calibrated for the Galaxy Note 9 at
+// the given ambient (the paper's controlled ambient is 21 °C):
+//
+//   - die nodes (big/LITTLE/GPU) with small capacities → tens-of-seconds
+//     heating transients like the paper's temperature traces;
+//   - a heavy skin node (chassis+display+battery) reaching ambient;
+//   - big↔GPU die coupling (adjacent hot spots).
+//
+// Calibration targets: a sustained game (~3.5 W big, ~2.5 W GPU) settles
+// the big sensor in the 55–75 °C band; light usage stays near 35–45 °C.
+func Note9(ambientC float64) *Model {
+	return NewModel(ambientC,
+		[]NodeSpec{
+			{Name: NodeBig, CapJPerK: 2.0},
+			{Name: NodeLITTLE, CapJPerK: 1.6},
+			{Name: NodeGPU, CapJPerK: 2.4},
+			{Name: NodeSkin, CapJPerK: 55, GAmbWPerK: 1 / 2.6}, // R_skin-amb ≈ 2.6 K/W
+		},
+		[]Link{
+			{A: NodeBig, B: NodeSkin, GWPerK: 1 / 7.0},    // R ≈ 7.0 K/W
+			{A: NodeLITTLE, B: NodeSkin, GWPerK: 1 / 7.0}, // R ≈ 7.0 K/W
+			{A: NodeGPU, B: NodeSkin, GWPerK: 1 / 5.0},    // R ≈ 5.0 K/W
+			{A: NodeBig, B: NodeGPU, GWPerK: 1 / 9.0},     // die-adjacent coupling
+			{A: NodeBig, B: NodeLITTLE, GWPerK: 1 / 12.0},
+		},
+	)
+}
+
+// Note9DeviceSensor returns the virtual "device temperature" sensor for
+// a Note9 model: dominated by the skin with contributions from the die —
+// a stand-in for the vendor's proprietary formula.
+func Note9DeviceSensor(m *Model) *VirtualSensor {
+	return NewVirtualSensor(m, map[string]float64{
+		NodeSkin:   0.60,
+		NodeBig:    0.20,
+		NodeGPU:    0.12,
+		NodeLITTLE: 0.08,
+	})
+}

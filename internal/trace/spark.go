@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"strings"
+
+	"nextdvfs/internal/sim"
+)
+
+// sparkLevels are the eighth-block glyphs used by Sparkline.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a fixed-width ASCII(-art) strip — the
+// terminal-friendly plot cmd/nextsim prints next to a session summary.
+// Values are min-max normalized; width ≤ 0 uses one glyph per value,
+// otherwise the series is bucketed (bucket mean) to the given width.
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 {
+		return ""
+	}
+	series := values
+	if width > 0 && len(values) > width {
+		series = bucketMeans(values, width)
+	}
+	lo, hi := series[0], series[0]
+	for _, v := range series {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	b.Grow(len(series) * 3)
+	span := hi - lo
+	for _, v := range series {
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(sparkLevels)-1))
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+func bucketMeans(values []float64, width int) []float64 {
+	out := make([]float64, width)
+	for i := 0; i < width; i++ {
+		start := i * len(values) / width
+		end := (i + 1) * len(values) / width
+		if end <= start {
+			end = start + 1
+		}
+		var sum float64
+		for _, v := range values[start:end] {
+			sum += v
+		}
+		out[i] = sum / float64(end-start)
+	}
+	return out
+}
+
+// SampleSeries extracts a named series from samples for sparkline
+// rendering: "fps", "power", "tempbig", "tempdev".
+func SampleSeries(samples []sim.Sample, field string) []float64 {
+	out := make([]float64, 0, len(samples))
+	for _, s := range samples {
+		switch field {
+		case "fps":
+			out = append(out, s.FPS)
+		case "power":
+			out = append(out, s.PowerW)
+		case "tempbig":
+			out = append(out, s.TempBigC)
+		case "tempdev":
+			out = append(out, s.TempDevC)
+		}
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"nextdvfs/internal/sim"
+)
+
+func TestSparklineBasics(t *testing.T) {
+	if Sparkline(nil, 10) != "" {
+		t.Fatal("empty series should render empty")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 0)
+	if s != "▁▂▃▄▅▆▇█" {
+		t.Fatalf("ramp rendered %q", s)
+	}
+	flat := Sparkline([]float64{5, 5, 5}, 0)
+	if flat != "▁▁▁" {
+		t.Fatalf("flat series rendered %q", flat)
+	}
+}
+
+func TestSparklineBucketsToWidth(t *testing.T) {
+	values := make([]float64, 100)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	s := Sparkline(values, 20)
+	if n := len([]rune(s)); n != 20 {
+		t.Fatalf("width = %d, want 20", n)
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[len(runes)-1] != '█' {
+		t.Fatalf("ramp endpoints wrong: %q", s)
+	}
+}
+
+func TestSparklineShorterThanWidth(t *testing.T) {
+	s := Sparkline([]float64{1, 2}, 50)
+	if n := len([]rune(s)); n != 2 {
+		t.Fatalf("short series should not be padded: %d glyphs", n)
+	}
+}
+
+func TestSampleSeries(t *testing.T) {
+	samples := []sim.Sample{
+		{FPS: 30, PowerW: 2, TempBigC: 40, TempDevC: 30},
+		{FPS: 60, PowerW: 4, TempBigC: 50, TempDevC: 35},
+	}
+	if got := SampleSeries(samples, "fps"); got[0] != 30 || got[1] != 60 {
+		t.Fatalf("fps series = %v", got)
+	}
+	if got := SampleSeries(samples, "power"); got[1] != 4 {
+		t.Fatalf("power series = %v", got)
+	}
+	if got := SampleSeries(samples, "tempbig"); got[0] != 40 {
+		t.Fatalf("tempbig series = %v", got)
+	}
+	if got := SampleSeries(samples, "tempdev"); got[1] != 35 {
+		t.Fatalf("tempdev series = %v", got)
+	}
+	if got := SampleSeries(samples, "unknown"); len(got) != 0 {
+		t.Fatalf("unknown field should be empty, got %v", got)
+	}
+	if !strings.Contains(Sparkline(SampleSeries(samples, "fps"), 0), "█") {
+		t.Fatal("composed sparkline missing peak glyph")
+	}
+}

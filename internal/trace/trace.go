@@ -1,0 +1,87 @@
+// Package trace exports simulation traces and experiment tables as CSV,
+// the format the figure-reproduction harness emits so results can be
+// plotted next to the paper's figures.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"nextdvfs/internal/sim"
+)
+
+// WriteCSV writes a header and string rows.
+func WriteCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if len(r) != len(header) {
+			return fmt.Errorf("trace: row has %d fields, header has %d", len(r), len(header))
+		}
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SamplesHeader returns the column names for WriteSamples given the
+// chip's cluster names in order.
+func SamplesHeader(clusters []string) []string {
+	h := []string{"time_s", "app", "interaction", "fps", "power_w", "temp_big_c", "temp_dev_c"}
+	for _, c := range clusters {
+		h = append(h, "freq_mhz_"+c)
+	}
+	for _, c := range clusters {
+		h = append(h, "util_"+c)
+	}
+	return h
+}
+
+// WriteSamples emits one CSV row per recorded sample.
+func WriteSamples(w io.Writer, clusters []string, samples []sim.Sample) error {
+	header := SamplesHeader(clusters)
+	rows := make([][]string, 0, len(samples))
+	for _, s := range samples {
+		if len(s.FreqKHz) != len(clusters) || len(s.Util) != len(clusters) {
+			return fmt.Errorf("trace: sample has %d clusters, expected %d", len(s.FreqKHz), len(clusters))
+		}
+		row := []string{
+			formatFloat(float64(s.TimeUS) / 1e6),
+			s.App,
+			s.Interaction,
+			formatFloat(s.FPS),
+			formatFloat(s.PowerW),
+			formatFloat(s.TempBigC),
+			formatFloat(s.TempDevC),
+		}
+		for _, khz := range s.FreqKHz {
+			row = append(row, formatFloat(float64(khz)/1000))
+		}
+		for _, u := range s.Util {
+			row = append(row, formatFloat(u))
+		}
+		rows = append(rows, row)
+	}
+	return WriteCSV(w, header, rows)
+}
+
+// SaveSamples writes the samples CSV to a file path.
+func SaveSamples(path string, clusters []string, samples []sim.Sample) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WriteSamples(f, clusters, samples)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'f', 4, 64)
+}

@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nextdvfs/internal/sim"
+)
+
+func sampleFixture() []sim.Sample {
+	return []sim.Sample{
+		{
+			TimeUS: 1_000_000, App: "facebook", Interaction: "scroll",
+			FPS: 58.5, PowerW: 3.25, TempBigC: 42.1, TempDevC: 33.0,
+			FreqKHz: []int{1794_000, 949_000, 455_000},
+			CapIdx:  []int{10, 5, 3},
+			Util:    []float64{0.61, 0.3, 0.8},
+		},
+		{
+			TimeUS: 2_000_000, App: "facebook", Interaction: "idle",
+			FPS: 0, PowerW: 2.0, TempBigC: 40.0, TempDevC: 32.5,
+			FreqKHz: []int{650_000, 455_000, 260_000},
+			CapIdx:  []int{3, 2, 1},
+			Util:    []float64{0.2, 0.1, 0.0},
+		},
+	}
+}
+
+func TestWriteSamplesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	clusters := []string{"big", "LITTLE", "GPU"}
+	if err := WriteSamples(&buf, clusters, sampleFixture()); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 { // header + 2 rows
+		t.Fatalf("records = %d", len(records))
+	}
+	header := records[0]
+	if header[0] != "time_s" || header[7] != "freq_mhz_big" {
+		t.Fatalf("header = %v", header)
+	}
+	if records[1][1] != "facebook" || records[1][2] != "scroll" {
+		t.Fatalf("row = %v", records[1])
+	}
+	// Frequency converted kHz → MHz.
+	if records[1][7] != "1794.0000" {
+		t.Fatalf("freq cell = %q", records[1][7])
+	}
+}
+
+func TestWriteSamplesClusterMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteSamples(&buf, []string{"big"}, sampleFixture())
+	if err == nil {
+		t.Fatal("mismatched cluster count should fail")
+	}
+}
+
+func TestWriteCSVRowWidthValidation(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteCSV(&buf, []string{"a", "b"}, [][]string{{"1"}})
+	if err == nil {
+		t.Fatal("short row should fail")
+	}
+}
+
+func TestSaveSamples(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	if err := SaveSamples(path, []string{"big", "LITTLE", "GPU"}, sampleFixture()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "time_s,app,interaction") {
+		t.Fatalf("file content: %.80s", data)
+	}
+}

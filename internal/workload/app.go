@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Class is the application category; the Int. QoS PM baseline only
+// manages games, so the class is part of the public contract.
+type Class int
+
+// Application classes.
+const (
+	ClassLauncher Class = iota
+	ClassSocial
+	ClassMusic
+	ClassBrowser
+	ClassGame
+	ClassVideo
+)
+
+var classNames = [...]string{"launcher", "social", "music", "browser", "game", "video"}
+
+// String returns the lowercase class name.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Interaction is the user's instantaneous mode of engagement with the
+// display/UI. The session package emits a timeline of interactions; the
+// app maps them to frame demand.
+type Interaction int
+
+// Interaction states.
+const (
+	// InterIdle: app in foreground, user looking but not touching (or
+	// screen static — e.g. music playing). No frames demanded.
+	InterIdle Interaction = iota
+	// InterTouch: discrete tap (button, like, pause); short frame burst.
+	InterTouch
+	// InterScroll: continuous fling/drag; frames at full refresh rate.
+	InterScroll
+	// InterWatch: media playback; frames at the content's rate.
+	InterWatch
+	// InterPlay: active gameplay; continuous render loop.
+	InterPlay
+	// InterLoading: app start / level load; splash screen with heavy CPU
+	// work and no frame production (FPS ≈ 0 at high load — the case the
+	// paper uses to break utilization-driven management).
+	InterLoading
+)
+
+var interNames = [...]string{"idle", "touch", "scroll", "watch", "play", "loading"}
+
+// String returns the lowercase interaction name.
+func (i Interaction) String() string {
+	if int(i) < len(interNames) {
+		return interNames[i]
+	}
+	return fmt.Sprintf("Interaction(%d)", int(i))
+}
+
+// FrameJob is the rendering cost of one frame in work units. A work
+// unit is one core-cycle at IPC 1; a cluster drains
+// f × IPC × parallelism units per second.
+type FrameJob struct {
+	CPUWork     float64 // render-thread work on the big cluster
+	GPUWork     float64 // rasterization/composition on the GPU
+	Parallelism float64 // effective cores the CPU stage can use
+}
+
+// Demand is what the app asks of the platform on a given tick.
+type Demand struct {
+	// WantFrame reports a frame is ready to start rendering.
+	WantFrame bool
+	// BigBg/LittleBg/GPUBg are background demands expressed as a
+	// fraction of the cluster's MAXIMUM capacity — i.e. a fixed
+	// operations-per-second rate independent of the current frequency
+	// (audio decode, network, prefetch, game logic, video decode do the
+	// same work regardless of clock). Inelastic demand is what makes a
+	// utilization governor hold frequency up at zero FPS, the waste the
+	// paper measures; at low clocks the same demand saturates the
+	// cluster instead.
+	BigBg    float64
+	LittleBg float64
+	GPUBg    float64
+}
+
+// App is a mobile application instance participating in a session. Apps
+// are stateful (video cadence, loading progress) and single-session;
+// call Reset before reuse.
+type App interface {
+	// Name is the Play-store-style identity used to key Q-tables.
+	Name() string
+	// Class is the app category.
+	Class() Class
+	// Tick advances internal state by dtUS at nowUS under the given
+	// interaction and returns the instantaneous demand.
+	Tick(nowUS, dtUS int64, inter Interaction, rng *rand.Rand) Demand
+	// StartFrame draws the next frame's cost; the engine calls it
+	// exactly once per frame it begins rendering, which also clears any
+	// pending cadence demand.
+	StartFrame(inter Interaction, rng *rand.Rand) FrameJob
+	// Reset restores pristine state for a new session.
+	Reset()
+}

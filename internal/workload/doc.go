@@ -1,0 +1,21 @@
+// Package workload models mobile applications as the paper
+// characterizes them: dynamic programs whose frame demand and CPU/GPU
+// load vary with the user's interaction. Each app is a Profile —
+// per-frame CPU/GPU cost distributions, a demand cadence (event-driven
+// UI, fixed-rate video, or continuous game loop) and background
+// utilization that persists even when no frames are produced.
+//
+// The six Google Play applications of the paper's evaluation (Facebook,
+// Spotify, Chrome, Lineage 2 Revolution, PubG Mobile, YouTube) plus the
+// home screen are provided as presets. Their parameters are synthetic
+// but chosen to reproduce the phenomena the paper's Fig. 1 documents:
+//
+//   - Facebook: bursty 40–60 FPS during scrolls, near-zero while reading;
+//   - Spotify: FPS ≈ 0 for long stretches while background audio and
+//     network work keeps CPU utilization — and hence schedutil's
+//     frequency choice — high (the paper's headline waste case);
+//   - games: sustained 60 FPS demand with heavy GPU frames, preceded by
+//     a loading splash (high CPU, zero FPS — the scenario Section II
+//     uses against utilization-driven baselines);
+//   - YouTube: fixed ~30 FPS video cadence with decode load.
+package workload

@@ -1,0 +1,151 @@
+package workload
+
+// Preset app names (also the Q-table keys the agent persists under).
+const (
+	NameHome     = "home"
+	NameFacebook = "facebook"
+	NameSpotify  = "spotify"
+	NameChrome   = "chrome"
+	NameLineage  = "lineage2revolution"
+	NamePubG     = "pubgmobile"
+	NameYouTube  = "youtube"
+)
+
+// Work-unit intuition: the big cluster drains f × IPC × parallelism
+// units/s; at 1.5 GHz, IPC 2.2, parallelism 1.3 that is ≈4.3e9 units/s,
+// so a 2.8e7-unit frame costs ≈6.5 ms — comfortably inside a 16.7 ms
+// VSync at mid frequency, but ≈15 ms at the 650 MHz floor. That gap is
+// what DVFS policies trade power against.
+
+// Home returns the launcher/home-screen workload.
+func Home() *ProfileApp {
+	return NewProfileApp(Profile{
+		Name: NameHome, Class: ClassLauncher,
+		FrameCPUMean: 1.6e7, FrameGPUMean: 3.0e7, FrameJitter: 0.25, Parallelism: 1.3,
+		ActiveBigBg: 0.06, ActiveLittleBg: 0.10, ActiveGPUBg: 0.02,
+		IdleBigBg: 0.02, IdleLittleBg: 0.05, IdleGPUBg: 0.0,
+		LoadingBigBg: 0.3, LoadingLittleBg: 0.3,
+		BgJitter: 0.3,
+	})
+}
+
+// Facebook returns the social-feed workload: heavy scroll frames,
+// notable feed-prefetch background, long reading pauses.
+func Facebook() *ProfileApp {
+	return NewProfileApp(Profile{
+		Name: NameFacebook, Class: ClassSocial,
+		FrameCPUMean: 3.4e7, FrameGPUMean: 5.2e7, FrameJitter: 0.35, Parallelism: 1.4,
+		// Feed prefetch, media autoplay and tracking keep a hefty
+		// inelastic load running even while the user reads.
+		ActiveBigBg: 0.34, ActiveLittleBg: 0.34, ActiveGPUBg: 0.03,
+		IdleBigBg: 0.30, IdleLittleBg: 0.30, IdleGPUBg: 0.01,
+		LoadingBigBg: 0.85, LoadingLittleBg: 0.55,
+		BgJitter: 0.35,
+	})
+}
+
+// Spotify returns the music workload: the Fig. 1 waste case — FPS near
+// zero for long stretches while the audio/network pipeline keeps CPU
+// utilization (and schedutil's frequency pick) high.
+func Spotify() *ProfileApp {
+	return NewProfileApp(Profile{
+		Name: NameSpotify, Class: ClassMusic,
+		FrameCPUMean: 2.3e7, FrameGPUMean: 4.2e7, FrameJitter: 0.30, Parallelism: 1.3,
+		ActiveBigBg: 0.52, ActiveLittleBg: 0.48, ActiveGPUBg: 0.02,
+		// Music keeps playing while the user idles: background stays up
+		// (audio decode, network prefetch, DRM — a fixed ops rate that
+		// keeps schedutil's big-cluster pick at the 1.8–2 GHz band
+		// Fig. 1 records while FPS sits at zero).
+		IdleBigBg: 0.48, IdleLittleBg: 0.45, IdleGPUBg: 0.01,
+		LoadingBigBg: 0.8, LoadingLittleBg: 0.5,
+		BgJitter: 0.30,
+	})
+}
+
+// Chrome returns the web-browser workload: expensive layout/paint
+// frames and page-load CPU bursts.
+func Chrome() *ProfileApp {
+	return NewProfileApp(Profile{
+		Name: NameChrome, Class: ClassBrowser,
+		FrameCPUMean: 3.3e7, FrameGPUMean: 5.6e7, FrameJitter: 0.40, Parallelism: 1.6,
+		ActiveBigBg: 0.22, ActiveLittleBg: 0.26, ActiveGPUBg: 0.03,
+		IdleBigBg: 0.08, IdleLittleBg: 0.15, IdleGPUBg: 0.01,
+		LoadingBigBg: 0.9, LoadingLittleBg: 0.5,
+		BgJitter: 0.35,
+	})
+}
+
+// Lineage returns Lineage 2 Revolution — the paper's "very
+// computationally intensive game": sustained 60 FPS demand, heavy GPU
+// frames, long level-loading splash.
+func Lineage() *ProfileApp {
+	return NewProfileApp(Profile{
+		Name: NameLineage, Class: ClassGame,
+		FrameCPUMean: 1.40e8, FrameGPUMean: 1.18e8, FrameJitter: 0.40, Parallelism: 2.5,
+		GameFPS:     60,
+		ActiveBigBg: 0.18, ActiveLittleBg: 0.22, ActiveGPUBg: 0.0,
+		IdleBigBg: 0.06, IdleLittleBg: 0.12, IdleGPUBg: 0.0,
+		LoadingBigBg: 0.95, LoadingLittleBg: 0.6,
+		BgJitter: 0.25,
+	})
+}
+
+// PubG returns PubG Mobile: slightly lighter frames than Lineage but the
+// same continuous-render shape.
+func PubG() *ProfileApp {
+	return NewProfileApp(Profile{
+		Name: NamePubG, Class: ClassGame,
+		FrameCPUMean: 1.22e8, FrameGPUMean: 1.02e8, FrameJitter: 0.45, Parallelism: 2.4,
+		GameFPS:     60,
+		ActiveBigBg: 0.16, ActiveLittleBg: 0.20, ActiveGPUBg: 0.0,
+		IdleBigBg: 0.06, IdleLittleBg: 0.10, IdleGPUBg: 0.0,
+		LoadingBigBg: 0.95, LoadingLittleBg: 0.6,
+		BgJitter: 0.25,
+	})
+}
+
+// YouTube returns the video-streaming workload: fixed ~30 FPS content
+// cadence, decode work carried as LITTLE/GPU background.
+func YouTube() *ProfileApp {
+	return NewProfileApp(Profile{
+		Name: NameYouTube, Class: ClassVideo,
+		FrameCPUMean: 1.3e7, FrameGPUMean: 4.6e7, FrameJitter: 0.20, Parallelism: 1.2,
+		VideoFPS: 30,
+		// Streaming keeps a bursty inelastic pipeline hot: network
+		// spikes + demux on big, decode on LITTLE, composition on the
+		// GPU. The bursts (high jitter) are what drag a headroom-chasing
+		// governor to frequencies the steady decode never needs.
+		ActiveBigBg: 0.26, ActiveLittleBg: 0.44, ActiveGPUBg: 0.14,
+		IdleBigBg: 0.26, IdleLittleBg: 0.44, IdleGPUBg: 0.14,
+		LoadingBigBg: 0.8, LoadingLittleBg: 0.5,
+		BgJitter: 0.55,
+	})
+}
+
+// ByName returns the preset app with the given name, or nil.
+func ByName(name string) *ProfileApp {
+	switch name {
+	case NameHome:
+		return Home()
+	case NameFacebook:
+		return Facebook()
+	case NameSpotify:
+		return Spotify()
+	case NameChrome:
+		return Chrome()
+	case NameLineage:
+		return Lineage()
+	case NamePubG:
+		return PubG()
+	case NameYouTube:
+		return YouTube()
+	default:
+		return nil
+	}
+}
+
+// EvaluationApps returns the six Play-store apps of the paper's
+// evaluation (Fig. 7 / Fig. 8), in the paper's presentation order.
+func EvaluationApps() []*ProfileApp {
+	return []*ProfileApp{Facebook(), Lineage(), PubG(), Spotify(), Chrome(), YouTube()}
+}

@@ -1,0 +1,177 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Profile parameterizes a ProfileApp. Work values are in work units
+// (core-cycles at IPC 1); see FrameJob.
+type Profile struct {
+	Name  string
+	Class Class
+
+	// FrameCPUMean/FrameGPUMean are the mean per-frame costs during
+	// interactive rendering; Jitter is the ± uniform spread fraction.
+	FrameCPUMean float64
+	FrameGPUMean float64
+	FrameJitter  float64
+	// Parallelism is how many big cores the render path can use.
+	Parallelism float64
+
+	// VideoFPS > 0 gives InterWatch a fixed frame cadence (e.g. 30).
+	VideoFPS int
+	// GameFPS > 0 gives InterPlay a continuous render loop targeting
+	// that rate (demand-limited by the pipeline, so effectively "as fast
+	// as VSync allows" at 60).
+	GameFPS int
+
+	// Background utilizations while the app is foreground and the user
+	// is actively engaging (scroll/touch/play/watch).
+	ActiveBigBg, ActiveLittleBg, ActiveGPUBg float64
+	// Background utilizations while the user idles in the app. For
+	// Spotify these stay high (audio pipeline) — the Fig. 1 waste case.
+	IdleBigBg, IdleLittleBg, IdleGPUBg float64
+	// Loading-phase background: splash screen with hot CPUs and no
+	// frames.
+	LoadingBigBg, LoadingLittleBg float64
+	// BgJitter adds ± uniform noise to background utilizations so
+	// schedutil sees realistic fluctuation.
+	BgJitter float64
+}
+
+// Validate reports a configuration error, or nil.
+func (p *Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("workload: profile needs a name")
+	case p.FrameCPUMean <= 0 || p.FrameGPUMean <= 0:
+		return fmt.Errorf("workload: profile %q needs positive frame costs", p.Name)
+	case p.Parallelism <= 0:
+		return fmt.Errorf("workload: profile %q needs positive parallelism", p.Name)
+	case p.FrameJitter < 0 || p.FrameJitter >= 1:
+		return fmt.Errorf("workload: profile %q jitter must be in [0,1)", p.Name)
+	case p.VideoFPS < 0 || p.GameFPS < 0:
+		return fmt.Errorf("workload: profile %q rates must be non-negative", p.Name)
+	}
+	return nil
+}
+
+// ProfileApp is the single App implementation: behaviour comes entirely
+// from the Profile. All seven paper workloads are ProfileApps.
+type ProfileApp struct {
+	p Profile
+
+	pendingFrame bool
+	nextCadence  int64 // next watch/play frame due time (µs)
+}
+
+// NewProfileApp builds an app from a profile, panicking on invalid
+// profiles (presets are code, not input).
+func NewProfileApp(p Profile) *ProfileApp {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &ProfileApp{p: p}
+}
+
+// Name implements App.
+func (a *ProfileApp) Name() string { return a.p.Name }
+
+// Class implements App.
+func (a *ProfileApp) Class() Class { return a.p.Class }
+
+// Profile returns a copy of the app's parameters.
+func (a *ProfileApp) Profile() Profile { return a.p }
+
+// Reset implements App.
+func (a *ProfileApp) Reset() {
+	a.pendingFrame = false
+	a.nextCadence = 0
+}
+
+// Tick implements App.
+func (a *ProfileApp) Tick(nowUS, dtUS int64, inter Interaction, rng *rand.Rand) Demand {
+	var d Demand
+	switch inter {
+	case InterScroll, InterTouch:
+		// Event-driven UI rendering: redraw continuously while the
+		// gesture lasts (Android invalidates on every input event).
+		a.pendingFrame = true
+		d.BigBg, d.LittleBg, d.GPUBg = a.p.ActiveBigBg, a.p.ActiveLittleBg, a.p.ActiveGPUBg
+	case InterPlay:
+		fps := a.p.GameFPS
+		if fps <= 0 {
+			fps = 60
+		}
+		a.cadence(nowUS, int64(1_000_000/fps))
+		d.BigBg, d.LittleBg, d.GPUBg = a.p.ActiveBigBg, a.p.ActiveLittleBg, a.p.ActiveGPUBg
+	case InterWatch:
+		fps := a.p.VideoFPS
+		if fps <= 0 {
+			fps = 30
+		}
+		a.cadence(nowUS, int64(1_000_000/fps))
+		d.BigBg, d.LittleBg, d.GPUBg = a.p.ActiveBigBg, a.p.ActiveLittleBg, a.p.ActiveGPUBg
+	case InterLoading:
+		a.pendingFrame = false
+		a.nextCadence = 0
+		d.BigBg, d.LittleBg = a.p.LoadingBigBg, a.p.LoadingLittleBg
+	default: // InterIdle
+		a.pendingFrame = false
+		a.nextCadence = 0
+		d.BigBg, d.LittleBg, d.GPUBg = a.p.IdleBigBg, a.p.IdleLittleBg, a.p.IdleGPUBg
+	}
+	if a.p.BgJitter > 0 {
+		d.BigBg = jitter(d.BigBg, a.p.BgJitter, rng)
+		d.LittleBg = jitter(d.LittleBg, a.p.BgJitter, rng)
+		d.GPUBg = jitter(d.GPUBg, a.p.BgJitter, rng)
+	}
+	d.WantFrame = a.pendingFrame
+	return d
+}
+
+// cadence arms the pending flag when the fixed-rate clock elapses.
+func (a *ProfileApp) cadence(nowUS, periodUS int64) {
+	if a.nextCadence == 0 {
+		a.nextCadence = nowUS // first frame immediately
+	}
+	if nowUS >= a.nextCadence {
+		a.pendingFrame = true
+		// Catch up without accumulating debt when rendering stalled.
+		for a.nextCadence <= nowUS {
+			a.nextCadence += periodUS
+		}
+	}
+}
+
+// StartFrame implements App.
+func (a *ProfileApp) StartFrame(inter Interaction, rng *rand.Rand) FrameJob {
+	a.pendingFrame = false
+	return FrameJob{
+		CPUWork:     jittered(a.p.FrameCPUMean, a.p.FrameJitter, rng),
+		GPUWork:     jittered(a.p.FrameGPUMean, a.p.FrameJitter, rng),
+		Parallelism: a.p.Parallelism,
+	}
+}
+
+func jittered(mean, j float64, rng *rand.Rand) float64 {
+	if j <= 0 || rng == nil {
+		return mean
+	}
+	return mean * (1 + j*(2*rng.Float64()-1))
+}
+
+func jitter(v, j float64, rng *rand.Rand) float64 {
+	if v <= 0 || rng == nil {
+		return v
+	}
+	v *= 1 + j*(2*rng.Float64()-1)
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,243 @@
+// Package nextdvfs is the public API of the Next reproduction: a
+// user-interaction-aware reinforcement-learning DVFS agent for CPU-GPU
+// mobile MPSoCs (Dey et al., DATE 2020), together with the simulated
+// Galaxy Note 9 platform it is evaluated on.
+//
+// The three entry points cover the common workflows:
+//
+//   - Run executes one user session on the simulated handset under a
+//     chosen management scheme and returns power/thermal/QoS results;
+//   - TrainAgent trains a Next agent on an application the way the
+//     paper does (repeated sessions until the Q-table converges);
+//   - NewFleet wires several simulated devices into the federated
+//     training flow of the paper's Section IV-C.
+//
+// Applications are referenced by preset name (see Apps) and all
+// randomness flows from explicit seeds, so every run is reproducible.
+package nextdvfs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nextdvfs/internal/cloud"
+	"nextdvfs/internal/core"
+	"nextdvfs/internal/ctrl"
+	"nextdvfs/internal/exp"
+	"nextdvfs/internal/governor"
+	"nextdvfs/internal/session"
+	"nextdvfs/internal/sim"
+	"nextdvfs/internal/workload"
+)
+
+// Re-exported result and agent types.
+type (
+	// Result summarizes one simulated session.
+	Result = sim.Result
+	// Sample is one trace row of a Result.
+	Sample = sim.Sample
+	// Agent is the Next reinforcement-learning agent.
+	Agent = core.Agent
+	// AgentConfig tunes the agent (defaults follow the paper).
+	AgentConfig = core.AgentConfig
+	// TrainStats reports a training run.
+	TrainStats = exp.TrainStats
+	// Store persists Q-tables on disk, one JSON file per app.
+	Store = core.Store
+	// Fleet is a set of devices doing federated training.
+	Fleet = cloud.Fleet
+)
+
+// DefaultAgentConfig returns the paper-faithful agent configuration.
+func DefaultAgentConfig() AgentConfig { return core.DefaultAgentConfig() }
+
+// Scheme selects the power/thermal management stack for a Run.
+type Scheme string
+
+// Available schemes.
+const (
+	// SchemeSchedutil is stock Android's utilization governor with
+	// touch input boost (the paper's baseline).
+	SchemeSchedutil Scheme = "schedutil"
+	// SchemeNext is the paper's agent on top of schedutil. Supply a
+	// trained Agent in RunOptions, or a fresh one is created.
+	SchemeNext Scheme = "next"
+	// SchemeIntQoS is the Int. QoS PM baseline (games only; other apps
+	// fall back to schedutil behaviour).
+	SchemeIntQoS Scheme = "intqospm"
+	// SchemePerformance / SchemePowersave pin every cluster to its
+	// cap / floor — the classic bracketing governors.
+	SchemePerformance Scheme = "performance"
+	SchemePowersave   Scheme = "powersave"
+	// SchemeThermalCap is a kernel-thermal-zone-style controller on top
+	// of schedutil: user-blind capping on the big sensor's trip point
+	// (extension baseline).
+	SchemeThermalCap Scheme = "thermalcap"
+)
+
+// Apps returns the preset application names: the six Play-store apps of
+// the paper's evaluation plus the home screen.
+func Apps() []string {
+	return []string{
+		workload.NameHome, workload.NameFacebook, workload.NameSpotify,
+		workload.NameChrome, workload.NameLineage, workload.NamePubG,
+		workload.NameYouTube,
+	}
+}
+
+// RunOptions configures a single simulated session.
+type RunOptions struct {
+	// App is a preset name from Apps. Required unless Fig1Session.
+	App string
+	// Seconds is the session length (0 → the paper's per-class default:
+	// 5 min for games, 1.5–3 min otherwise).
+	Seconds float64
+	// Fig1Session replays the paper's home→Facebook→Spotify session
+	// instead of a single app.
+	Fig1Session bool
+	// Scheme picks the management stack (default SchemeSchedutil).
+	Scheme Scheme
+	// Agent supplies a (possibly trained) Next agent for SchemeNext.
+	Agent *Agent
+	// Seed drives the session's stochastic interaction (default 1).
+	Seed int64
+	// RecordEverySec samples the trace at this period (0 → 1 s).
+	RecordEverySec float64
+}
+
+// Run simulates one session on the Note 9 and returns its Result.
+func Run(opts RunOptions) (Result, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	tl, err := timelineFor(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg := sim.Note9Config(tl, opts.Seed)
+	if opts.RecordEverySec > 0 {
+		cfg.RecordIntervalUS = int64(opts.RecordEverySec * 1e6)
+	}
+	switch opts.Scheme {
+	case "", SchemeSchedutil:
+		// Note9Config default.
+	case SchemeNext:
+		agent := opts.Agent
+		if agent == nil {
+			c := core.DefaultAgentConfig()
+			c.Seed = opts.Seed
+			agent = core.NewAgent(c)
+		}
+		cfg.Controller = agent
+	case SchemeIntQoS:
+		cfg.Controller = exp.NewIntQoS()
+	case SchemeThermalCap:
+		cfg.Controller = governor.NewThermalCap(governor.DefaultThermalCapConfig())
+	case SchemePerformance:
+		cfg.Governor = governor.Performance{}
+	case SchemePowersave:
+		cfg.Governor = governor.Powersave{}
+	default:
+		return Result{}, fmt.Errorf("nextdvfs: unknown scheme %q", opts.Scheme)
+	}
+	eng, err := sim.New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return eng.Run(), nil
+}
+
+func timelineFor(opts RunOptions) (*session.Timeline, error) {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	if opts.Fig1Session {
+		return session.Fig1Timeline(rng), nil
+	}
+	app := workload.ByName(opts.App)
+	if app == nil {
+		return nil, fmt.Errorf("nextdvfs: unknown app %q (see Apps())", opts.App)
+	}
+	if opts.Seconds > 0 {
+		return &session.Timeline{Scripts: []session.Script{
+			session.ForApp(app, session.Seconds(opts.Seconds), rng),
+		}}, nil
+	}
+	return session.EvalTimeline(app, rng), nil
+}
+
+// TrainOptions configures TrainAgent.
+type TrainOptions struct {
+	// Sessions bounds the number of training sessions (0 → 16).
+	Sessions int
+	// SessionSeconds is each session's length (0 → 150).
+	SessionSeconds float64
+	// Seed drives training stochasticity.
+	Seed int64
+	// Config overrides the default agent configuration.
+	Config *AgentConfig
+}
+
+// TrainAgent trains a fresh Next agent on the named preset app, exactly
+// as the paper trains on a newly installed application, and returns the
+// agent plus training statistics.
+func TrainAgent(app string, opts TrainOptions) (*Agent, TrainStats, error) {
+	if workload.ByName(app) == nil {
+		return nil, TrainStats{}, fmt.Errorf("nextdvfs: unknown app %q (see Apps())", app)
+	}
+	agent, stats := exp.Train(func() *workload.ProfileApp { return workload.ByName(app) }, exp.TrainOptions{
+		MaxSessions: opts.Sessions,
+		SessionSecs: opts.SessionSeconds,
+		BaseSeed:    opts.Seed,
+		AgentConfig: opts.Config,
+	})
+	return agent, stats, nil
+}
+
+// TrainAgentOn continues training an existing agent on another app (an
+// on-device agent accumulates one Q-table per application).
+func TrainAgentOn(agent *Agent, app string, opts TrainOptions) (TrainStats, error) {
+	if workload.ByName(app) == nil {
+		return TrainStats{}, fmt.Errorf("nextdvfs: unknown app %q (see Apps())", app)
+	}
+	if opts.Sessions <= 0 {
+		opts.Sessions = 16
+	}
+	if opts.SessionSeconds <= 0 {
+		opts.SessionSeconds = 150
+	}
+	for i := 1; i <= opts.Sessions; i++ {
+		seed := opts.Seed + int64(i)
+		rng := rand.New(rand.NewSource(seed))
+		tl := &session.Timeline{Scripts: []session.Script{
+			session.ForApp(workload.ByName(app), session.Seconds(opts.SessionSeconds), rng),
+		}}
+		exp.RunTimeline(tl, seed, agent)
+	}
+	stats := TrainStats{App: app, Sessions: opts.Sessions}
+	if tab := agent.TableFor(app); tab != nil && tab.Table != nil {
+		stats.Converged = tab.Trained
+		stats.TrainedUS = tab.Table.TrainedUS
+		stats.States = tab.Table.States()
+		stats.Steps = tab.Table.Steps
+	}
+	return stats, nil
+}
+
+// NewAgent builds a fresh Next agent.
+func NewAgent(cfg AgentConfig) *Agent { return core.NewAgent(cfg) }
+
+// NewFleet builds a federated-training fleet of n fresh devices with
+// the paper's cloud cost model.
+func NewFleet(n int, cfg AgentConfig) *Fleet {
+	devices := make([]*core.Agent, n)
+	for i := range devices {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i+1)*7919
+		devices[i] = core.NewAgent(c)
+	}
+	return &Fleet{Devices: devices, Trainer: cloud.DefaultTrainerConfig()}
+}
+
+// Controller is the interface a custom management policy implements to
+// plug into Run via sim configuration (advanced use; see internal/ctrl
+// for the contract the Next agent itself satisfies).
+type Controller = ctrl.Controller
