@@ -1,11 +1,17 @@
 // Command nextbench regenerates every figure of the paper's evaluation
-// on the simulated Galaxy Note 9 and prints the rows/series the paper
-// reports. Optionally writes the underlying traces as CSV.
+// on a simulated handset from the platform registry (the paper's Galaxy
+// Note 9 by default) and prints the rows/series the paper reports.
+// Optionally writes the underlying traces as CSV. The experiment grids
+// fan out across a worker pool; -parallel 1 and -parallel 8 print
+// identical numbers.
 //
 // Usage:
 //
 //	nextbench -fig all -seed 42 -out results/
-//	nextbench -fig 7            # just the Fig. 7 power matrix
+//	nextbench -fig 7                       # just the Fig. 7 power matrix
+//	nextbench -fig 7 -platform sd855       # same matrix on another SoC
+//	nextbench -fig 78 -parallel 8          # fan the grid across 8 workers
+//	nextbench -platforms                   # list the registry
 package main
 
 import (
@@ -13,17 +19,34 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
+	"nextdvfs"
 	"nextdvfs/internal/exp"
+	"nextdvfs/internal/platform"
 	"nextdvfs/internal/sim"
 	"nextdvfs/internal/trace"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: 1, 3, 4, 6, 7, 8 or all")
+	fig := flag.String("fig", "all", "figure to reproduce: 1, 3, 4, 6, 7, 8, 78 (7+8 in one pass), refresh or all")
 	seed := flag.Int64("seed", 42, "experiment seed")
 	out := flag.String("out", "", "directory for CSV traces (optional)")
+	plat := flag.String("platform", platform.DefaultName, "simulated device: "+strings.Join(platform.Names(), ", "))
+	parallel := flag.Int("parallel", 0, "worker-pool size for experiment grids (0 = GOMAXPROCS, 1 = sequential)")
+	listPlats := flag.Bool("platforms", false, "list registered platforms and exit")
 	flag.Parse()
+
+	if *listPlats {
+		for _, p := range nextdvfs.PlatformInfos() {
+			fmt.Printf("%-14s %3d Hz  %s\n", p.Name, p.RefreshHz, p.Description)
+		}
+		return
+	}
+	if _, err := platform.Get(*plat); err != nil {
+		fmt.Fprintln(os.Stderr, "nextbench:", err)
+		os.Exit(2)
+	}
 
 	want := func(f string) bool { return *fig == "all" || *fig == f }
 
@@ -35,28 +58,28 @@ func main() {
 	}
 
 	if want("1") {
-		runFig1(*seed, *out)
+		runFig1(*plat, *seed, *out)
 	}
 	if want("3") {
-		runFig3(*seed, *out)
+		runFig3(*plat, *seed, *out)
 	}
 	if want("4") {
-		runFig4(*seed)
+		runFig4(*plat, *seed)
 	}
 	if want("6") {
-		runFig6(*seed)
+		runFig6(*plat, *seed, *parallel)
 	}
-	if want("7") || want("8") {
-		runFig78(*seed, *fig)
+	if want("7") || want("8") || *fig == "78" {
+		runFig78(*plat, *seed, *fig, *parallel)
 	}
 	if *fig == "refresh" || *fig == "all" {
-		runHighRefresh(*seed)
+		runHighRefresh(*plat, *seed, *parallel)
 	}
 }
 
-func runHighRefresh(seed int64) {
+func runHighRefresh(plat string, seed int64, parallel int) {
 	fmt.Println("== Extension: high-refresh panels (paper §I mentions 90/120 Hz) ==")
-	rows := exp.HighRefresh(seed)
+	rows := exp.HighRefreshOn(exp.HighRefreshOptions{Seed: seed, Platform: plat, Parallel: parallel})
 	fmt.Printf("%8s %12s %10s %10s %10s %10s\n", "panel", "sched P(W)", "next P(W)", "saving%", "schedFPS", "nextFPS")
 	for _, r := range rows {
 		fmt.Printf("%7dHz %12.2f %10.2f %10.1f %10.1f %10.1f\n",
@@ -68,9 +91,9 @@ func runHighRefresh(seed int64) {
 
 var clusterNames = []string{"big", "LITTLE", "GPU"}
 
-func runFig1(seed int64, out string) {
+func runFig1(plat string, seed int64, out string) {
 	fmt.Println("== Fig. 1: FPS and CPU frequencies, home→Facebook→Spotify on schedutil ==")
-	r := exp.Fig1(seed)
+	r := exp.Fig1On(plat, seed)
 	fmt.Printf("%8s %-10s %-8s %6s %10s %10s\n", "t(s)", "app", "inter", "FPS", "f_big(MHz)", "f_LIT(MHz)")
 	for _, s := range r.Samples {
 		fmt.Printf("%8.0f %-10s %-8s %6.0f %10.0f %10.0f\n",
@@ -82,9 +105,9 @@ func runFig1(seed int64, out string) {
 	saveCSV(out, "fig1_schedutil_trace.csv", r.Samples)
 }
 
-func runFig3(seed int64, out string) {
+func runFig3(plat string, seed int64, out string) {
 	fmt.Println("== Fig. 3: power & big-CPU temperature, schedutil vs Next (same session) ==")
-	r := exp.Fig3(seed)
+	r := exp.Fig3On(plat, seed)
 	fmt.Printf("  avg power:  schedutil %.4f W | Next %.4f W  → saving %.2f%% (paper: 3.5154 → 2.0433 W, 41.88%%)\n",
 		r.Sched.AvgPowerW, r.Next.AvgPowerW, r.PowerSavingPct)
 	fmt.Printf("  avg T_big:  schedutil %.2f °C | Next %.2f °C → rise reduction %.2f%% (paper: 52.33 → 41.33 °C, 21.02%%)\n",
@@ -101,9 +124,9 @@ func runFig3(seed int64, out string) {
 	saveCSV(out, "fig3_next_trace.csv", r.Next.Samples)
 }
 
-func runFig4(seed int64) {
+func runFig4(plat string, seed int64) {
 	fmt.Println("== Fig. 4: PPDW vs FPS on Lineage 2 Revolution ==")
-	r := exp.Fig4(seed)
+	r := exp.Fig4On(plat, seed)
 	fmt.Printf("%8s %10s %10s %10s %s\n", "FPS", "PPDW", "P(W)", "T_big(°C)", "kind")
 	for _, p := range r.Points {
 		kind := "frontier"
@@ -115,9 +138,9 @@ func runFig4(seed int64) {
 	fmt.Printf("bounds: PPDW_worst %.4f < PPDW ≤ PPDW_best %.4f (Eq. 2)\n\n", r.Bounds.Worst, r.Bounds.Best)
 }
 
-func runFig6(seed int64) {
+func runFig6(plat string, seed int64, parallel int) {
 	fmt.Println("== Fig. 6: training time vs FPS state granularity, online vs cloud ==")
-	points := exp.Fig6(exp.Fig6Options{Seed: seed})
+	points := exp.Fig6(exp.Fig6Options{Seed: seed, Platform: plat, Parallel: parallel})
 	fmt.Printf("%10s %12s %12s %10s\n", "FPS levels", "online (s)", "cloud (s)", "converged")
 	for _, p := range points {
 		fmt.Printf("%10d %12.0f %12.0f %10v\n", p.FPSLevels, p.OnlineS, p.CloudS, p.Converged)
@@ -126,10 +149,10 @@ func runFig6(seed int64) {
 	fmt.Println()
 }
 
-func runFig78(seed int64, which string) {
+func runFig78(plat string, seed int64, which string, parallel int) {
 	fmt.Println("== Fig. 7 / Fig. 8: per-app power and peak temperatures by scheme ==")
-	rows := exp.Evaluate(exp.EvalOptions{Seed: seed})
-	if which == "all" || which == "7" {
+	rows := exp.Evaluate(exp.EvalOptions{Seed: seed, Platform: plat, Parallel: parallel})
+	if which == "all" || which == "7" || which == "78" {
 		fmt.Println("-- Fig. 7: average power (W) --")
 		fmt.Printf("%-20s %10s %10s %10s %12s %12s\n", "app", "schedutil", "Next", "IntQoS", "Next sav%", "IntQoS sav%")
 		for _, r := range rows {
@@ -145,7 +168,7 @@ func runFig78(seed int64, which string) {
 		fmt.Println(" paper IntQoS savings: lineage 16.31, pubg 23.84)")
 		fmt.Println()
 	}
-	if which == "all" || which == "8" {
+	if which == "all" || which == "8" || which == "78" {
 		fmt.Println("-- Fig. 8: average peak temperature (°C) --")
 		fmt.Printf("%-20s %9s %9s %9s %9s %9s %9s %11s %11s\n",
 			"app", "schedB", "nextB", "iqB", "schedD", "nextD", "iqD", "nextB red%", "nextD red%")

@@ -1,11 +1,12 @@
-// Command nextsim runs a single simulated session on the Note 9 and
-// prints (or saves) its trace — the quick way to eyeball a governor's
-// behaviour on one workload.
+// Command nextsim runs a single simulated session on a registry
+// platform (the Note 9 by default) and prints (or saves) its trace —
+// the quick way to eyeball a governor's behaviour on one workload.
 //
 // Usage:
 //
 //	nextsim -app spotify -scheme schedutil -seconds 120 -csv out.csv
 //	nextsim -app lineage2revolution -scheme next -train 8
+//	nextsim -app pubgmobile -platform sd855-120hz
 package main
 
 import (
@@ -15,11 +16,13 @@ import (
 	"strings"
 
 	"nextdvfs"
+	"nextdvfs/internal/platform"
 	"nextdvfs/internal/trace"
 )
 
 func main() {
 	app := flag.String("app", "spotify", "application preset: "+strings.Join(nextdvfs.Apps(), ", "))
+	plat := flag.String("platform", platform.DefaultName, "simulated device: "+strings.Join(nextdvfs.Platforms(), ", "))
 	scheme := flag.String("scheme", "schedutil", "management scheme: schedutil, next, intqospm, performance, powersave")
 	seconds := flag.Float64("seconds", 0, "session length (0 = paper default for the app class)")
 	seed := flag.Int64("seed", 1, "session seed")
@@ -30,6 +33,7 @@ func main() {
 
 	opts := nextdvfs.RunOptions{
 		App:            *app,
+		Platform:       *plat,
 		Seconds:        *seconds,
 		Scheme:         nextdvfs.Scheme(*scheme),
 		Seed:           *seed,
@@ -37,7 +41,7 @@ func main() {
 	}
 	if opts.Scheme == nextdvfs.SchemeNext && *train > 0 {
 		agent, stats, err := nextdvfs.TrainAgent(*app, nextdvfs.TrainOptions{
-			Sessions: *train, Seed: *seed,
+			Sessions: *train, Seed: *seed, Platform: *plat,
 		})
 		if err != nil {
 			fatal(err)
@@ -52,7 +56,7 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("session: %s on %s, %.0f s\n", *app, res.Scheme, res.DurationS)
+	fmt.Printf("session: %s on %s (%s), %.0f s\n", *app, res.Scheme, *plat, res.DurationS)
 	fmt.Printf("  power:   avg %.3f W, peak %.2f W, energy %.1f J\n", res.AvgPowerW, res.PeakPowerW, res.EnergyJ)
 	fmt.Printf("  thermal: big avg %.1f °C peak %.1f °C | device avg %.1f °C peak %.1f °C\n",
 		res.AvgTempBigC, res.PeakTempBigC, res.AvgTempDevC, res.PeakTempDevC)

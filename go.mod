@@ -1,0 +1,3 @@
+module nextdvfs
+
+go 1.24

@@ -1,0 +1,178 @@
+// Package batch is the parallel run orchestrator: it fans a grid of
+// simulation jobs (app × scheme × seed × platform) out across a worker
+// pool, one private sim.Engine per job, and returns results in
+// deterministic job order regardless of worker count. Determinism is
+// structural, not accidental: a Job owns everything mutable (its Build
+// factory constructs a fresh config, chip, models and timeline), so the
+// schedule cannot leak between runs — same-grid outputs are
+// byte-identical at -parallel 1 and -parallel 8, the invariant
+// deterministic-simulator practice demands and the batch tests pin.
+package batch
+
+import (
+	"runtime"
+	"sync"
+
+	"nextdvfs/internal/sim"
+)
+
+// Job is one simulation in a grid. App/Scheme/Platform/Seed are labels
+// carried through to the result for reporting and grouping; Build does
+// the work: it must return a fresh, fully independent sim.Config every
+// call (no shared chips, models, timelines or controllers with any
+// other concurrently runnable job).
+type Job struct {
+	App      string
+	Scheme   string
+	Platform string
+	Seed     int64
+	Build    func() (sim.Config, error)
+}
+
+// RunResult pairs a job's labels with its simulation outcome. Err is a
+// string (empty = success) so result slices marshal and compare
+// byte-for-byte in determinism checks.
+type RunResult struct {
+	Index    int
+	App      string
+	Scheme   string
+	Platform string
+	Seed     int64
+	Result   sim.Result
+	Err      string
+}
+
+// Options sizes the worker pool.
+type Options struct {
+	// Parallel is the worker count; 0 or negative means GOMAXPROCS.
+	Parallel int
+}
+
+func (o Options) workers(n int) int {
+	w := o.Parallel
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes every job on the pool and returns one RunResult per job,
+// in job order. A job that fails to build or validate reports its error
+// in the result instead of aborting the grid.
+func Run(jobs []Job, opts Options) []RunResult {
+	results := make([]RunResult, len(jobs))
+	Map(len(jobs), opts.Parallel, func(i int) {
+		results[i] = runJob(i, jobs[i])
+	})
+	return results
+}
+
+func runJob(i int, j Job) RunResult {
+	rr := RunResult{Index: i, App: j.App, Scheme: j.Scheme, Platform: j.Platform, Seed: j.Seed}
+	cfg, err := j.Build()
+	if err != nil {
+		rr.Err = err.Error()
+		return rr
+	}
+	eng, err := sim.New(cfg)
+	if err != nil {
+		rr.Err = err.Error()
+		return rr
+	}
+	rr.Result = eng.Run()
+	return rr
+}
+
+// Map runs fn(0..n-1) across min(parallel, n) workers (parallel ≤ 0 →
+// GOMAXPROCS) and returns when all calls finish. It is the generic
+// fan-out under Run, and what experiment drivers use when one grid cell
+// is more than a single simulation (e.g. train-then-evaluate per app).
+// fn must confine its writes to cell i of the caller's result slice.
+func Map(n, parallel int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Options{Parallel: parallel}.workers(n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// Aggregate summarizes a grid: unweighted per-job means and grid-wide
+// peaks of the headline quantities (each job counts once regardless of
+// its session length).
+type Aggregate struct {
+	Jobs   int
+	Errors int
+	// MeanAvgPowerW / MeanAvgFPS / MeanActiveFPS average the per-session
+	// averages over the successful jobs.
+	MeanAvgPowerW float64
+	MeanAvgFPS    float64
+	MeanActiveFPS float64
+	// PeakPowerW / PeakTempBigC / PeakTempDevC are grid-wide maxima.
+	PeakPowerW   float64
+	PeakTempBigC float64
+	PeakTempDevC float64
+	// TotalEnergyJ and TotalSimS integrate across the grid.
+	TotalEnergyJ float64
+	TotalSimS    float64
+}
+
+// Aggregated folds a result slice into an Aggregate.
+func Aggregated(results []RunResult) Aggregate {
+	var a Aggregate
+	a.Jobs = len(results)
+	ok := 0
+	for _, r := range results {
+		if r.Err != "" {
+			a.Errors++
+			continue
+		}
+		ok++
+		a.MeanAvgPowerW += r.Result.AvgPowerW
+		a.MeanAvgFPS += r.Result.AvgFPS
+		a.MeanActiveFPS += r.Result.ActiveAvgFPS
+		if r.Result.PeakPowerW > a.PeakPowerW {
+			a.PeakPowerW = r.Result.PeakPowerW
+		}
+		if r.Result.PeakTempBigC > a.PeakTempBigC {
+			a.PeakTempBigC = r.Result.PeakTempBigC
+		}
+		if r.Result.PeakTempDevC > a.PeakTempDevC {
+			a.PeakTempDevC = r.Result.PeakTempDevC
+		}
+		a.TotalEnergyJ += r.Result.EnergyJ
+		a.TotalSimS += r.Result.DurationS
+	}
+	if ok > 0 {
+		a.MeanAvgPowerW /= float64(ok)
+		a.MeanAvgFPS /= float64(ok)
+		a.MeanActiveFPS /= float64(ok)
+	}
+	return a
+}

@@ -1,0 +1,130 @@
+package batch
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"nextdvfs/internal/platform"
+	"nextdvfs/internal/session"
+	"nextdvfs/internal/sim"
+	"nextdvfs/internal/workload"
+)
+
+// gridJobs builds a small app × scheme × seed × platform grid. Every
+// job owns its timeline and config; schemes are schedutil vs
+// powersave-pinned governor so no controller state is shared.
+func gridJobs() []Job {
+	var jobs []Job
+	for _, app := range []string{workload.NameSpotify, workload.NamePubG} {
+		for _, seed := range []int64{1, 2} {
+			for _, platName := range []string{"note9", "sd855"} {
+				app, seed, platName := app, seed, platName
+				jobs = append(jobs, Job{
+					App: app, Scheme: "schedutil", Platform: platName, Seed: seed,
+					Build: func() (sim.Config, error) {
+						p := platform.MustGet(platName)
+						rng := rand.New(rand.NewSource(seed))
+						tl := &session.Timeline{Scripts: []session.Script{
+							session.ForApp(workload.ByName(app), session.Seconds(20), rng),
+						}}
+						return p.Config(tl, seed), nil
+					},
+				})
+			}
+		}
+	}
+	return jobs
+}
+
+// The tentpole invariant: the same grid yields byte-identical results
+// at -parallel 1 and -parallel 8.
+func TestRunDeterministicAcrossParallelism(t *testing.T) {
+	serial := Run(gridJobs(), Options{Parallel: 1})
+	parallel := Run(gridJobs(), Options{Parallel: 8})
+
+	a, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("parallel grid diverged from serial grid")
+	}
+}
+
+func TestRunPreservesJobOrderAndLabels(t *testing.T) {
+	jobs := gridJobs()
+	results := Run(jobs, Options{Parallel: 4})
+	if len(results) != len(jobs) {
+		t.Fatalf("results = %d, want %d", len(results), len(jobs))
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Fatalf("result %d has index %d", i, r.Index)
+		}
+		if r.App != jobs[i].App || r.Platform != jobs[i].Platform || r.Seed != jobs[i].Seed {
+			t.Fatalf("result %d labels %+v do not match job %+v", i, r, jobs[i])
+		}
+		if r.Err != "" {
+			t.Fatalf("job %d failed: %s", i, r.Err)
+		}
+		if r.Result.DurationS != 20 {
+			t.Fatalf("job %d duration %g", i, r.Result.DurationS)
+		}
+	}
+}
+
+func TestRunReportsBuildErrorsWithoutAborting(t *testing.T) {
+	jobs := gridJobs()[:2]
+	jobs[0].Build = func() (sim.Config, error) { return sim.Config{}, nil } // invalid: fails sim.New
+	results := Run(jobs, Options{})
+	if results[0].Err == "" {
+		t.Fatal("invalid config must surface an error")
+	}
+	if results[1].Err != "" {
+		t.Fatalf("healthy job poisoned: %s", results[1].Err)
+	}
+}
+
+func TestMapCoversEveryIndexOnce(t *testing.T) {
+	for _, par := range []int{1, 3, 16} {
+		var counts [100]int32
+		Map(len(counts), par, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("parallel=%d: index %d ran %d times", par, i, c)
+			}
+		}
+	}
+	Map(0, 4, func(int) { t.Fatal("Map(0) must not call fn") })
+}
+
+func TestAggregated(t *testing.T) {
+	results := []RunResult{
+		{Result: sim.Result{AvgPowerW: 2, PeakPowerW: 5, AvgFPS: 30, ActiveAvgFPS: 50, PeakTempBigC: 60, PeakTempDevC: 35, EnergyJ: 100, DurationS: 50}},
+		{Result: sim.Result{AvgPowerW: 4, PeakPowerW: 9, AvgFPS: 50, ActiveAvgFPS: 60, PeakTempBigC: 40, PeakTempDevC: 45, EnergyJ: 300, DurationS: 70}},
+		{Err: "boom"},
+	}
+	a := Aggregated(results)
+	if a.Jobs != 3 || a.Errors != 1 {
+		t.Fatalf("jobs/errors = %d/%d", a.Jobs, a.Errors)
+	}
+	if a.MeanAvgPowerW != 3 || a.PeakPowerW != 9 {
+		t.Fatalf("power agg = %g/%g", a.MeanAvgPowerW, a.PeakPowerW)
+	}
+	if a.MeanAvgFPS != 40 || a.MeanActiveFPS != 55 {
+		t.Fatalf("fps agg = %g/%g", a.MeanAvgFPS, a.MeanActiveFPS)
+	}
+	if a.PeakTempBigC != 60 || a.PeakTempDevC != 45 {
+		t.Fatalf("temp agg = %g/%g", a.PeakTempBigC, a.PeakTempDevC)
+	}
+	if a.TotalEnergyJ != 400 || a.TotalSimS != 120 {
+		t.Fatalf("totals = %g/%g", a.TotalEnergyJ, a.TotalSimS)
+	}
+}

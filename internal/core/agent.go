@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"sort"
 
 	"nextdvfs/internal/ctrl"
 )
@@ -356,6 +357,7 @@ func (a *Agent) Apps() []string {
 	for n := range a.tables {
 		names = append(names, n)
 	}
+	sort.Strings(names)
 	return names
 }
 

@@ -69,7 +69,7 @@ func TestStateKeyQuantizesFPS(t *testing.T) {
 
 func TestStateKeyWithinMaxStates(t *testing.T) {
 	ss := exynosSpace()
-	max := ss.MaxStates()
+	maxStates := ss.MaxStates()
 	rng := rand.New(rand.NewSource(15))
 	f := func(b, l, g, fpsS, tgS, pS, tbS, tdS uint8) bool {
 		snap, target := snapWith(
@@ -77,7 +77,7 @@ func TestStateKeyWithinMaxStates(t *testing.T) {
 			float64(fpsS%61), float64(tgS%61),
 			float64(pS)/16, 20+float64(tbS%76), 20+float64(tdS%76),
 		)
-		return uint64(ss.Key(snap, target)) < max
+		return uint64(ss.Key(snap, target)) < maxStates
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rng}); err != nil {
 		t.Fatal(err)

@@ -3,8 +3,7 @@ package exp
 import (
 	"nextdvfs/internal/ctrl"
 	"nextdvfs/internal/governor"
-	"nextdvfs/internal/power"
-	"nextdvfs/internal/soc"
+	"nextdvfs/internal/platform"
 )
 
 // pinController pins cluster frequencies once at the first control tick
@@ -34,8 +33,15 @@ func (p *pinController) Reset()                  { p.done = false }
 // model — its published cost model gets the same fidelity the simulator
 // burns with.
 func NewIntQoS() ctrl.Controller {
-	chip := soc.Exynos9810()
-	pm := power.Exynos9810Model()
+	return NewIntQoSOn(platform.MustGet(platform.DefaultName))
+}
+
+// NewIntQoSOn builds Int. QoS PM against the given platform's own chip
+// and power model, so the baseline's cost model tracks whatever device
+// the grid is sweeping.
+func NewIntQoSOn(p platform.Platform) ctrl.Controller {
+	chip := p.NewChip()
+	pm := p.NewPower()
 	est := func(cluster string, idx int, util float64) float64 {
 		c := chip.Cluster(cluster)
 		if c == nil {

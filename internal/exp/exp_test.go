@@ -2,6 +2,7 @@ package exp
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"nextdvfs/internal/core"
@@ -142,6 +143,31 @@ func TestFig6CoverageGrowsWithGranularity(t *testing.T) {
 		if p.CloudS < 4 {
 			t.Fatalf("cloud time %.1f s below the comms overhead", p.CloudS)
 		}
+	}
+}
+
+// The full figure matrix must not depend on the worker-pool size: the
+// tentpole invariant, checked end-to-end through Evaluate.
+func TestEvaluateDeterministicAcrossParallelism(t *testing.T) {
+	opts := EvalOptions{Seed: 11, MaxSessions: 2, SessionSecs: 30}
+	opts.Parallel = 1
+	serial := Evaluate(opts)
+	opts.Parallel = 8
+	parallel := Evaluate(opts)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("Evaluate results depend on the worker-pool size")
+	}
+}
+
+// Sweeping the evaluation to another registry platform must work and
+// produce different absolute numbers than the Note 9.
+func TestEvaluateAppOnAlternatePlatform(t *testing.T) {
+	opts := EvalOptions{Seed: 9, MaxSessions: 2, SessionSecs: 30}
+	note9 := EvaluateApp(workload.NameSpotify, opts, nil)
+	opts.Platform = "mid6"
+	mid6 := EvaluateApp(workload.NameSpotify, opts, nil)
+	if note9.Sched.AvgPowerW == mid6.Sched.AvgPowerW {
+		t.Fatal("mid6 reproduced note9 power exactly — platform not applied")
 	}
 }
 

@@ -3,8 +3,10 @@ package exp
 import (
 	"math/rand"
 
+	"nextdvfs/internal/batch"
 	"nextdvfs/internal/cloud"
 	"nextdvfs/internal/core"
+	"nextdvfs/internal/platform"
 	"nextdvfs/internal/session"
 	"nextdvfs/internal/workload"
 )
@@ -35,6 +37,12 @@ type Fig6Options struct {
 	// (tabular RL convergence is noisy; the paper reports averages).
 	Repeats int
 	Trainer cloud.TrainerConfig
+	// Platform names the registry device to sweep on ("" = note9).
+	Platform string
+	// Parallel sizes the batch worker pool for the level×repeat grid
+	// (0 = GOMAXPROCS, 1 = sequential); every cell trains its own agent,
+	// so the sweep is embarrassingly parallel and order-independent.
+	Parallel int
 }
 
 func (o *Fig6Options) defaults() {
@@ -67,12 +75,25 @@ func (o *Fig6Options) defaults() {
 // the trade-off the paper's Fig. 6 sweeps.
 func Fig6(opts Fig6Options) []Fig6Point {
 	opts.defaults()
+	plat := platform.MustGet(opts.Platform)
+
+	// The level×repeat grid fans out across the batch pool: each cell
+	// trains a private agent, and the per-level averages fold the cells
+	// back in fixed (level, repeat) order so worker count cannot change
+	// the floating-point sums.
+	cells := make([]Fig6Point, len(opts.Levels)*opts.Repeats)
+	batch.Map(len(cells), opts.Parallel, func(i int) {
+		levels := opts.Levels[i/opts.Repeats]
+		r := i % opts.Repeats
+		cells[i] = fig6Level(plat, levels, int64(r)*31337, &opts)
+	})
+
 	points := make([]Fig6Point, 0, len(opts.Levels))
-	for _, levels := range opts.Levels {
+	for li, levels := range opts.Levels {
 		var sumOnline float64
 		converged := true
 		for r := 0; r < opts.Repeats; r++ {
-			p := fig6Level(levels, int64(r)*31337, &opts)
+			p := cells[li*opts.Repeats+r]
 			sumOnline += p.OnlineS
 			converged = converged && p.Converged
 		}
@@ -87,8 +108,8 @@ func Fig6(opts Fig6Options) []Fig6Point {
 	return points
 }
 
-func fig6Level(levels int, seedOffset int64, opts *Fig6Options) Fig6Point {
-	cfg := core.DefaultAgentConfig()
+func fig6Level(plat platform.Platform, levels int, seedOffset int64, opts *Fig6Options) Fig6Point {
+	cfg := DefaultAgentConfigFor(plat)
 	cfg.State.FPSLevels = levels
 	cfg.State.TargetLevels = levels
 	cfg.Seed = opts.Seed + int64(levels)*1000 + seedOffset
@@ -102,7 +123,7 @@ func fig6Level(levels int, seedOffset int64, opts *Fig6Options) Fig6Point {
 		tl := &session.Timeline{Scripts: []session.Script{
 			session.ForApp(workload.Facebook(), session.Seconds(opts.SessionSecs), rng),
 		}}
-		runWith(tl, seed, agent)
+		runOn(plat, tl, seed, agent)
 		n := 0
 		if tab := agent.TableFor(appName); tab != nil && tab.Table != nil {
 			n = tab.Table.States()

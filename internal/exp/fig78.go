@@ -2,8 +2,10 @@ package exp
 
 import (
 	"math/rand"
-	"nextdvfs/internal/core"
 
+	"nextdvfs/internal/batch"
+	"nextdvfs/internal/core"
+	"nextdvfs/internal/platform"
 	"nextdvfs/internal/session"
 	"nextdvfs/internal/sim"
 	"nextdvfs/internal/workload"
@@ -38,26 +40,42 @@ type EvalOptions struct {
 	Seed        int64
 	MaxSessions int
 	SessionSecs float64
+	// Platform names the registry device to evaluate on ("" = note9).
+	Platform string
+	// Parallel sizes the batch worker pool (0 = GOMAXPROCS, 1 =
+	// sequential). Results are identical at any setting: each app trains
+	// its own agent and each session run owns a private engine.
+	Parallel int
+}
+
+func (o *EvalOptions) defaults() {
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 12
+	}
+	if o.SessionSecs <= 0 {
+		o.SessionSecs = 120
+	}
 }
 
 // Evaluate runs the full Fig. 7 / Fig. 8 matrix: for each of the six
 // Play-store applications, train Next, then replay an identical
 // evaluation session under schedutil, Next and (for games) Int. QoS PM.
+// The per-app pipelines are independent (one fresh agent each), so they
+// fan out across the batch worker pool; row order is fixed by the app
+// list regardless of worker count.
 func Evaluate(opts EvalOptions) []AppRow {
-	if opts.MaxSessions <= 0 {
-		opts.MaxSessions = 12
-	}
-	if opts.SessionSecs <= 0 {
-		opts.SessionSecs = 120
-	}
+	opts.defaults()
+	plat := platform.MustGet(opts.Platform)
 	makers := []func() *workload.ProfileApp{
 		workload.Facebook, workload.Lineage, workload.PubG,
 		workload.Spotify, workload.Chrome, workload.YouTube,
 	}
-	rows := make([]AppRow, 0, len(makers))
-	for i, mk := range makers {
-		rows = append(rows, evaluateApp(mk, opts, int64(i+1)))
-	}
+	rows := make([]AppRow, len(makers))
+	batch.Map(len(makers), opts.Parallel, func(i int) {
+		// The outer pool already holds the -parallel bound; the per-app
+		// eval grid runs sequentially so worker counts do not multiply.
+		rows[i] = evaluateAppCfg(plat, makers[i], opts, int64(i+1), nil, 1)
+	})
 	return rows
 }
 
@@ -68,21 +86,17 @@ func EvaluateApp(name string, opts EvalOptions, agentCfg *core.AgentConfig) AppR
 	if workload.ByName(name) == nil {
 		panic("exp: unknown app " + name)
 	}
-	if opts.MaxSessions <= 0 {
-		opts.MaxSessions = 12
-	}
-	if opts.SessionSecs <= 0 {
-		opts.SessionSecs = 120
-	}
-	return evaluateAppCfg(func() *workload.ProfileApp { return workload.ByName(name) }, opts, 99, agentCfg)
+	opts.defaults()
+	plat := platform.MustGet(opts.Platform)
+	return evaluateAppCfg(plat, func() *workload.ProfileApp { return workload.ByName(name) }, opts, 99, agentCfg, opts.Parallel)
 }
 
-func evaluateApp(mk func() *workload.ProfileApp, opts EvalOptions, ordinal int64) AppRow {
-	return evaluateAppCfg(mk, opts, ordinal, nil)
-}
-
-func evaluateAppCfg(mk func() *workload.ProfileApp, opts EvalOptions, ordinal int64, agentCfg *core.AgentConfig) AppRow {
+// evalParallel sizes the per-app eval grid's pool: 1 when an outer pool
+// already enforces the -parallel bound, opts.Parallel for direct calls.
+func evaluateAppCfg(plat platform.Platform, mk func() *workload.ProfileApp, opts EvalOptions, ordinal int64, agentCfg *core.AgentConfig, evalParallel int) AppRow {
 	app := mk()
+	name := app.Name()
+	game := app.Class() == workload.ClassGame
 	seed := opts.Seed + ordinal*10_000
 
 	agent, stats := Train(mk, TrainOptions{
@@ -90,31 +104,53 @@ func evaluateAppCfg(mk func() *workload.ProfileApp, opts EvalOptions, ordinal in
 		SessionSecs: opts.SessionSecs,
 		BaseSeed:    seed,
 		AgentConfig: agentCfg,
+		Platform:    plat.Name,
 	})
 
+	// The evaluation sessions form a small scheme grid; each job builds
+	// a private config over a freshly seeded timeline, so the grid is
+	// safe to run on the shared worker pool.
 	evalSeed := seed + 500
 	evalTL := func() *session.Timeline {
 		return session.EvalTimeline(mk(), rand.New(rand.NewSource(evalSeed)))
 	}
-	sched := runWith(evalTL(), evalSeed, nil)
-	next := runWith(evalTL(), evalSeed, agent)
+	jobs := []batch.Job{
+		{App: name, Scheme: "schedutil", Platform: plat.Name, Seed: evalSeed, Build: func() (sim.Config, error) {
+			return plat.Config(evalTL(), evalSeed), nil
+		}},
+		{App: name, Scheme: "next", Platform: plat.Name, Seed: evalSeed, Build: func() (sim.Config, error) {
+			cfg := plat.Config(evalTL(), evalSeed)
+			cfg.Controller = agent
+			return cfg, nil
+		}},
+	}
+	if game {
+		jobs = append(jobs, batch.Job{App: name, Scheme: "intqospm", Platform: plat.Name, Seed: evalSeed, Build: func() (sim.Config, error) {
+			cfg := plat.Config(evalTL(), evalSeed)
+			cfg.Controller = NewIntQoSOn(plat)
+			return cfg, nil
+		}})
+	}
+	res := mustResults(batch.Run(jobs, batch.Options{Parallel: evalParallel}))
+	sched, next := res[0].Result, res[1].Result
 
+	ambient := plat.AmbientC
 	row := AppRow{
-		App:                mk().Name(),
-		Game:               app.Class() == workload.ClassGame,
+		App:                name,
+		Game:               game,
 		Sched:              sched,
 		Next:               next,
 		NextPowerSavingPct: pctLess(sched.AvgPowerW, next.AvgPowerW),
-		NextBigTempRedPct:  pctLess(sched.PeakTempBigC-21, next.PeakTempBigC-21),
-		NextDevTempRedPct:  pctLess(sched.PeakTempDevC-21, next.PeakTempDevC-21),
+		NextBigTempRedPct:  pctLess(sched.PeakTempBigC-ambient, next.PeakTempBigC-ambient),
+		NextDevTempRedPct:  pctLess(sched.PeakTempDevC-ambient, next.PeakTempDevC-ambient),
 		Train:              stats,
 	}
-	if row.Game {
-		iq := runWith(evalTL(), evalSeed, NewIntQoS())
+	if game {
+		iq := res[2].Result
 		row.IntQoS = &iq
 		row.IntQoSPowerSavingPct = pctLess(sched.AvgPowerW, iq.AvgPowerW)
-		row.IntQoSBigTempRedPct = pctLess(sched.PeakTempBigC-21, iq.PeakTempBigC-21)
-		row.IntQoSDevTempRedPct = pctLess(sched.PeakTempDevC-21, iq.PeakTempDevC-21)
+		row.IntQoSBigTempRedPct = pctLess(sched.PeakTempBigC-ambient, iq.PeakTempBigC-ambient)
+		row.IntQoSDevTempRedPct = pctLess(sched.PeakTempDevC-ambient, iq.PeakTempDevC-ambient)
 	}
 	return row
 }

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"nextdvfs/internal/core"
+	"nextdvfs/internal/platform"
 	"nextdvfs/internal/session"
 	"nextdvfs/internal/sim"
 	"nextdvfs/internal/workload"
@@ -19,9 +20,15 @@ type Fig1Result struct {
 // Fig1 reproduces the paper's Fig. 1 at 3 s sample resolution (the
 // paper records FPS every 3 seconds for the figure).
 func Fig1(seed int64) Fig1Result {
+	return Fig1On(platform.DefaultName, seed)
+}
+
+// Fig1On replays the Fig. 1 session on any registry platform.
+func Fig1On(platformName string, seed int64) Fig1Result {
+	plat := platform.MustGet(platformName)
 	rng := rand.New(rand.NewSource(seed))
 	tl := session.Fig1Timeline(rng)
-	res := runWith(tl, seed, nil, func(c *sim.Config) {
+	res := runOn(plat, tl, seed, nil, func(c *sim.Config) {
 		c.RecordIntervalUS = 3_000_000
 	})
 	return Fig1Result{Result: res, Samples: res.Samples}
@@ -46,14 +53,20 @@ type Fig3Result struct {
 // Fig3 trains Next on the three session apps, then replays the same
 // session under schedutil and under the trained agent.
 func Fig3(seed int64) Fig3Result {
+	return Fig3On(platform.DefaultName, seed)
+}
+
+// Fig3On runs the Fig. 3 comparison on any registry platform.
+func Fig3On(platformName string, seed int64) Fig3Result {
+	plat := platform.MustGet(platformName)
 	// One shared agent learns all three apps, as on a real device.
-	cfg := core.DefaultAgentConfig()
+	cfg := DefaultAgentConfigFor(plat)
 	cfg.Seed = seed
 	agent := core.NewAgent(cfg)
 	var stats []TrainStats
 	for i := 1; i <= 18; i++ {
 		rng := rand.New(rand.NewSource(seed + int64(i)))
-		runWith(session.Fig1Timeline(rng), seed+int64(i), agent)
+		runOn(plat, session.Fig1Timeline(rng), seed+int64(i), agent)
 	}
 	for _, app := range []string{workload.NameHome, workload.NameFacebook, workload.NameSpotify} {
 		if tab := agent.TableFor(app); tab != nil && tab.Table != nil {
@@ -66,17 +79,18 @@ func Fig3(seed int64) Fig3Result {
 	}
 
 	evalSeed := seed + 1000
-	sched := runWith(session.Fig1Timeline(rand.New(rand.NewSource(evalSeed))), evalSeed, nil,
+	sched := runOn(plat, session.Fig1Timeline(rand.New(rand.NewSource(evalSeed))), evalSeed, nil,
 		func(c *sim.Config) { c.RecordIntervalUS = 1_000_000 })
-	next := runWith(session.Fig1Timeline(rand.New(rand.NewSource(evalSeed))), evalSeed, agent,
+	next := runOn(plat, session.Fig1Timeline(rand.New(rand.NewSource(evalSeed))), evalSeed, agent,
 		func(c *sim.Config) { c.RecordIntervalUS = 1_000_000 })
 
+	amb := plat.AmbientC
 	return Fig3Result{
 		Sched:          sched,
 		Next:           next,
 		PowerSavingPct: pctLess(sched.AvgPowerW, next.AvgPowerW),
-		AvgTempRedPct:  pctLess(sched.AvgTempBigC-21, next.AvgTempBigC-21),
-		PeakTempRedPct: pctLess(sched.PeakTempBigC-21, next.PeakTempBigC-21),
+		AvgTempRedPct:  pctLess(sched.AvgTempBigC-amb, next.AvgTempBigC-amb),
+		PeakTempRedPct: pctLess(sched.PeakTempBigC-amb, next.PeakTempBigC-amb),
 		Train:          stats,
 	}
 }
@@ -125,14 +139,20 @@ type Fig4Result struct {
 // adds the analytic worst-case anchors at FPS 0/1/10 (the paper's
 // red-marked points: least frames at maximum power and temperature).
 func Fig4(seed int64) Fig4Result {
+	return Fig4On(platform.DefaultName, seed)
+}
+
+// Fig4On runs the PPDW sweep on any registry platform.
+func Fig4On(platformName string, seed int64) Fig4Result {
+	plat := platform.MustGet(platformName)
 	weights := []float64{2.6, 2.2, 1.8, 1.5, 1.25, 1.0, 0.8, 0.6}
 	var points []PPDWPoint
 	var maxP, maxT float64
 	for i, w := range weights {
-		res := fig4Run(seed+int64(i), w)
+		res := fig4Run(plat, seed+int64(i), w)
 		points = append(points, PPDWPoint{
 			FPS:      res.ActiveAvgFPS,
-			PPDW:     core.PPDW(res.ActiveAvgFPS, res.AvgPowerW, res.AvgTempBigC, 21),
+			PPDW:     core.PPDW(res.ActiveAvgFPS, res.AvgPowerW, res.AvgTempBigC, plat.AmbientC),
 			PowerW:   res.AvgPowerW,
 			TempBigC: res.AvgTempBigC,
 		})
@@ -147,19 +167,19 @@ func Fig4(seed int64) Fig4Result {
 	for _, f := range []float64{0, 1, 10} {
 		points = append(points, PPDWPoint{
 			FPS:      f,
-			PPDW:     core.PPDW(f, maxP, maxT, 21),
+			PPDW:     core.PPDW(f, maxP, maxT, plat.AmbientC),
 			PowerW:   maxP,
 			TempBigC: maxT,
 			Worst:    true,
 		})
 	}
-	bounds := core.NewBounds(60, maxP, 1.5, maxT, 25, 21)
+	bounds := core.NewBounds(float64(plat.RefreshHz), maxP, 1.5, maxT, 25, plat.AmbientC)
 	return Fig4Result{Points: points, Bounds: bounds}
 }
 
 // fig4Run plays Lineage for 180 s under schedutil with per-frame render
 // costs scaled by weight (the scene-heaviness knob).
-func fig4Run(seed int64, weight float64) sim.Result {
+func fig4Run(plat platform.Platform, seed int64, weight float64) sim.Result {
 	p := workload.Lineage().Profile()
 	p.FrameCPUMean *= weight
 	p.FrameGPUMean *= weight
@@ -170,5 +190,5 @@ func fig4Run(seed int64, weight float64) sim.Result {
 			{Inter: workload.InterPlay, DurUS: session.Seconds(180)},
 		},
 	}}}
-	return runWith(tl, seed, nil)
+	return runOn(plat, tl, seed, nil)
 }

@@ -1,8 +1,9 @@
 package exp
 
 import (
+	"nextdvfs/internal/batch"
 	"nextdvfs/internal/core"
-	"nextdvfs/internal/display"
+	"nextdvfs/internal/platform"
 	"nextdvfs/internal/session"
 	"nextdvfs/internal/sim"
 	"nextdvfs/internal/workload"
@@ -17,20 +18,43 @@ type RefreshRow struct {
 	SavingPct float64
 }
 
+// HighRefreshOptions sizes the panel sweep.
+type HighRefreshOptions struct {
+	Seed int64
+	// Platform is the base registry device whose panel is swept
+	// ("" = note9); the 90/120 Hz rows are derived WithRefresh variants.
+	Platform string
+	// Parallel sizes the batch worker pool (0 = GOMAXPROCS); each rate
+	// trains its own agent, so the rates fan out independently.
+	Parallel int
+}
+
 // HighRefresh runs Lineage on 60/90/120 Hz panels under schedutil and a
-// trained Next agent. The agent's FPS quantizers span the panel rate,
-// and the game's render loop chases it — the experiment shows the
-// approach is not hard-wired to 60 Hz.
+// trained Next agent on the default platform.
 func HighRefresh(seed int64) []RefreshRow {
+	return HighRefreshOn(HighRefreshOptions{Seed: seed})
+}
+
+// HighRefreshOn runs the panel sweep on any base platform. The agent's
+// FPS quantizers span the panel rate, and the game's render loop chases
+// it — the experiment shows the approach is not hard-wired to 60 Hz.
+func HighRefreshOn(opts HighRefreshOptions) []RefreshRow {
+	base := platform.MustGet(opts.Platform)
 	rates := []int{60, 90, 120}
-	rows := make([]RefreshRow, 0, len(rates))
-	for _, hz := range rates {
-		rows = append(rows, highRefreshRate(seed, hz))
-	}
+	rows := make([]RefreshRow, len(rates))
+	batch.Map(len(rates), opts.Parallel, func(i int) {
+		// The outer pool holds the -parallel bound; each rate's eval
+		// pair runs sequentially so worker counts do not multiply.
+		rows[i] = highRefreshRate(base, opts.Seed, rates[i])
+	})
 	return rows
 }
 
-func highRefreshRate(seed int64, hz int) RefreshRow {
+func highRefreshRate(base platform.Platform, seed int64, hz int) RefreshRow {
+	plat := base
+	if hz != base.RefreshHz {
+		plat = base.WithRefresh(hz)
+	}
 	mkApp := func() *workload.ProfileApp {
 		p := workload.Lineage().Profile()
 		p.GameFPS = hz
@@ -49,20 +73,27 @@ func highRefreshRate(seed int64, hz int) RefreshRow {
 			},
 		}}}
 	}
-	mut := func(c *sim.Config) { c.Display = display.NewPipeline(hz) }
 
-	// The agent's FPS quantizers must span the panel rate.
-	agentCfg := core.DefaultAgentConfig()
-	agentCfg.State.MaxFPS = float64(hz)
+	// DefaultAgentConfigFor spans the variant's panel rate.
+	agentCfg := DefaultAgentConfigFor(plat)
 	agentCfg.Seed = seed + int64(hz)
 	agent := core.NewAgent(agentCfg)
 	for i := 1; i <= 10; i++ {
-		runWith(mkTL(120), seed+int64(hz)+int64(i), agent, mut)
+		runOn(plat, mkTL(120), seed+int64(hz)+int64(i), agent)
 	}
 
 	evalSeed := seed + int64(hz) + 999
-	sched := runWith(mkTL(120), evalSeed, nil, mut)
-	next := runWith(mkTL(120), evalSeed, agent, mut)
+	res := mustResults(batch.Run([]batch.Job{
+		{App: workload.NameLineage, Scheme: "schedutil", Platform: plat.Name, Seed: evalSeed, Build: func() (sim.Config, error) {
+			return plat.Config(mkTL(120), evalSeed), nil
+		}},
+		{App: workload.NameLineage, Scheme: "next", Platform: plat.Name, Seed: evalSeed, Build: func() (sim.Config, error) {
+			cfg := plat.Config(mkTL(120), evalSeed)
+			cfg.Controller = agent
+			return cfg, nil
+		}},
+	}, batch.Options{Parallel: 1}))
+	sched, next := res[0].Result, res[1].Result
 	return RefreshRow{
 		RefreshHz: hz,
 		Sched:     sched,

@@ -1,10 +1,13 @@
 package exp
 
 import (
+	"fmt"
 	"math/rand"
 
+	"nextdvfs/internal/batch"
 	"nextdvfs/internal/core"
 	"nextdvfs/internal/ctrl"
+	"nextdvfs/internal/platform"
 	"nextdvfs/internal/session"
 	"nextdvfs/internal/sim"
 	"nextdvfs/internal/workload"
@@ -20,6 +23,8 @@ type TrainOptions struct {
 	BaseSeed int64
 	// AgentConfig overrides the default agent configuration.
 	AgentConfig *core.AgentConfig
+	// Platform names the registry device to train on ("" = note9).
+	Platform string
 }
 
 func (o *TrainOptions) defaults() {
@@ -43,12 +48,17 @@ type TrainStats struct {
 	Steps     int64
 }
 
-// Train runs repeated sessions of the app on a fresh Note 9 until the
+// Train runs repeated sessions of the app on a fresh device (the
+// registry platform named in the options; Note 9 by default) until the
 // agent's Q-table converges (or MaxSessions elapse) and returns the
 // trained agent. makeApp must return a fresh instance per call.
+// Training is inherently sequential — every session mutates the same
+// agent — so the parallel grain lives one level up, in the drivers that
+// train independent agents (see fig78.go).
 func Train(makeApp func() *workload.ProfileApp, opts TrainOptions) (*core.Agent, TrainStats) {
 	opts.defaults()
-	cfg := core.DefaultAgentConfig()
+	plat := platform.MustGet(opts.Platform)
+	cfg := DefaultAgentConfigFor(plat)
 	if opts.AgentConfig != nil {
 		cfg = *opts.AgentConfig
 	}
@@ -67,7 +77,7 @@ func Train(makeApp func() *workload.ProfileApp, opts TrainOptions) (*core.Agent,
 		tl := &session.Timeline{Scripts: []session.Script{
 			session.ForApp(makeApp(), session.Seconds(opts.SessionSecs), rng),
 		}}
-		runWith(tl, seed, agent)
+		runOn(plat, tl, seed, agent)
 		stats.Sessions = i
 		if tab := agent.TableFor(name); tab != nil && tab.Trained {
 			stats.Converged = true
@@ -84,10 +94,35 @@ func Train(makeApp func() *workload.ProfileApp, opts TrainOptions) (*core.Agent,
 	return agent, stats
 }
 
-// runWith executes a timeline on a Note 9 with an optional controller
-// (nil = bare schedutil) and an optional config mutator.
-func runWith(tl *session.Timeline, seed int64, controller ctrl.Controller, mutate ...func(*sim.Config)) sim.Result {
-	cfg := sim.Note9Config(tl, seed)
+// DefaultAgentConfigFor returns the paper-default agent configuration
+// adapted to a platform: on fast panels the FPS/target quantizers are
+// widened to span the refresh rate — without this every frame rate
+// above 60 collapses into one state bin. Every driver that builds a
+// default agent for a registry platform must go through here.
+func DefaultAgentConfigFor(p platform.Platform) core.AgentConfig {
+	cfg := core.DefaultAgentConfig()
+	if float64(p.RefreshHz) > cfg.State.MaxFPS {
+		cfg.State.MaxFPS = float64(p.RefreshHz)
+	}
+	return cfg
+}
+
+// mustResults asserts every job in a batch succeeded and returns the
+// results — experiment wiring is code, not input, so a failed build is
+// a panic, with the job's labels in the message.
+func mustResults(res []batch.RunResult) []batch.RunResult {
+	for _, r := range res {
+		if r.Err != "" {
+			panic(fmt.Sprintf("exp: %s/%s on %s: %s", r.App, r.Scheme, r.Platform, r.Err))
+		}
+	}
+	return res
+}
+
+// runOn executes a timeline on the given platform with an optional
+// controller (nil = bare schedutil) and an optional config mutator.
+func runOn(p platform.Platform, tl *session.Timeline, seed int64, controller ctrl.Controller, mutate ...func(*sim.Config)) sim.Result {
+	cfg := p.Config(tl, seed)
 	if controller != nil {
 		cfg.Controller = controller
 	}
@@ -101,8 +136,24 @@ func runWith(tl *session.Timeline, seed int64, controller ctrl.Controller, mutat
 	return eng.Run()
 }
 
-// RunTimeline executes a timeline with an optional controller — the
-// exported single-run entry point used by tools and examples.
+// runWith is runOn on the default platform (the paper's Note 9) — the
+// shorthand the paper-figure drivers use.
+func runWith(tl *session.Timeline, seed int64, controller ctrl.Controller, mutate ...func(*sim.Config)) sim.Result {
+	return runOn(platform.MustGet(platform.DefaultName), tl, seed, controller, mutate...)
+}
+
+// RunTimeline executes a timeline on the Note 9 with an optional
+// controller — the exported single-run entry point used by tools and
+// examples.
 func RunTimeline(tl *session.Timeline, seed int64, controller ctrl.Controller) sim.Result {
 	return runWith(tl, seed, controller)
+}
+
+// RunTimelineOn is RunTimeline on a named registry platform.
+func RunTimelineOn(platformName string, tl *session.Timeline, seed int64, controller ctrl.Controller) (sim.Result, error) {
+	p, err := platform.Get(platformName)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return runOn(p, tl, seed, controller), nil
 }

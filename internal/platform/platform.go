@@ -1,0 +1,102 @@
+// Package platform extracts the hardware description out of the
+// simulator: a Platform bundles the factories for everything that makes
+// one handset (chip, power model, thermal network, device sensor, panel
+// refresh) behind a name-indexed registry. The simulator stays a pure
+// integrator; experiments and CLIs pick hardware by name and can sweep
+// the same workload across heterogeneous devices — the direction the
+// energy-aware online-learning literature (Mandal et al.) evaluates and
+// the paper's single Note 9 setup leaves open.
+package platform
+
+import (
+	"fmt"
+
+	"nextdvfs/internal/display"
+	"nextdvfs/internal/governor"
+	"nextdvfs/internal/power"
+	"nextdvfs/internal/session"
+	"nextdvfs/internal/sim"
+	"nextdvfs/internal/soc"
+	"nextdvfs/internal/thermal"
+)
+
+// Platform describes one simulated handset. Every field that builds
+// mutable simulation state is a factory: two engines running the same
+// Platform concurrently must never share a chip, model or pipeline, so
+// Config calls each factory fresh per run.
+type Platform struct {
+	// Name is the registry key (e.g. "note9", "sd855-120hz").
+	Name string
+	// Description is a one-line human summary for CLI listings.
+	Description string
+	// RefreshHz is the panel refresh rate (60 on the paper's Note 9).
+	RefreshHz int
+	// AmbientC is the evaluation ambient (the paper controls 21 °C).
+	AmbientC float64
+
+	// NewChip builds the DVFS cluster set.
+	NewChip func() *soc.Chip
+	// NewPower builds the cluster power model.
+	NewPower func() *power.Model
+	// NewThermal builds the thermal RC network at the given ambient.
+	NewThermal func(ambientC float64) *thermal.Model
+	// NewDevSensor builds the virtual device-temperature sensor over the
+	// thermal network.
+	NewDevSensor func(*thermal.Model) *thermal.VirtualSensor
+	// NewGovernor builds the stock DVFS governor (schedutil everywhere
+	// Android ships).
+	NewGovernor func() governor.Governor
+}
+
+// Validate reports missing factories — a registered platform must be
+// able to build a complete sim.Config.
+func (p Platform) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("platform: missing name")
+	case p.RefreshHz <= 0:
+		return fmt.Errorf("platform %q: refresh rate must be positive", p.Name)
+	case p.NewChip == nil:
+		return fmt.Errorf("platform %q: missing chip factory", p.Name)
+	case p.NewPower == nil:
+		return fmt.Errorf("platform %q: missing power-model factory", p.Name)
+	case p.NewThermal == nil:
+		return fmt.Errorf("platform %q: missing thermal-model factory", p.Name)
+	case p.NewDevSensor == nil:
+		return fmt.Errorf("platform %q: missing device-sensor factory", p.Name)
+	case p.NewGovernor == nil:
+		return fmt.Errorf("platform %q: missing governor factory", p.Name)
+	}
+	return nil
+}
+
+// Config assembles a ready-to-run simulation of this platform: fresh
+// chip, models and pipeline (safe to call from concurrent workers), the
+// caller's timeline and seed, stock governor. Callers then swap the
+// governor or attach a controller exactly as with sim.Note9Config.
+func (p Platform) Config(tl *session.Timeline, seed int64) sim.Config {
+	th := p.NewThermal(p.AmbientC)
+	return sim.Config{
+		Chip:     p.NewChip(),
+		Power:    p.NewPower(),
+		Thermal:  th,
+		DevSense: p.NewDevSensor(th),
+		Display:  display.NewPipeline(p.RefreshHz),
+		Timeline: tl,
+		Governor: p.NewGovernor(),
+		Seed:     seed,
+	}
+}
+
+// WithRefresh returns a copy of the platform with a different panel,
+// named "<base>-<hz>hz". The chip, power and thermal factories are
+// shared (factories are pure), so the variant costs nothing to derive —
+// how the 90/120 Hz registry entries are built, and how experiments
+// sweep panels on any base platform.
+func (p Platform) WithRefresh(hz int) Platform {
+	v := p
+	v.RefreshHz = hz
+	v.Name = fmt.Sprintf("%s-%dhz", p.Name, hz)
+	v.Description = fmt.Sprintf("%s (%d Hz panel variant)", p.Description, hz)
+	return v
+}

@@ -1,0 +1,107 @@
+package platform
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"nextdvfs/internal/session"
+	"nextdvfs/internal/sim"
+	"nextdvfs/internal/workload"
+)
+
+func evalTimeline(seed int64) *session.Timeline {
+	return session.EvalTimeline(workload.Spotify(), rand.New(rand.NewSource(seed)))
+}
+
+func runConfig(t *testing.T, cfg sim.Config) sim.Result {
+	t.Helper()
+	eng, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng.Run()
+}
+
+// The note9 registry entry must reproduce sim.Note9Config exactly — the
+// refactor moved the hardware description without changing it.
+func TestNote9MatchesSimNote9Config(t *testing.T) {
+	const seed = 42
+	old := runConfig(t, sim.Note9Config(evalTimeline(seed), seed))
+	via := runConfig(t, MustGet("note9").Config(evalTimeline(seed), seed))
+	if !reflect.DeepEqual(old, via) {
+		t.Fatalf("platform note9 diverged from sim.Note9Config:\nold: %+v\nnew: %+v", old, via)
+	}
+}
+
+func TestRegistryNamesAndGet(t *testing.T) {
+	names := Names()
+	if len(names) < 6 {
+		t.Fatalf("registry too small: %v", names)
+	}
+	for _, want := range []string{"note9", "note9-90hz", "note9-120hz", "sd855", "mid6"} {
+		if _, err := Get(want); err != nil {
+			t.Errorf("Get(%q): %v", want, err)
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+	if _, err := Get("nokia3310"); err == nil || !strings.Contains(err.Error(), "nokia3310") {
+		t.Fatalf("unknown platform must error with the name, got %v", err)
+	}
+	if p, err := Get(""); err != nil || p.Name != DefaultName {
+		t.Fatalf("empty name must resolve to the default platform, got %v/%v", p.Name, err)
+	}
+}
+
+func TestEveryPlatformBuildsAndRuns(t *testing.T) {
+	for _, name := range Names() {
+		p := MustGet(name)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		cfg := p.Config(evalTimeline(7), 7)
+		if cfg.Display.RefreshHz != p.RefreshHz {
+			t.Fatalf("%s: display %d Hz, want %d", name, cfg.Display.RefreshHz, p.RefreshHz)
+		}
+		res := runConfig(t, cfg)
+		if res.AvgPowerW <= 0 || res.DurationS <= 0 {
+			t.Fatalf("%s: degenerate run %+v", name, res)
+		}
+	}
+}
+
+// Fresh factories per Config: two concurrent engines must never share
+// chips or models.
+func TestConfigReturnsFreshState(t *testing.T) {
+	p := MustGet("sd855")
+	a := p.Config(evalTimeline(1), 1)
+	b := p.Config(evalTimeline(1), 1)
+	if a.Chip == b.Chip || a.Power == b.Power || a.Thermal == b.Thermal || a.Display == b.Display {
+		t.Fatal("Config shared mutable state between calls")
+	}
+}
+
+func TestPlatformsAreDistinctHardware(t *testing.T) {
+	note9 := runConfig(t, MustGet("note9").Config(evalTimeline(3), 3))
+	sd855 := runConfig(t, MustGet("sd855").Config(evalTimeline(3), 3))
+	mid6 := runConfig(t, MustGet("mid6").Config(evalTimeline(3), 3))
+	if note9.AvgPowerW == sd855.AvgPowerW || note9.AvgPowerW == mid6.AvgPowerW {
+		t.Fatalf("distinct platforms produced identical power: note9=%g sd855=%g mid6=%g",
+			note9.AvgPowerW, sd855.AvgPowerW, mid6.AvgPowerW)
+	}
+}
+
+func TestWithRefreshDerivesVariant(t *testing.T) {
+	v := MustGet("note9").WithRefresh(144)
+	if v.Name != "note9-144hz" || v.RefreshHz != 144 {
+		t.Fatalf("variant = %q @ %d Hz", v.Name, v.RefreshHz)
+	}
+	if MustGet("note9").RefreshHz != 60 {
+		t.Fatal("WithRefresh mutated the base platform")
+	}
+}

@@ -1,0 +1,68 @@
+package platform
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultName is the platform experiments use when none is named: the
+// paper's Galaxy Note 9.
+const DefaultName = "note9"
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Platform{}
+)
+
+// Register adds a platform to the registry. It panics on a duplicate
+// name or an incomplete platform: registration happens at init time
+// from code, so a bad entry is a programming error.
+func Register(p Platform) {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[p.Name]; dup {
+		panic(fmt.Sprintf("platform: duplicate registration of %q", p.Name))
+	}
+	registry[p.Name] = p
+}
+
+// Get returns the named platform. The error lists the registry so CLI
+// users see their options.
+func Get(name string) (Platform, error) {
+	if name == "" {
+		name = DefaultName
+	}
+	regMu.RLock()
+	p, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return Platform{}, fmt.Errorf("platform: unknown platform %q (have: %v)", name, Names())
+	}
+	return p, nil
+}
+
+// MustGet is Get for wiring code where the name is a compile-time
+// constant; it panics on unknown names.
+func MustGet(name string) Platform {
+	p, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Names returns the registered platform names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -141,6 +141,66 @@ func Exynos9810Model() *Model {
 	})
 }
 
+// Snapdragon855Model returns coefficients for the soc.Snapdragon855
+// flagship: the 7 nm process buys lower switched capacitance and
+// leakage than the Exynos preset at comparable peak performance — big
+// peaks near 6.5 W, the Adreno-class GPU near 3 W.
+func Snapdragon855Model() *Model {
+	return NewModel(0.85, map[string]Coeff{
+		soc.ClusterBig: {
+			CdynWPerGHzV2: 1.95,
+			LeakWAtRef:    0.38,
+			VRef:          1.05,
+			LeakTempCo:    0.010,
+			IdleW:         0.10,
+		},
+		soc.ClusterLITTLE: {
+			CdynWPerGHzV2: 0.58,
+			LeakWAtRef:    0.06,
+			VRef:          0.88,
+			LeakTempCo:    0.009,
+			IdleW:         0.04,
+		},
+		soc.ClusterGPU: {
+			CdynWPerGHzV2: 6.10,
+			LeakWAtRef:    0.24,
+			VRef:          0.86,
+			LeakTempCo:    0.010,
+			IdleW:         0.07,
+		},
+	})
+}
+
+// Mid6Model returns coefficients for the soc.Mid6 mid-range SoC: a
+// narrower big cluster and a small GPU cap the whole-device envelope
+// well under the flagships' — there is less power to save, which
+// stresses the agent's ability to still find PPDW headroom.
+func Mid6Model() *Model {
+	return NewModel(0.75, map[string]Coeff{
+		soc.ClusterBig: {
+			CdynWPerGHzV2: 1.10,
+			LeakWAtRef:    0.20,
+			VRef:          1.00,
+			LeakTempCo:    0.010,
+			IdleW:         0.08,
+		},
+		soc.ClusterLITTLE: {
+			CdynWPerGHzV2: 0.80,
+			LeakWAtRef:    0.09,
+			VRef:          0.90,
+			LeakTempCo:    0.009,
+			IdleW:         0.05,
+		},
+		soc.ClusterGPU: {
+			CdynWPerGHzV2: 3.90,
+			LeakWAtRef:    0.16,
+			VRef:          0.84,
+			LeakTempCo:    0.010,
+			IdleW:         0.05,
+		},
+	})
+}
+
 // GenericPhoneModel returns coefficients for the soc.GenericPhone test
 // platform.
 func GenericPhoneModel() *Model {

@@ -297,8 +297,8 @@ func (e *Engine) advanceRenderer(app workload.App, inter workload.Interaction, d
 	// CPU stage on the big cluster.
 	if e.cpuActive && e.big != nil {
 		cores := e.cpuJob.Parallelism
-		if max := float64(e.big.Cores); cores > max {
-			cores = max
+		if limit := float64(e.big.Cores); cores > limit {
+			cores = limit
 		}
 		drain := float64(e.big.FreqKHz()) * 1e3 * e.big.IPC * cores * dtSec
 		used := drain

@@ -99,6 +99,46 @@ func Exynos9810() *Chip {
 	}
 }
 
+// Snapdragon855 returns a Snapdragon-855-class flagship: 4 Kryo 485
+// Gold cores (21 OPPs, 710–2841 MHz, the prime core's table), 4 Kryo
+// 485 Silver cores (14 OPPs, 576–1785 MHz) and an Adreno-640-class GPU
+// (6 OPPs, 257–675 MHz). Built on a 7 nm process, its voltage rails sit
+// below the Exynos 9810's 10 nm tables.
+func Snapdragon855() *Chip {
+	bigMHz := []int{710, 825, 940, 1056, 1171, 1286, 1401, 1497, 1612, 1708, 1804, 1920, 2016, 2131, 2227, 2323, 2419, 2534, 2649, 2745, 2841}
+	littleMHz := []int{576, 672, 768, 883, 960, 1056, 1152, 1248, 1344, 1459, 1555, 1632, 1708, 1785}
+	gpuMHz := []int{257, 345, 427, 499, 585, 675}
+
+	return &Chip{
+		Name: "Snapdragon 855",
+		Clusters: []*Cluster{
+			NewCluster(ClusterBig, KindCPU, 4, 2.3, voltageCurve(bigMHz, 570_000, 1_050_000)),
+			NewCluster(ClusterLITTLE, KindCPU, 4, 1.1, voltageCurve(littleMHz, 520_000, 880_000)),
+			NewCluster(ClusterGPU, KindGPU, 16, 1.0, voltageCurve(gpuMHz, 580_000, 860_000)),
+		},
+	}
+}
+
+// Mid6 returns a mid-range two-CPU-cluster SoC (Snapdragon-6-series /
+// Dimensity-class): 2 performance cores topping out at 2.0 GHz, 6
+// efficiency cores and a small GPU, all with short OPP tables. It is
+// the budget end of the platform sweep — less headroom to cap, a
+// smaller action space for the agent.
+func Mid6() *Chip {
+	bigMHz := []int{633, 902, 1113, 1401, 1555, 1747, 1901, 2002}
+	littleMHz := []int{300, 576, 748, 998, 1209, 1440, 1612, 1708}
+	gpuMHz := []int{180, 267, 355, 430, 565}
+
+	return &Chip{
+		Name: "Mid6",
+		Clusters: []*Cluster{
+			NewCluster(ClusterBig, KindCPU, 2, 2.0, voltageCurve(bigMHz, 560_000, 1_000_000)),
+			NewCluster(ClusterLITTLE, KindCPU, 6, 1.0, voltageCurve(littleMHz, 520_000, 900_000)),
+			NewCluster(ClusterGPU, KindGPU, 10, 1.0, voltageCurve(gpuMHz, 560_000, 840_000)),
+		},
+	}
+}
+
 // GenericPhone returns a small three-cluster platform with short OPP
 // tables. It exists for tests that need a tractable state space and to
 // prove the agent is not hard-coded to the Exynos preset.

@@ -16,17 +16,17 @@ type Quantizer struct {
 	Levels int
 }
 
-// NewQuantizer returns a quantizer over [min, max] with levels bins.
-// It panics if levels < 2 or max <= min: a one-bin quantizer carries no
+// NewQuantizer returns a quantizer over [lo, hi] with levels bins.
+// It panics if levels < 2 or hi <= lo: a one-bin quantizer carries no
 // information and would silently break the agent's state space.
-func NewQuantizer(min, max float64, levels int) Quantizer {
+func NewQuantizer(lo, hi float64, levels int) Quantizer {
 	if levels < 2 {
 		panic(fmt.Sprintf("stats: quantizer needs at least 2 levels, got %d", levels))
 	}
-	if max <= min {
-		panic(fmt.Sprintf("stats: quantizer range invalid: [%g, %g]", min, max))
+	if hi <= lo {
+		panic(fmt.Sprintf("stats: quantizer range invalid: [%g, %g]", lo, hi))
 	}
-	return Quantizer{Min: min, Max: max, Levels: levels}
+	return Quantizer{Min: lo, Max: hi, Levels: levels}
 }
 
 // Index returns the bin index for v, clamped to [0, Levels-1].

@@ -60,13 +60,13 @@ func (r *Rolling) Max() float64 {
 	if n == 0 {
 		return 0
 	}
-	max := r.buf[0]
+	hi := r.buf[0]
 	for i := 1; i < n; i++ {
-		if r.buf[i] > max {
-			max = r.buf[i]
+		if r.buf[i] > hi {
+			hi = r.buf[i]
 		}
 	}
-	return max
+	return hi
 }
 
 // Min returns the smallest sample in the window (0 when empty).
@@ -75,13 +75,13 @@ func (r *Rolling) Min() float64 {
 	if n == 0 {
 		return 0
 	}
-	min := r.buf[0]
+	lo := r.buf[0]
 	for i := 1; i < n; i++ {
-		if r.buf[i] < min {
-			min = r.buf[i]
+		if r.buf[i] < lo {
+			lo = r.buf[i]
 		}
 	}
-	return min
+	return lo
 }
 
 // Reset empties the window.

@@ -1,6 +1,9 @@
 package thermal
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // NodeSpec describes one thermal node.
 type NodeSpec struct {
@@ -179,11 +182,20 @@ type VirtualSensor struct {
 }
 
 // NewVirtualSensor builds a sensor from node-name weights. Weights are
-// normalized to sum to 1.
+// normalized to sum to 1. Nodes are folded in sorted-name order so two
+// sensors built from equal maps blend identically bit-for-bit — map
+// iteration order would otherwise leak ULP-level noise into the device
+// temperature and break byte-identical reruns.
 func NewVirtualSensor(m *Model, weights map[string]float64) *VirtualSensor {
+	names := make([]string, 0, len(weights))
+	for name := range weights {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	s := &VirtualSensor{model: m}
 	var sum float64
-	for name, w := range weights {
+	for _, name := range names {
+		w := weights[name]
 		if w <= 0 {
 			panic(fmt.Sprintf("thermal: sensor weight for %q must be positive", name))
 		}

@@ -36,6 +36,62 @@ func Note9(ambientC float64) *Model {
 	)
 }
 
+// Flagship returns the thermal network of a vapor-chamber flagship
+// (Snapdragon-855 class): a heavier, better-spread chassis than the
+// Note 9 — more skin capacity, lower die→skin and skin→ambient
+// resistances — so the same power settles a few degrees cooler.
+func Flagship(ambientC float64) *Model {
+	return NewModel(ambientC,
+		[]NodeSpec{
+			{Name: NodeBig, CapJPerK: 1.8},
+			{Name: NodeLITTLE, CapJPerK: 1.5},
+			{Name: NodeGPU, CapJPerK: 2.2},
+			{Name: NodeSkin, CapJPerK: 62, GAmbWPerK: 1 / 2.4}, // vapor chamber spreads to a bigger radiating area
+		},
+		[]Link{
+			{A: NodeBig, B: NodeSkin, GWPerK: 1 / 6.0},
+			{A: NodeLITTLE, B: NodeSkin, GWPerK: 1 / 6.2},
+			{A: NodeGPU, B: NodeSkin, GWPerK: 1 / 4.4},
+			{A: NodeBig, B: NodeGPU, GWPerK: 1 / 8.5},
+			{A: NodeBig, B: NodeLITTLE, GWPerK: 1 / 11.0},
+		},
+	)
+}
+
+// Midrange returns the thermal network of a plastic-bodied mid-range
+// handset: a lighter chassis with graphite-sheet spreading only, so the
+// skin saturates sooner — but the SoC underneath also burns less.
+func Midrange(ambientC float64) *Model {
+	return NewModel(ambientC,
+		[]NodeSpec{
+			{Name: NodeBig, CapJPerK: 1.4},
+			{Name: NodeLITTLE, CapJPerK: 1.8},
+			{Name: NodeGPU, CapJPerK: 1.6},
+			{Name: NodeSkin, CapJPerK: 42, GAmbWPerK: 1 / 3.0},
+		},
+		[]Link{
+			{A: NodeBig, B: NodeSkin, GWPerK: 1 / 8.5},
+			{A: NodeLITTLE, B: NodeSkin, GWPerK: 1 / 7.5},
+			{A: NodeGPU, B: NodeSkin, GWPerK: 1 / 6.0},
+			{A: NodeBig, B: NodeGPU, GWPerK: 1 / 10.0},
+			{A: NodeBig, B: NodeLITTLE, GWPerK: 1 / 13.0},
+		},
+	)
+}
+
+// HandsetDeviceSensor returns the generic device-temperature virtual
+// sensor used by the non-Note9 platform presets: skin-dominated with
+// die contributions, the same shape vendors expose as "device
+// temperature".
+func HandsetDeviceSensor(m *Model) *VirtualSensor {
+	return NewVirtualSensor(m, map[string]float64{
+		NodeSkin:   0.62,
+		NodeBig:    0.18,
+		NodeGPU:    0.12,
+		NodeLITTLE: 0.08,
+	})
+}
+
 // Note9DeviceSensor returns the virtual "device temperature" sensor for
 // a Note9 model: dominated by the skin with contributions from the die —
 // a stand-in for the vendor's proprietary formula.

@@ -25,6 +25,7 @@ import (
 	"nextdvfs/internal/ctrl"
 	"nextdvfs/internal/exp"
 	"nextdvfs/internal/governor"
+	"nextdvfs/internal/platform"
 	"nextdvfs/internal/session"
 	"nextdvfs/internal/sim"
 	"nextdvfs/internal/workload"
@@ -85,10 +86,37 @@ func Apps() []string {
 	}
 }
 
+// Platforms returns the registered simulated-device names (see the
+// platform registry): the paper's "note9" plus Snapdragon-class and
+// mid-range presets and their 90/120 Hz panel variants.
+func Platforms() []string { return platform.Names() }
+
+// PlatformInfo describes one registry entry for listings.
+type PlatformInfo struct {
+	Name        string
+	Description string
+	RefreshHz   int
+}
+
+// PlatformInfos returns name/description/refresh for every registered
+// platform, sorted by name.
+func PlatformInfos() []PlatformInfo {
+	names := platform.Names()
+	infos := make([]PlatformInfo, 0, len(names))
+	for _, n := range names {
+		p := platform.MustGet(n)
+		infos = append(infos, PlatformInfo{Name: p.Name, Description: p.Description, RefreshHz: p.RefreshHz})
+	}
+	return infos
+}
+
 // RunOptions configures a single simulated session.
 type RunOptions struct {
 	// App is a preset name from Apps. Required unless Fig1Session.
 	App string
+	// Platform is a preset device name from Platforms (default
+	// "note9", the paper's handset).
+	Platform string
 	// Seconds is the session length (0 → the paper's per-class default:
 	// 5 min for games, 1.5–3 min otherwise).
 	Seconds float64
@@ -105,32 +133,37 @@ type RunOptions struct {
 	RecordEverySec float64
 }
 
-// Run simulates one session on the Note 9 and returns its Result.
+// Run simulates one session on the chosen platform (the Note 9 unless
+// RunOptions.Platform says otherwise) and returns its Result.
 func Run(opts RunOptions) (Result, error) {
 	if opts.Seed == 0 {
 		opts.Seed = 1
+	}
+	plat, err := platform.Get(opts.Platform)
+	if err != nil {
+		return Result{}, fmt.Errorf("nextdvfs: %w (see Platforms())", err)
 	}
 	tl, err := timelineFor(opts)
 	if err != nil {
 		return Result{}, err
 	}
-	cfg := sim.Note9Config(tl, opts.Seed)
+	cfg := plat.Config(tl, opts.Seed)
 	if opts.RecordEverySec > 0 {
 		cfg.RecordIntervalUS = int64(opts.RecordEverySec * 1e6)
 	}
 	switch opts.Scheme {
 	case "", SchemeSchedutil:
-		// Note9Config default.
+		// Platform default.
 	case SchemeNext:
 		agent := opts.Agent
 		if agent == nil {
-			c := core.DefaultAgentConfig()
+			c := exp.DefaultAgentConfigFor(plat)
 			c.Seed = opts.Seed
 			agent = core.NewAgent(c)
 		}
 		cfg.Controller = agent
 	case SchemeIntQoS:
-		cfg.Controller = exp.NewIntQoS()
+		cfg.Controller = exp.NewIntQoSOn(plat)
 	case SchemeThermalCap:
 		cfg.Controller = governor.NewThermalCap(governor.DefaultThermalCapConfig())
 	case SchemePerformance:
@@ -174,6 +207,8 @@ type TrainOptions struct {
 	Seed int64
 	// Config overrides the default agent configuration.
 	Config *AgentConfig
+	// Platform is a preset device name from Platforms (default "note9").
+	Platform string
 }
 
 // TrainAgent trains a fresh Next agent on the named preset app, exactly
@@ -183,11 +218,15 @@ func TrainAgent(app string, opts TrainOptions) (*Agent, TrainStats, error) {
 	if workload.ByName(app) == nil {
 		return nil, TrainStats{}, fmt.Errorf("nextdvfs: unknown app %q (see Apps())", app)
 	}
+	if _, err := platform.Get(opts.Platform); err != nil {
+		return nil, TrainStats{}, fmt.Errorf("nextdvfs: %w (see Platforms())", err)
+	}
 	agent, stats := exp.Train(func() *workload.ProfileApp { return workload.ByName(app) }, exp.TrainOptions{
 		MaxSessions: opts.Sessions,
 		SessionSecs: opts.SessionSeconds,
 		BaseSeed:    opts.Seed,
 		AgentConfig: opts.Config,
+		Platform:    opts.Platform,
 	})
 	return agent, stats, nil
 }
@@ -210,7 +249,9 @@ func TrainAgentOn(agent *Agent, app string, opts TrainOptions) (TrainStats, erro
 		tl := &session.Timeline{Scripts: []session.Script{
 			session.ForApp(workload.ByName(app), session.Seconds(opts.SessionSeconds), rng),
 		}}
-		exp.RunTimeline(tl, seed, agent)
+		if _, err := exp.RunTimelineOn(opts.Platform, tl, seed, agent); err != nil {
+			return TrainStats{}, fmt.Errorf("nextdvfs: %w (see Platforms())", err)
+		}
 	}
 	stats := TrainStats{App: app, Sessions: opts.Sessions}
 	if tab := agent.TableFor(app); tab != nil && tab.Table != nil {

@@ -152,6 +152,52 @@ func TestDeterministicRuns(t *testing.T) {
 	}
 }
 
+func TestPlatformsRegistry(t *testing.T) {
+	plats := Platforms()
+	if len(plats) < 6 {
+		t.Fatalf("platforms = %v", plats)
+	}
+	infos := PlatformInfos()
+	if len(infos) != len(plats) {
+		t.Fatalf("infos = %d, platforms = %d", len(infos), len(plats))
+	}
+	for _, info := range infos {
+		if info.Name == "" || info.Description == "" || info.RefreshHz <= 0 {
+			t.Fatalf("incomplete info %+v", info)
+		}
+	}
+}
+
+func TestRunOnAlternatePlatforms(t *testing.T) {
+	note9, err := Run(RunOptions{App: "pubgmobile", Seconds: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := Run(RunOptions{App: "pubgmobile", Platform: "sd855", Seconds: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if note9.AvgPowerW == sd.AvgPowerW {
+		t.Fatal("different platforms produced identical power")
+	}
+	if _, err := Run(RunOptions{App: "home", Platform: "nokia3310"}); err == nil {
+		t.Fatal("unknown platform must error")
+	}
+	if _, _, err := TrainAgent("home", TrainOptions{Sessions: 1, SessionSeconds: 10, Platform: "nokia3310"}); err == nil {
+		t.Fatal("unknown platform must error in TrainAgent")
+	}
+}
+
+func TestRunNextOnHighRefreshPlatform(t *testing.T) {
+	res, err := Run(RunOptions{App: "lineage2revolution", Platform: "sd855-120hz", Seconds: 20, Seed: 4, Scheme: SchemeNext})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheme != "next" {
+		t.Fatalf("scheme = %q", res.Scheme)
+	}
+}
+
 func TestRunThermalCapScheme(t *testing.T) {
 	res, err := Run(RunOptions{App: "lineage2revolution", Seconds: 30, Seed: 14, Scheme: SchemeThermalCap})
 	if err != nil {
