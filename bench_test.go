@@ -15,11 +15,15 @@ package nextdvfs
 //	BenchmarkAblation*            — design-choice ablations
 
 import (
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
 	"testing"
 
 	"nextdvfs/internal/core"
 	"nextdvfs/internal/ctrl"
 	"nextdvfs/internal/exp"
+	"nextdvfs/internal/fleetd"
 )
 
 func BenchmarkFig1SchedutilTrace(b *testing.B) {
@@ -219,6 +223,58 @@ func BenchmarkAblationDoubleQ(b *testing.B) {
 func BenchmarkAblationSARSA(b *testing.B) {
 	// On-policy SARSA: conservative around exploratory dips.
 	ablationEval(b, func(c *core.AgentConfig) { c.Algo = core.AlgoSARSA })
+}
+
+// BenchmarkFleetCheckin measures the fleet policy server's hot path —
+// one device check-in cycle: a Q-table upload (HTTP PUT, JSON) followed
+// by a federated merge round over the 64-device fleet the table joins.
+// The baseline is recorded in BENCH_fleet.json; the server must sustain
+// ≥1000 check-ins/sec.
+func BenchmarkFleetCheckin(b *testing.B) {
+	srv, err := fleetd.NewServer(fleetd.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := fleetd.NewClient(ts.URL)
+
+	// A realistic device table: 64 visited states over the Note 9's
+	// 9-action space, plus 63 pre-seeded peers so every merge round
+	// federates a full fleet.
+	const fleetDevices = 64
+	rng := rand.New(rand.NewSource(42))
+	mkTable := func() *core.QTable {
+		t := core.NewQTable(9)
+		for s := 0; s < 64; s++ {
+			row := make([]float64, 9)
+			for a := range row {
+				row[a] = rng.NormFloat64()
+			}
+			t.Q[core.StateKey(s)] = row
+			t.Visits[core.StateKey(s)] = rng.Intn(200) + 1
+		}
+		return t
+	}
+	for d := 0; d < fleetDevices; d++ {
+		if _, err := client.UploadTable(fmt.Sprintf("dev-%03d", d), "note9", "spotify", mkTable()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	table := mkTable()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		device := fmt.Sprintf("dev-%03d", i%fleetDevices)
+		if _, err := client.UploadTable(device, "note9", "spotify", table); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := client.Merge("spotify", "note9"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "checkins/s")
 }
 
 func BenchmarkExtensionHighRefresh(b *testing.B) {

@@ -11,6 +11,7 @@
 //	nextbench -fig 7                       # just the Fig. 7 power matrix
 //	nextbench -fig 7 -platform sd855       # same matrix on another SoC
 //	nextbench -fig 78 -parallel 8          # fan the grid across 8 workers
+//	nextbench -fleet 64                    # serving benchmark: 64-device fleet vs fleetd
 //	nextbench -platforms                   # list the registry
 package main
 
@@ -23,6 +24,7 @@ import (
 
 	"nextdvfs"
 	"nextdvfs/internal/exp"
+	"nextdvfs/internal/fleetsim"
 	"nextdvfs/internal/platform"
 	"nextdvfs/internal/sim"
 	"nextdvfs/internal/trace"
@@ -34,6 +36,7 @@ func main() {
 	out := flag.String("out", "", "directory for CSV traces (optional)")
 	plat := flag.String("platform", platform.DefaultName, "simulated device: "+strings.Join(platform.Names(), ", "))
 	parallel := flag.Int("parallel", 0, "worker-pool size for experiment grids (0 = GOMAXPROCS, 1 = sequential)")
+	fleet := flag.Int("fleet", 0, "serving benchmark: drive an in-process fleetd with N simulated devices and report throughput")
 	listPlats := flag.Bool("platforms", false, "list registered platforms and exit")
 	flag.Parse()
 
@@ -46,6 +49,11 @@ func main() {
 	if _, err := platform.Get(*plat); err != nil {
 		fmt.Fprintln(os.Stderr, "nextbench:", err)
 		os.Exit(2)
+	}
+
+	if *fleet > 0 {
+		runFleet(*fleet, *plat, *seed, *parallel)
+		return
 	}
 
 	want := func(f string) bool { return *fig == "all" || *fig == f }
@@ -75,6 +83,19 @@ func main() {
 	if *fig == "refresh" || *fig == "all" {
 		runHighRefresh(*plat, *seed, *parallel)
 	}
+}
+
+func runFleet(devices int, plat string, seed int64, parallel int) {
+	fmt.Printf("== Serving benchmark: %d-device fleet against an in-process fleetd ==\n", devices)
+	report, err := nextdvfs.BenchFleet(fleetsim.Options{
+		Devices: devices, Platform: plat, Seed: seed, Parallel: parallel,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nextbench:", err)
+		os.Exit(1)
+	}
+	report.WriteSummary(os.Stdout)
+	fmt.Println()
 }
 
 func runHighRefresh(plat string, seed int64, parallel int) {

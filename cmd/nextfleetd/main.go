@@ -1,0 +1,91 @@
+// Command nextfleetd runs the fleet policy server — the paper's
+// Section IV-C cloud trainer as a network service — or benchmarks it
+// against a simulated device fleet.
+//
+// Serve mode (default): listen for device check-ins, Q-table uploads,
+// federated merge rounds and policy downloads, optionally persisting
+// every merged policy to a snapshot directory that the next launch
+// warm-starts from:
+//
+//	nextfleetd -addr 127.0.0.1:8077 -snapshot /var/lib/nextfleetd
+//
+// Bench mode: spin an in-process server, drive it with N simulated
+// devices (each trains on the sim engine, then checks in, uploads,
+// merges and pulls), and print throughput:
+//
+//	nextfleetd -bench 64 -app spotify -platform note9 -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+
+	"nextdvfs"
+	"nextdvfs/internal/fleetsim"
+	"nextdvfs/internal/platform"
+	"nextdvfs/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8077", "listen address (serve mode)")
+	snapshot := flag.String("snapshot", "", "snapshot directory: merged policies persist here and warm-start the next launch")
+	bench := flag.Int("bench", 0, "bench mode: drive an in-process server with N simulated devices and exit")
+	app := flag.String("app", workload.NameSpotify, "app the simulated fleet trains (bench mode)")
+	plat := flag.String("platform", platform.DefaultName, "simulated device: "+strings.Join(platform.Names(), ", "))
+	sessions := flag.Int("sessions", 1, "training sessions per device (bench mode)")
+	seconds := flag.Float64("seconds", 8, "simulated seconds per training session (bench mode)")
+	seed := flag.Int64("seed", 42, "base seed; device i trains from seed+(i+1)*7919")
+	parallel := flag.Int("parallel", 0, "device worker-pool size (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	if *bench > 0 {
+		runBench(*bench, *app, *plat, *sessions, *seconds, *seed, *parallel)
+		return
+	}
+	serve(*addr, *snapshot)
+}
+
+func serve(addr, snapshot string) {
+	srv, err := nextdvfs.ServeFleet(nextdvfs.FleetServeOptions{Addr: addr, SnapshotDir: snapshot})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nextfleetd:", err)
+		os.Exit(1)
+	}
+	fmt.Println("nextfleetd serving on", srv.URL())
+	if snapshot != "" {
+		fmt.Println("  snapshots:", snapshot)
+	}
+	fmt.Println("  POST /v1/checkin   device check-in")
+	fmt.Println("  PUT  /v1/table     upload a device-trained Q-table")
+	fmt.Println("  POST /v1/merge     run a federated merge round")
+	fmt.Println("  GET  /v1/policy    download the merged policy")
+	fmt.Println("  GET  /v1/apps      list known policies")
+	fmt.Println("  GET  /healthz      liveness")
+	fmt.Println("  GET  /metrics      request counts and merge latencies")
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	fmt.Println("\nnextfleetd: shutting down")
+	srv.Close()
+}
+
+func runBench(devices int, app, plat string, sessions int, seconds float64, seed int64, parallel int) {
+	fmt.Printf("== fleet bench: %d devices × %d session(s) of %s on %s ==\n", devices, sessions, app, plat)
+	report, err := nextdvfs.BenchFleet(fleetsim.Options{
+		Devices: devices, App: app, Platform: plat,
+		Sessions: sessions, SessionSecs: seconds,
+		Seed: seed, Parallel: parallel,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nextfleetd:", err)
+		os.Exit(1)
+	}
+	report.WriteSummary(os.Stdout)
+	if report.Errors > 0 {
+		os.Exit(1)
+	}
+}

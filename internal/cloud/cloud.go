@@ -65,7 +65,7 @@ func MergeTables(tables []*core.QTable) (*core.QTable, error) {
 		sum    []float64
 		weight int
 	}
-	accs := make(map[core.StateKey]*acc)
+	accs := make(map[core.StateKey]*acc, len(tables[0].Q))
 	for _, t := range tables {
 		for s, row := range t.Q {
 			w := t.Visits[s]

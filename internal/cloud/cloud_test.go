@@ -84,6 +84,82 @@ func TestMergeTablesDisjointStates(t *testing.T) {
 	}
 }
 
+func TestMergeTablesSingleIsIdentity(t *testing.T) {
+	a := core.NewQTable(3)
+	a.Q[core.StateKey(5)] = []float64{0.5, -1.25, 3}
+	a.Visits[core.StateKey(5)] = 7
+	a.Steps = 42
+	a.TrainedUS = 9_000_000
+
+	m, err := MergeTables([]*core.QTable{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := m.Q[core.StateKey(5)]
+	if row[0] != 0.5 || row[1] != -1.25 || row[2] != 3 {
+		t.Fatalf("single-table merge altered values: %v", row)
+	}
+	if m.Visits[core.StateKey(5)] != 7 || m.Steps != 42 || m.TrainedUS != 9_000_000 {
+		t.Fatal("single-table merge altered bookkeeping")
+	}
+	// The merge must return an independent table, not alias the input.
+	m.Q[core.StateKey(5)][0] = 99
+	if a.Q[core.StateKey(5)][0] == 99 {
+		t.Fatal("merged table aliases its input")
+	}
+}
+
+func TestMergeTablesZeroVisits(t *testing.T) {
+	// A state that was seen but never counted (Visits 0, or missing from
+	// the Visits map entirely) must weigh as one visit, never divide by
+	// zero, and never poison the row with NaN/Inf.
+	a := core.NewQTable(2)
+	a.Q[core.StateKey(1)] = []float64{4, 8}
+	a.Visits[core.StateKey(1)] = 0 // explicit zero
+	b := core.NewQTable(2)
+	b.Q[core.StateKey(1)] = []float64{0, 0} // no Visits entry at all
+	b.Q[core.StateKey(2)] = []float64{6, 2} // zero-visit state unique to b
+
+	m, err := MergeTables([]*core.QTable{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := m.Q[core.StateKey(1)]
+	// Both devices weigh 1: (4+0)/2 = 2, (8+0)/2 = 4.
+	if row[0] != 2 || row[1] != 4 {
+		t.Fatalf("zero-visit weighting wrong: %v", row)
+	}
+	if m.Visits[core.StateKey(1)] != 2 {
+		t.Fatalf("zero-visit states must count once each, got %d", m.Visits[core.StateKey(1)])
+	}
+	solo := m.Q[core.StateKey(2)]
+	if solo[0] != 6 || solo[1] != 2 {
+		t.Fatalf("zero-visit pass-through wrong: %v", solo)
+	}
+	for s, r := range m.Q {
+		for a, v := range r {
+			if v != v || v > 1e300 || v < -1e300 {
+				t.Fatalf("state %d action %d is not finite: %v", s, a, v)
+			}
+		}
+	}
+}
+
+func TestMergeTablesEmptySlice(t *testing.T) {
+	if _, err := MergeTables([]*core.QTable{}); err == nil {
+		t.Fatal("empty (non-nil) slice should fail like nil")
+	}
+}
+
+func TestMergeTablesMismatchedActionsAnyPosition(t *testing.T) {
+	// The action-space check must catch a mismatch anywhere in the
+	// slice, not just against the first table.
+	a, b, c := core.NewQTable(3), core.NewQTable(3), core.NewQTable(9)
+	if _, err := MergeTables([]*core.QTable{a, b, c}); err == nil {
+		t.Fatal("mismatch in third table should fail")
+	}
+}
+
 func TestMergeTablesValidation(t *testing.T) {
 	if _, err := MergeTables(nil); err == nil {
 		t.Fatal("empty merge should fail")

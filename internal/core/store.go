@@ -25,6 +25,26 @@ type tableDTO struct {
 // results are stored on the memory so that later ... the agent is able
 // to refer to the Q-table").
 func MarshalTable(app string, t *QTable, trained bool) ([]byte, error) {
+	dto, err := tableToDTO(app, t, trained)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(dto, "", " ")
+}
+
+// MarshalTableCompact is MarshalTable without indentation — the wire
+// format for network transfer (fleetd uploads), where nobody reads the
+// JSON and the whitespace is pure parse and transfer cost. Both forms
+// unmarshal identically.
+func MarshalTableCompact(app string, t *QTable, trained bool) ([]byte, error) {
+	dto, err := tableToDTO(app, t, trained)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(dto)
+}
+
+func tableToDTO(app string, t *QTable, trained bool) (*tableDTO, error) {
 	if t == nil {
 		return nil, fmt.Errorf("core: nil table for %q", app)
 	}
@@ -44,7 +64,7 @@ func MarshalTable(app string, t *QTable, trained bool) ([]byte, error) {
 	for k, v := range t.Visits {
 		dto.Visits[strconv.FormatUint(uint64(k), 10)] = v
 	}
-	return json.MarshalIndent(dto, "", " ")
+	return &dto, nil
 }
 
 // UnmarshalTable parses a persisted table.
@@ -88,7 +108,11 @@ func (s Store) path(app string) string {
 	return filepath.Join(s.Dir, app+".qtable.json")
 }
 
-// Save writes the app's table.
+// Save writes the app's table atomically: the JSON goes to a temp file
+// in the same directory and is renamed into place, so a reader (or a
+// concurrent snapshotter, as in fleetd) can never observe a torn
+// *.qtable.json. The temp name does not end in .json, so directory
+// scans like LoadAgent skip in-flight writes.
 func (s Store) Save(app string, t *QTable, trained bool) error {
 	data, err := MarshalTable(app, t, trained)
 	if err != nil {
@@ -97,7 +121,29 @@ func (s Store) Save(app string, t *QTable, trained bool) error {
 	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
 		return err
 	}
-	return os.WriteFile(s.path(app), data, 0o644)
+	tmp, err := os.CreateTemp(s.Dir, app+".qtable.*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), s.path(app)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
 // Load reads the app's table; os.IsNotExist(err) distinguishes "never

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func storeTable(seed int) *QTable {
+	t := NewQTable(9)
+	for i := 0; i < 8; i++ {
+		row := make([]float64, 9)
+		for a := range row {
+			row[a] = float64(seed*100 + i*10 + a)
+		}
+		t.Q[StateKey(i)] = row
+		t.Visits[StateKey(i)] = seed + i
+	}
+	t.Steps = int64(seed * 1000)
+	t.TrainedUS = int64(seed) * 1_000_000
+	return t
+}
+
+func TestStoreSaveLoadRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	s := Store{Dir: dir}
+	want := storeTable(3)
+	if err := s.Save("spotify", want, true); err != nil {
+		t.Fatal(err)
+	}
+	got, trained, err := s.Load("spotify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trained {
+		t.Fatal("trained flag lost")
+	}
+	if got.Steps != want.Steps || got.States() != want.States() {
+		t.Fatalf("roundtrip mismatch: steps %d/%d states %d/%d",
+			got.Steps, want.Steps, got.States(), want.States())
+	}
+	if got.Q[StateKey(2)][4] != want.Q[StateKey(2)][4] {
+		t.Fatal("Q values lost in roundtrip")
+	}
+}
+
+// Save must be atomic: after any number of saves (including concurrent
+// ones to the same app) the directory holds exactly the final JSON and
+// no temp-file debris, and the file always parses.
+func TestStoreSaveAtomic(t *testing.T) {
+	dir := t.TempDir()
+	s := Store{Dir: dir}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if err := s.Save("pubgmobile", storeTable(seed), false); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w + 1)
+	}
+	wg.Wait()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("temp file %q left behind", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("want exactly one file, got %d", len(entries))
+	}
+	// Whatever writer won the final rename, the file must be whole.
+	got, _, err := s.Load("pubgmobile")
+	if err != nil {
+		t.Fatalf("file torn after concurrent saves: %v", err)
+	}
+	if got.States() != 8 {
+		t.Fatalf("states = %d, want 8", got.States())
+	}
+}
+
+// A failed marshal or unwritable directory must not leave debris.
+func TestStoreSaveNilTable(t *testing.T) {
+	dir := t.TempDir()
+	s := Store{Dir: dir}
+	if err := s.Save("x", nil, false); err == nil {
+		t.Fatal("nil table should fail")
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Fatalf("debris after failed save: %v", entries)
+	}
+}
+
+// LoadAgent must skip non-.json names, so an in-flight temp file (were
+// one ever observed) is invisible to directory scans.
+func TestLoadAgentSkipsTempNames(t *testing.T) {
+	dir := t.TempDir()
+	s := Store{Dir: dir}
+	if err := s.Save("spotify", storeTable(1), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "spotify.qtable.123.tmp"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAgent(DefaultAgentConfig())
+	if err := s.LoadAgent(a); err != nil {
+		t.Fatalf("LoadAgent tripped on temp file: %v", err)
+	}
+	if a.TableFor("spotify") == nil {
+		t.Fatal("real table not loaded")
+	}
+}

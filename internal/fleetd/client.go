@@ -1,0 +1,169 @@
+package fleetd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"nextdvfs/internal/core"
+)
+
+// Client is the device-side API of the fleet policy service: what a
+// handset (or the fleetsim load generator) uses to check in, upload its
+// locally trained Q-tables, trigger merge rounds and pull merged
+// policies.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient targets a server base URL (e.g. "http://127.0.0.1:8077").
+func NewClient(base string) *Client {
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		http: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// apiErrorOf turns a non-2xx response into a descriptive error.
+func apiErrorOf(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e apiError
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("fleetd: server said %s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("fleetd: server said %s", resp.Status)
+}
+
+func (c *Client) decode(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiErrorOf(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// Checkin announces the device and returns which merged policies exist
+// for its platform.
+func (c *Client) Checkin(device, platform string) (CheckinReply, error) {
+	body, err := json.Marshal(CheckinRequest{Device: device, Platform: platform})
+	if err != nil {
+		return CheckinReply{}, err
+	}
+	resp, err := c.http.Post(c.base+"/v1/checkin", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return CheckinReply{}, err
+	}
+	var reply CheckinReply
+	err = c.decode(resp, &reply)
+	return reply, err
+}
+
+// UploadTable sends the device's table for one app. The table's app
+// name travels inside the marshaled body (compact JSON — the wire
+// doesn't need the on-disk format's indentation).
+func (c *Client) UploadTable(device, platform, app string, t *core.QTable) (UploadReply, error) {
+	data, err := core.MarshalTableCompact(app, t, false)
+	if err != nil {
+		return UploadReply{}, err
+	}
+	u := fmt.Sprintf("%s/v1/table?device=%s&platform=%s",
+		c.base, url.QueryEscape(device), url.QueryEscape(platform))
+	req, err := http.NewRequest(http.MethodPut, u, bytes.NewReader(data))
+	if err != nil {
+		return UploadReply{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return UploadReply{}, err
+	}
+	var reply UploadReply
+	err = c.decode(resp, &reply)
+	return reply, err
+}
+
+// Merge asks the server to run a federated merge round for app×platform.
+func (c *Client) Merge(app, platform string) (MergeInfo, error) {
+	u := fmt.Sprintf("%s/v1/merge?app=%s&platform=%s",
+		c.base, url.QueryEscape(app), url.QueryEscape(platform))
+	resp, err := c.http.Post(u, "application/json", nil)
+	if err != nil {
+		return MergeInfo{}, err
+	}
+	var info MergeInfo
+	err = c.decode(resp, &info)
+	return info, err
+}
+
+// Policy downloads the current merged table for app×platform along with
+// its merge-round number.
+func (c *Client) Policy(app, platform string) (*core.QTable, int64, error) {
+	u := fmt.Sprintf("%s/v1/policy?app=%s&platform=%s",
+		c.base, url.QueryEscape(app), url.QueryEscape(platform))
+	resp, err := c.http.Get(u)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, apiErrorOf(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	_, t, _, err := core.UnmarshalTable(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	round, _ := strconv.ParseInt(resp.Header.Get(roundHeader), 10, 64)
+	return t, round, nil
+}
+
+// Apps lists the server's known policies, optionally filtered to one
+// platform ("" = all).
+func (c *Client) Apps(platform string) ([]KeyInfo, error) {
+	u := c.base + "/v1/apps"
+	if platform != "" {
+		u += "?platform=" + url.QueryEscape(platform)
+	}
+	resp, err := c.http.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	var infos []KeyInfo
+	err = c.decode(resp, &infos)
+	return infos, err
+}
+
+// Healthz probes liveness and returns the server's health summary.
+func (c *Client) Healthz() (HealthReply, error) {
+	resp, err := c.http.Get(c.base + "/healthz")
+	if err != nil {
+		return HealthReply{}, err
+	}
+	var reply HealthReply
+	err = c.decode(resp, &reply)
+	return reply, err
+}
+
+// MetricsText fetches the raw Prometheus exposition.
+func (c *Client) MetricsText() (string, error) {
+	resp, err := c.http.Get(c.base + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", apiErrorOf(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}

@@ -1,0 +1,272 @@
+package fleetd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"nextdvfs/internal/core"
+)
+
+// roundHeader carries the merge-round number on policy downloads.
+const roundHeader = "X-Fleet-Round"
+
+// maxTrackedDevices bounds the distinct-device set behind the
+// fleetd_devices_seen gauge. Check-ins are unauthenticated, so an
+// unbounded set would be a memory leak under ID-spraying traffic; past
+// the cap new IDs are counted, not stored, and the gauge becomes a
+// lower bound on distinct devices.
+const maxTrackedDevices = 1 << 16
+
+// Config tunes a Server.
+type Config struct {
+	// SnapshotDir, when set, is restored from at construction and
+	// written to after every merge round (one atomic file per merged
+	// app×platform policy). Empty disables persistence.
+	SnapshotDir string
+	// MaxBodyBytes bounds upload bodies (0 → 16 MiB).
+	MaxBodyBytes int64
+}
+
+// Server is the fleet policy service: an http.Handler over a Store.
+type Server struct {
+	cfg     Config
+	store   *Store
+	metrics *Metrics
+	mux     *http.ServeMux
+
+	devMu       sync.Mutex
+	devices     map[string]struct{}
+	devOverflow int
+}
+
+// NewServer builds a server, warm-starting from cfg.SnapshotDir when
+// one is configured and present.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 16 << 20
+	}
+	s := &Server{
+		cfg:     cfg,
+		store:   NewStore(),
+		metrics: NewMetrics(),
+		devices: make(map[string]struct{}),
+	}
+	if cfg.SnapshotDir != "" {
+		n, err := s.store.Restore(cfg.SnapshotDir)
+		if err != nil {
+			return nil, err
+		}
+		s.metrics.restored.Store(int64(n))
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/checkin", s.instrument("checkin", s.handleCheckin))
+	mux.HandleFunc("PUT /v1/table", s.instrument("upload", s.handleUpload))
+	mux.HandleFunc("POST /v1/merge", s.instrument("merge", s.handleMerge))
+	mux.HandleFunc("GET /v1/policy", s.instrument("policy", s.handlePolicy))
+	mux.HandleFunc("GET /v1/apps", s.instrument("apps", s.handleApps))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the service's http.Handler (mountable under a parent
+// mux or served directly).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Store exposes the underlying table store (in-process callers, tests).
+func (s *Server) Store() *Store { return s.store }
+
+// Metrics exposes the server's instrumentation.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// apiError is the JSON error envelope every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// handlerFunc is a handler that reports its HTTP status so instrument
+// can count errors.
+type handlerFunc func(w http.ResponseWriter, r *http.Request) int
+
+func (s *Server) instrument(label string, h handlerFunc) http.HandlerFunc {
+	idx := labelIndex(label)
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.request(idx)
+		if status := h(w, r); status >= 400 {
+			s.metrics.errored(idx)
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+	return status
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) int {
+	return writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+// CheckinRequest is a device's periodic announcement.
+type CheckinRequest struct {
+	Device   string `json:"device"`
+	Platform string `json:"platform"`
+}
+
+// CheckinReply tells the device which merged policies exist for its
+// platform, so it knows what to download and what still needs training.
+type CheckinReply struct {
+	Device   string    `json:"device"`
+	Platform string    `json:"platform"`
+	Policies []KeyInfo `json:"policies"`
+}
+
+func (s *Server) handleCheckin(w http.ResponseWriter, r *http.Request) int {
+	var req CheckinRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		return writeErr(w, http.StatusBadRequest, fmt.Errorf("fleetd: bad check-in body: %w", err))
+	}
+	if !safeName(req.Device) || !safeName(req.Platform) {
+		return writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("fleetd: check-in needs device and platform as single [a-zA-Z0-9._-] segments"))
+	}
+	s.devMu.Lock()
+	if _, seen := s.devices[req.Device]; !seen {
+		if len(s.devices) < maxTrackedDevices {
+			s.devices[req.Device] = struct{}{}
+		} else {
+			s.devOverflow++ // counted, not stored (lower-bound gauge)
+		}
+	}
+	s.devMu.Unlock()
+	reply := CheckinReply{Device: req.Device, Platform: req.Platform, Policies: []KeyInfo{}}
+	for _, info := range s.store.Infos(req.Platform) {
+		if info.Round > 0 {
+			reply.Policies = append(reply.Policies, info)
+		}
+	}
+	return writeJSON(w, http.StatusOK, reply)
+}
+
+// UploadReply acknowledges a table upload.
+type UploadReply struct {
+	App      string `json:"app"`
+	Platform string `json:"platform"`
+	Device   string `json:"device"`
+	Devices  int    `json:"devices"`
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) int {
+	device := r.URL.Query().Get("device")
+	platform := r.URL.Query().Get("platform")
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("fleetd: upload exceeds %d bytes", tooBig.Limit))
+		}
+		return writeErr(w, http.StatusBadRequest, fmt.Errorf("fleetd: reading upload: %w", err))
+	}
+	app, table, _, err := core.UnmarshalTable(data)
+	if err != nil {
+		return writeErr(w, http.StatusBadRequest, fmt.Errorf("fleetd: bad table upload: %w", err))
+	}
+	n, err := s.store.UploadOwned(Key{App: app, Platform: platform}, device, table)
+	if err != nil {
+		return writeErr(w, http.StatusBadRequest, err)
+	}
+	return writeJSON(w, http.StatusOK, UploadReply{App: app, Platform: platform, Device: device, Devices: n})
+}
+
+func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) int {
+	k := Key{App: r.URL.Query().Get("app"), Platform: r.URL.Query().Get("platform")}
+	start := time.Now()
+	info, err := s.store.Merge(k)
+	// Latency covers the merge itself, captured once so the reply and
+	// the metric agree; snapshot disk I/O is deliberately excluded.
+	elapsed := time.Since(start)
+	if err != nil {
+		return writeErr(w, http.StatusBadRequest, err)
+	}
+	info.LatencyUS = elapsed.Microseconds()
+	s.metrics.observeMerge(elapsed)
+	if s.cfg.SnapshotDir != "" {
+		if err := s.store.SnapshotKey(s.cfg.SnapshotDir, k); err != nil {
+			return writeErr(w, http.StatusInternalServerError, fmt.Errorf("fleetd: snapshotting %s: %w", k, err))
+		}
+		s.metrics.snapshotWritten()
+	}
+	return writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) int {
+	k := Key{App: r.URL.Query().Get("app"), Platform: r.URL.Query().Get("platform")}
+	if err := k.validate(); err != nil {
+		return writeErr(w, http.StatusBadRequest, err)
+	}
+	// PolicyRef + compact marshal keeps the download path symmetric
+	// with the optimized upload path: published tables are immutable,
+	// so no defensive clone, and the wire needs no indentation.
+	table, round, ok := s.store.PolicyRef(k)
+	if !ok {
+		return writeErr(w, http.StatusNotFound, fmt.Errorf("fleetd: no merged policy for %s", k))
+	}
+	data, err := core.MarshalTableCompact(k.App, table, true)
+	if err != nil {
+		return writeErr(w, http.StatusInternalServerError, err)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(roundHeader, strconv.FormatInt(round, 10))
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+	return http.StatusOK
+}
+
+func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) int {
+	infos := s.store.Infos(r.URL.Query().Get("platform"))
+	if infos == nil {
+		infos = []KeyInfo{}
+	}
+	return writeJSON(w, http.StatusOK, infos)
+}
+
+// HealthReply is the /healthz body.
+type HealthReply struct {
+	Status       string  `json:"status"`
+	UptimeS      float64 `json:"uptime_s"`
+	Policies     int     `json:"policies"`
+	Merged       int     `json:"merged"`
+	DeviceTables int     `json:"device_tables"`
+	Devices      int     `json:"devices"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) int {
+	keys, merged, uploads := s.store.Stats()
+	s.devMu.Lock()
+	devices := len(s.devices)
+	s.devMu.Unlock()
+	return writeJSON(w, http.StatusOK, HealthReply{
+		Status: "ok", UptimeS: time.Since(s.metrics.start).Seconds(),
+		Policies: keys, Merged: merged, DeviceTables: uploads, Devices: devices,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) int {
+	keys, merged, uploads := s.store.Stats()
+	s.devMu.Lock()
+	devices, untracked := len(s.devices), s.devOverflow
+	s.devMu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.write(w, keys, merged, uploads, devices, untracked)
+	return http.StatusOK
+}

@@ -1,0 +1,437 @@
+package fleetd
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"nextdvfs/internal/cloud"
+	"nextdvfs/internal/core"
+)
+
+// Key identifies one fleet policy: an application trained on a device
+// platform. Tables from different platforms never merge — their action
+// spaces (3 per cluster) differ with the cluster count.
+type Key struct {
+	App      string `json:"app"`
+	Platform string `json:"platform"`
+}
+
+func (k Key) String() string { return k.App + "@" + k.Platform }
+
+// safeName guards every identifier that later becomes a snapshot path
+// component (app and platform name files and directories under the
+// snapshot dir) or a store map key: one path segment of
+// [a-zA-Z0-9._-], no separators, no "." / "..". Requests come from
+// unauthenticated devices, so "../../../tmp/pwn" must die here, not in
+// filepath.Join (which would happily clean and escape it).
+func safeName(s string) bool {
+	if s == "" || len(s) > 128 || s == "." || s == ".." {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (k Key) validate() error {
+	if !safeName(k.App) {
+		return fmt.Errorf("fleetd: bad app name %q (want a single [a-zA-Z0-9._-] segment)", k.App)
+	}
+	if !safeName(k.Platform) {
+		return fmt.Errorf("fleetd: bad platform name %q (want a single [a-zA-Z0-9._-] segment)", k.Platform)
+	}
+	return nil
+}
+
+// numShards stripes the store's locks. Requests for different
+// app×platform keys proceed in parallel; only same-key operations
+// serialize, which is exactly the ordering a merge round needs.
+const numShards = 16
+
+// Uploads are unauthenticated, so the store bounds both axes an
+// ID-spraying client could grow: distinct app×platform keys per shard
+// and distinct devices per key. Both sit far above any real fleet this
+// repo simulates; hitting one returns an error, never silent eviction.
+const (
+	maxKeysPerShard  = 1024
+	maxDevicesPerKey = 4096
+)
+
+// Uploaded tables are attacker-controlled JSON, so every quantity that
+// feeds the federated merge is clamped into ranges the merge cannot
+// overflow. maxVisitWeight bounds a state's visit count: the merge
+// accumulator is a plain int, so the worst-case total weight
+// (maxVisitWeight × maxDevicesPerKey = 2^18 × 2^12 = 2^30) must fit a
+// 32-bit int too — and 2^18 visits of one state is hours of control
+// steps, far beyond any real session. maxQValue bounds Q magnitudes:
+// JSON happily carries 1e308, and summing that across devices (or
+// multiplying by a weight) reaches ±Inf/NaN, which json.Marshal then
+// refuses — one hostile upload would otherwise brick the policy's
+// download and snapshot path until restart. PPDW-reward Q-values are
+// O(1), so 1e12 is astronomically above legitimate data. maxCounter
+// bounds the Steps/TrainedUS bookkeeping sums the same way.
+const (
+	maxVisitWeight = 1 << 18
+	maxQValue      = 1e12
+	maxCounter     = int64(1) << 48
+)
+
+// sanitizeTable clamps an uploaded table's counters and Q-values into
+// merge-safe ranges (see the constant block above for why each bound
+// exists).
+func sanitizeTable(t *core.QTable) {
+	for s, v := range t.Visits {
+		if v < 0 {
+			t.Visits[s] = 0
+		} else if v > maxVisitWeight {
+			t.Visits[s] = maxVisitWeight
+		}
+	}
+	for _, row := range t.Q {
+		for i, v := range row {
+			switch {
+			case v != v: // NaN can't arrive via JSON, but cost nothing to kill
+				row[i] = 0
+			case v > maxQValue:
+				row[i] = maxQValue
+			case v < -maxQValue:
+				row[i] = -maxQValue
+			}
+		}
+	}
+	clamp := func(v *int64) {
+		if *v < 0 {
+			*v = 0
+		} else if *v > maxCounter {
+			*v = maxCounter
+		}
+	}
+	clamp(&t.Steps)
+	clamp(&t.TrainedUS)
+	clamp(&t.ConvergedAtUS)
+}
+
+// Store is fleetd's in-memory table store: a fixed array of shards,
+// each a mutex-striped map from Key to the per-policy entry (latest
+// upload per device plus the current merged table).
+type Store struct {
+	shards [numShards]storeShard
+}
+
+type storeShard struct {
+	mu      sync.RWMutex
+	entries map[Key]*entry
+}
+
+type entry struct {
+	// uploads holds the latest table per device ID (deep copies — the
+	// store never aliases caller memory).
+	uploads map[string]*core.QTable
+	// merged is the current served policy, nil until the first merge
+	// round (or snapshot restore); round counts merge rounds.
+	merged *core.QTable
+	round  int64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].entries = make(map[Key]*entry)
+	}
+	return s
+}
+
+func (s *Store) shardFor(k Key) *storeShard {
+	h := fnv.New32a()
+	h.Write([]byte(k.App))
+	h.Write([]byte{0})
+	h.Write([]byte(k.Platform))
+	return &s.shards[h.Sum32()%numShards]
+}
+
+// Upload records a device's latest table for the key, replacing any
+// previous upload from the same device. It returns how many devices
+// have contributed. The action-space size must match what the fleet
+// already holds. The table is deep-copied; use UploadOwned when the
+// caller hands over ownership.
+func (s *Store) Upload(k Key, device string, t *core.QTable) (devices int, err error) {
+	if t != nil {
+		t = t.Clone()
+	}
+	return s.UploadOwned(k, device, t)
+}
+
+// UploadOwned is Upload without the defensive copy: the caller promises
+// it holds no other reference to t (the HTTP handler qualifies — each
+// request unmarshals a fresh table — and skipping the clone is worth
+// ~15% on the check-in hot path).
+func (s *Store) UploadOwned(k Key, device string, t *core.QTable) (devices int, err error) {
+	if err := k.validate(); err != nil {
+		return 0, err
+	}
+	if !safeName(device) {
+		return 0, fmt.Errorf("fleetd: %s: bad device ID %q (want a single [a-zA-Z0-9._-] segment)", k, device)
+	}
+	if t == nil {
+		return 0, fmt.Errorf("fleetd: %s: nil table from %q", k, device)
+	}
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.entries[k]
+	if e == nil {
+		if len(sh.entries) >= maxKeysPerShard {
+			return 0, fmt.Errorf("fleetd: %s: policy-key limit reached (%d per shard)", k, maxKeysPerShard)
+		}
+		e = &entry{uploads: make(map[string]*core.QTable)}
+		sh.entries[k] = e
+	}
+	if want := e.actions(); want > 0 && t.Actions != want {
+		return 0, fmt.Errorf("fleetd: %s: upload from %q has %d actions, fleet has %d", k, device, t.Actions, want)
+	}
+	if _, seen := e.uploads[device]; !seen && len(e.uploads) >= maxDevicesPerKey {
+		return 0, fmt.Errorf("fleetd: %s: device limit reached (%d)", k, maxDevicesPerKey)
+	}
+	sanitizeTable(t)
+	e.uploads[device] = t
+	return len(e.uploads), nil
+}
+
+// actions returns the entry's established action-space size (0 if the
+// entry is still empty). Callers hold the shard lock.
+func (e *entry) actions() int {
+	for _, t := range e.uploads {
+		return t.Actions
+	}
+	if e.merged != nil {
+		return e.merged.Actions
+	}
+	return 0
+}
+
+// MergeInfo summarizes one federated merge round.
+type MergeInfo struct {
+	App       string `json:"app"`
+	Platform  string `json:"platform"`
+	Round     int64  `json:"round"`
+	Devices   int    `json:"devices"`
+	States    int    `json:"states"`
+	LatencyUS int64  `json:"latency_us"`
+}
+
+// Merge runs a federated merge round for the key: every device's latest
+// upload, in sorted-device-ID order, through cloud.MergeTables. The
+// merge always recomputes from the full upload set (never incrementally
+// from the previous merged table), so the result is a deterministic
+// function of the uploads — concurrent rounds interleaved with uploads
+// converge to the same table a serial merge of the final upload set
+// produces.
+func (s *Store) Merge(k Key) (MergeInfo, error) {
+	if err := k.validate(); err != nil {
+		return MergeInfo{}, err
+	}
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.entries[k]
+	if e == nil || len(e.uploads) == 0 {
+		return MergeInfo{}, fmt.Errorf("fleetd: %s: no device tables to merge", k)
+	}
+	devices := make([]string, 0, len(e.uploads))
+	for d := range e.uploads {
+		devices = append(devices, d)
+	}
+	sort.Strings(devices)
+	tables := make([]*core.QTable, len(devices))
+	for i, d := range devices {
+		tables[i] = e.uploads[d]
+	}
+	merged, err := cloud.MergeTables(tables)
+	if err != nil {
+		return MergeInfo{}, fmt.Errorf("fleetd: %s: %w", k, err)
+	}
+	e.merged = merged
+	e.round++
+	return MergeInfo{
+		App: k.App, Platform: k.Platform,
+		Round: e.round, Devices: len(tables), States: merged.States(),
+	}, nil
+}
+
+// Policy returns a deep copy of the key's current merged table and its
+// round number, or ok=false if no merge round has run yet.
+func (s *Store) Policy(k Key) (t *core.QTable, round int64, ok bool) {
+	t, round, ok = s.PolicyRef(k)
+	if ok {
+		t = t.Clone()
+	}
+	return t, round, ok
+}
+
+// PolicyRef is Policy without the deep copy. Published merged tables
+// are immutable — Merge and Restore always install freshly built
+// tables, never mutate one in place — so read-only consumers (the HTTP
+// download path, snapshotting) may share the reference; callers that
+// intend to mutate must use Policy.
+func (s *Store) PolicyRef(k Key) (t *core.QTable, round int64, ok bool) {
+	sh := s.shardFor(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e := sh.entries[k]
+	if e == nil || e.merged == nil {
+		return nil, 0, false
+	}
+	return e.merged, e.round, true
+}
+
+// KeyInfo describes one stored policy for listings and check-ins.
+type KeyInfo struct {
+	Key
+	Devices int   `json:"devices"`
+	Round   int64 `json:"round"`
+	States  int   `json:"states"`
+}
+
+// Infos lists every key (platform == "" ) or just one platform's keys,
+// sorted by platform then app.
+func (s *Store) Infos(platform string) []KeyInfo {
+	var infos []KeyInfo
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, e := range sh.entries {
+			if platform != "" && k.Platform != platform {
+				continue
+			}
+			info := KeyInfo{Key: k, Devices: len(e.uploads), Round: e.round}
+			if e.merged != nil {
+				info.States = e.merged.States()
+			}
+			infos = append(infos, info)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(infos, func(i, j int) bool {
+		if infos[i].Platform != infos[j].Platform {
+			return infos[i].Platform < infos[j].Platform
+		}
+		return infos[i].App < infos[j].App
+	})
+	return infos
+}
+
+// Stats counts keys, merged policies and device uploads across the
+// whole store (for /healthz and /metrics).
+func (s *Store) Stats() (keys, merged, uploads int) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			keys++
+			uploads += len(e.uploads)
+			if e.merged != nil {
+				merged++
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return keys, merged, uploads
+}
+
+// SnapshotKey persists the key's merged table (if any) under
+// dir/<platform>/<app>.qtable.json through core.Store, whose atomic
+// temp-file + rename write guarantees concurrent snapshots never leave
+// a torn file.
+func (s *Store) SnapshotKey(dir string, k Key) error {
+	t, _, ok := s.PolicyRef(k) // Save only reads; immutable published table
+	if !ok {
+		return nil
+	}
+	st := core.Store{Dir: filepath.Join(dir, k.Platform)}
+	return st.Save(k.App, t, true)
+}
+
+// Snapshot persists every merged table and returns how many were
+// written.
+func (s *Store) Snapshot(dir string) (int, error) {
+	n := 0
+	for _, info := range s.Infos("") {
+		if info.Round == 0 {
+			continue
+		}
+		if err := s.SnapshotKey(dir, info.Key); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Restore warm-starts the store from a snapshot directory: every
+// dir/<platform>/<app>.qtable.json becomes a served policy at round 1.
+// Restored policies carry no device uploads — the next merge round
+// recomputes from whatever devices upload after the restart. A missing
+// directory is a cold start, not an error.
+func (s *Store) Restore(dir string) (int, error) {
+	platforms, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, p := range platforms {
+		if !p.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(dir, p.Name()))
+		if err != nil {
+			return n, err
+		}
+		for _, f := range files {
+			if f.IsDir() || filepath.Ext(f.Name()) != ".json" {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(dir, p.Name(), f.Name()))
+			if err != nil {
+				return n, err
+			}
+			app, t, _, err := core.UnmarshalTable(data)
+			if err != nil {
+				return n, fmt.Errorf("fleetd: restoring %s/%s: %w", p.Name(), f.Name(), err)
+			}
+			k := Key{App: app, Platform: p.Name()}
+			// Names restored from disk must honor the same invariant
+			// as uploads: a foreign or hand-edited snapshot file with
+			// an unsafe embedded app name would otherwise create a
+			// policy the API advertises but can never serve — and
+			// escape the snapshot dir on the next Snapshot.
+			if err := k.validate(); err != nil {
+				return n, fmt.Errorf("fleetd: restoring %s/%s: %w", p.Name(), f.Name(), err)
+			}
+			sh := s.shardFor(k)
+			sh.mu.Lock()
+			sh.entries[k] = &entry{
+				uploads: make(map[string]*core.QTable),
+				merged:  t,
+				round:   1,
+			}
+			sh.mu.Unlock()
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,256 @@
+// Package fleetsim drives a fleetd policy server the way a device fleet
+// would: N simulated handsets (one goroutine per device, fanned out over
+// the internal/batch pool) each train a Next agent through the sim
+// engine, check in, upload their visit-weighted Q-table, trigger a
+// federated merge round and pull the merged policy back — the full
+// Section IV-C loop, closed over a real HTTP API.
+//
+// Determinism carries through the network: device i trains from seed
+// base+(i+1)*7919 (the same derivation nextdvfs.NewFleet uses), the
+// server merges uploads in sorted-device order, and a final merge after
+// all traffic lands on a table byte-identical to a serial
+// cloud.Fleet.MergeApp of the same per-device tables — the end-to-end
+// test pins this at 64 devices.
+package fleetsim
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"nextdvfs/internal/batch"
+	"nextdvfs/internal/core"
+	"nextdvfs/internal/exp"
+	"nextdvfs/internal/fleetd"
+	"nextdvfs/internal/platform"
+	"nextdvfs/internal/session"
+	"nextdvfs/internal/workload"
+)
+
+// Options sizes and seeds a fleet run.
+type Options struct {
+	// Devices is the fleet size (0 → 8).
+	Devices int
+	// App is the preset application every device trains (0 → spotify).
+	App string
+	// Platform is the registry device the fleet simulates ("" → note9).
+	Platform string
+	// Sessions is how many training sessions each device runs (0 → 1).
+	Sessions int
+	// SessionSecs is each training session's simulated length (0 → 8).
+	SessionSecs float64
+	// Seed derives per-device seeds (0 → 1).
+	Seed int64
+	// Parallel sizes the device worker pool (0 → GOMAXPROCS).
+	Parallel int
+}
+
+func (o *Options) defaults() {
+	if o.Devices <= 0 {
+		o.Devices = 8
+	}
+	if o.App == "" {
+		o.App = workload.NameSpotify
+	}
+	if o.Platform == "" {
+		o.Platform = platform.DefaultName
+	}
+	if o.Sessions <= 0 {
+		o.Sessions = 1
+	}
+	if o.SessionSecs <= 0 {
+		o.SessionSecs = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// DeviceResult reports one simulated device's run.
+type DeviceResult struct {
+	Device string
+	Err    string
+	// States/Steps describe the locally trained table.
+	States int
+	Steps  int64
+	// Uploaded is a deep copy of the table exactly as uploaded, so
+	// callers can serially re-merge the fleet for comparison.
+	Uploaded *core.QTable
+	// PolicyRound/PolicyStates describe the merged policy the device
+	// pulled and installed (the round it happened to observe mid-traffic).
+	PolicyRound  int64
+	PolicyStates int
+}
+
+// Report summarizes a fleet run.
+type Report struct {
+	Options Options
+	Devices []DeviceResult
+	Errors  int
+	// Merge is the final federated round over every device's table, and
+	// Merged the policy it produced.
+	Merge  fleetd.MergeInfo
+	Merged *core.QTable
+	// TrainWallS is the wall time of the simulation phase; TrafficWallS
+	// covers only the HTTP phase (check-in, upload, merge, policy pull
+	// per device), which is what the throughput numbers divide by.
+	TrainWallS     float64
+	TrafficWallS   float64
+	Requests       int64
+	CheckinsPerSec float64
+	RequestsPerSec float64
+}
+
+// WriteSummary prints the human-readable run report — the one printer
+// both nextfleetd -bench and nextbench -fleet share, so the two CLIs
+// can never drift apart on which fields they show.
+func (r Report) WriteSummary(w io.Writer) {
+	fmt.Fprintf(w, "devices: %d ok, %d failed\n", len(r.Devices)-r.Errors, r.Errors)
+	fmt.Fprintf(w, "training: %.2f s wall (simulated sessions, worker pool)\n", r.TrainWallS)
+	fmt.Fprintf(w, "traffic:  %.3f s wall, %d requests\n", r.TrafficWallS, r.Requests)
+	fmt.Fprintf(w, "  check-in cycles/sec: %.0f\n", r.CheckinsPerSec)
+	fmt.Fprintf(w, "  requests/sec:        %.0f\n", r.RequestsPerSec)
+	fmt.Fprintf(w, "final merge: round %d, %d devices, %d states, %d µs\n",
+		r.Merge.Round, r.Merge.Devices, r.Merge.States, r.Merge.LatencyUS)
+	for _, d := range r.Devices {
+		if d.Err != "" {
+			fmt.Fprintf(w, "  %s FAILED: %s\n", d.Device, d.Err)
+		}
+	}
+}
+
+// Run trains opts.Devices simulated devices and drives the fleetd
+// server at baseURL with the resulting traffic.
+func Run(baseURL string, opts Options) (Report, error) {
+	opts.defaults()
+	if workload.ByName(opts.App) == nil {
+		return Report{}, fmt.Errorf("fleetsim: unknown app %q", opts.App)
+	}
+	plat, err := platform.Get(opts.Platform)
+	if err != nil {
+		return Report{}, fmt.Errorf("fleetsim: %w", err)
+	}
+	client := fleetd.NewClient(baseURL)
+	if _, err := client.Healthz(); err != nil {
+		return Report{}, fmt.Errorf("fleetsim: server not reachable: %w", err)
+	}
+
+	report := Report{Options: opts, Devices: make([]DeviceResult, opts.Devices)}
+
+	// Phase 1 — simulate: every device trains its own agent on its own
+	// sessions (independent jobs, so the pool scales them).
+	agents := make([]*core.Agent, opts.Devices)
+	trainStart := time.Now()
+	batch.Map(opts.Devices, opts.Parallel, func(i int) {
+		report.Devices[i] = DeviceResult{Device: deviceName(i)}
+		agents[i] = trainDevice(&report.Devices[i], plat, opts, i)
+	})
+	report.TrainWallS = time.Since(trainStart).Seconds()
+
+	// Phase 2 — traffic: each device checks in, uploads, requests a
+	// merge round and pulls whatever policy that round (or a concurrent
+	// one) produced. Merges interleave freely with uploads; the store
+	// recomputes every round from the full upload set, so interleaving
+	// affects only which intermediate round a device observes.
+	var requests atomic.Int64
+	trafficStart := time.Now()
+	batch.Map(opts.Devices, opts.Parallel, func(i int) {
+		driveDevice(&report.Devices[i], client, agents[i], opts, &requests)
+	})
+	report.TrafficWallS = time.Since(trafficStart).Seconds()
+
+	// Phase 3 — the final round: with every upload in, one more merge is
+	// the deterministic fleet table; every device would pull it on its
+	// next check-in.
+	info, err := client.Merge(opts.App, opts.Platform)
+	if err != nil {
+		return report, fmt.Errorf("fleetsim: final merge: %w", err)
+	}
+	requests.Add(1)
+	merged, _, err := client.Policy(opts.App, opts.Platform)
+	if err != nil {
+		return report, fmt.Errorf("fleetsim: final policy pull: %w", err)
+	}
+	requests.Add(1)
+	report.Merge = info
+	report.Merged = merged
+	report.Requests = requests.Load()
+	for _, d := range report.Devices {
+		if d.Err != "" {
+			report.Errors++
+		}
+	}
+	if report.TrafficWallS > 0 {
+		report.CheckinsPerSec = float64(opts.Devices-report.Errors) / report.TrafficWallS
+		report.RequestsPerSec = float64(report.Requests) / report.TrafficWallS
+	}
+	return report, nil
+}
+
+// deviceName pads wide enough that lexicographic order (what the
+// server merges in) matches index order (what the serial reference
+// merges in) for any realistic fleet — float accumulation order is part
+// of the byte-identical invariant.
+func deviceName(i int) string { return fmt.Sprintf("dev-%08d", i) }
+
+// trainDevice runs the device's training sessions through the sim
+// engine and returns its agent (nil on error, recorded in res).
+func trainDevice(res *DeviceResult, plat platform.Platform, opts Options, i int) *core.Agent {
+	devSeed := opts.Seed + int64(i+1)*7919
+	cfg := exp.DefaultAgentConfigFor(plat)
+	cfg.Seed = devSeed
+	agent := core.NewAgent(cfg)
+	for s := 1; s <= opts.Sessions; s++ {
+		seed := devSeed + int64(s)
+		rng := rand.New(rand.NewSource(seed))
+		tl := &session.Timeline{Scripts: []session.Script{
+			session.ForApp(workload.ByName(opts.App), session.Seconds(opts.SessionSecs), rng),
+		}}
+		if _, err := exp.RunTimelineOn(opts.Platform, tl, seed, agent); err != nil {
+			res.Err = err.Error()
+			return nil
+		}
+	}
+	tab := agent.TableFor(opts.App)
+	if tab == nil || tab.Table == nil {
+		res.Err = "training produced no table"
+		return nil
+	}
+	res.States = tab.Table.States()
+	res.Steps = tab.Table.Steps
+	res.Uploaded = tab.Table.Clone()
+	return agent
+}
+
+// driveDevice plays one device's HTTP session against the server.
+func driveDevice(res *DeviceResult, client *fleetd.Client, agent *core.Agent, opts Options, requests *atomic.Int64) {
+	if res.Err != "" || agent == nil {
+		return
+	}
+	if _, err := client.Checkin(res.Device, opts.Platform); err != nil {
+		res.Err = err.Error()
+		return
+	}
+	requests.Add(1)
+	if _, err := client.UploadTable(res.Device, opts.Platform, opts.App, res.Uploaded); err != nil {
+		res.Err = err.Error()
+		return
+	}
+	requests.Add(1)
+	if _, err := client.Merge(opts.App, opts.Platform); err != nil {
+		res.Err = err.Error()
+		return
+	}
+	requests.Add(1)
+	policy, round, err := client.Policy(opts.App, opts.Platform)
+	if err != nil {
+		res.Err = err.Error()
+		return
+	}
+	requests.Add(1)
+	agent.InstallTable(opts.App, policy, true)
+	res.PolicyRound = round
+	res.PolicyStates = policy.States()
+}

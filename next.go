@@ -19,11 +19,15 @@ package nextdvfs
 import (
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 
 	"nextdvfs/internal/cloud"
 	"nextdvfs/internal/core"
 	"nextdvfs/internal/ctrl"
 	"nextdvfs/internal/exp"
+	"nextdvfs/internal/fleetd"
+	"nextdvfs/internal/fleetsim"
 	"nextdvfs/internal/governor"
 	"nextdvfs/internal/platform"
 	"nextdvfs/internal/session"
@@ -47,6 +51,14 @@ type (
 	Store = core.Store
 	// Fleet is a set of devices doing federated training.
 	Fleet = cloud.Fleet
+	// FleetClient is the device-side API of the fleet policy server
+	// (check in, upload tables, trigger merges, pull policies).
+	FleetClient = fleetd.Client
+	// FleetSimOptions sizes and seeds a simulated device-fleet run
+	// against a fleet policy server.
+	FleetSimOptions = fleetsim.Options
+	// FleetSimReport summarizes a simulated fleet run.
+	FleetSimReport = fleetsim.Report
 )
 
 // DefaultAgentConfig returns the paper-faithful agent configuration.
@@ -276,6 +288,75 @@ func NewFleet(n int, cfg AgentConfig) *Fleet {
 		devices[i] = core.NewAgent(c)
 	}
 	return &Fleet{Devices: devices, Trainer: cloud.DefaultTrainerConfig()}
+}
+
+// FleetServeOptions configures ServeFleet.
+type FleetServeOptions struct {
+	// Addr is the TCP listen address (default "127.0.0.1:8077";
+	// ":0" picks an ephemeral port — read it back from URL()).
+	Addr string
+	// SnapshotDir, when set, persists every merged policy to disk after
+	// each merge round and warm-starts the server from the same
+	// directory on the next launch.
+	SnapshotDir string
+}
+
+// FleetServer is a running fleet policy server (Section IV-C as a
+// network service): devices check in, upload locally trained Q-tables,
+// and download federated-merged policies over HTTP/JSON.
+type FleetServer struct {
+	inner *fleetd.Server
+	http  *http.Server
+	ln    net.Listener
+}
+
+// ServeFleet starts a fleet policy server listening on opts.Addr and
+// returns immediately; the server runs until Close.
+func ServeFleet(opts FleetServeOptions) (*FleetServer, error) {
+	if opts.Addr == "" {
+		opts.Addr = "127.0.0.1:8077"
+	}
+	inner, err := fleetd.NewServer(fleetd.Config{SnapshotDir: opts.SnapshotDir})
+	if err != nil {
+		return nil, fmt.Errorf("nextdvfs: %w", err)
+	}
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("nextdvfs: %w", err)
+	}
+	hs := &http.Server{Handler: inner.Handler()}
+	go hs.Serve(ln)
+	return &FleetServer{inner: inner, http: hs, ln: ln}, nil
+}
+
+// URL returns the server's base URL (http://host:port).
+func (s *FleetServer) URL() string { return "http://" + s.ln.Addr().String() }
+
+// Addr returns the bound listen address.
+func (s *FleetServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and in-flight request handling.
+func (s *FleetServer) Close() error { return s.http.Close() }
+
+// NewFleetClient returns a client for a fleet policy server at baseURL.
+func NewFleetClient(baseURL string) *FleetClient { return fleetd.NewClient(baseURL) }
+
+// BenchFleet spins up an in-process fleet policy server on an ephemeral
+// port, drives it with a simulated device fleet (training through the
+// sim engine, then check-in → upload → merge → policy pull per device)
+// and reports the run — the serving benchmark behind
+// `nextbench -fleet N`.
+func BenchFleet(opts FleetSimOptions) (FleetSimReport, error) {
+	srv, err := ServeFleet(FleetServeOptions{Addr: "127.0.0.1:0"})
+	if err != nil {
+		return FleetSimReport{}, err
+	}
+	defer srv.Close()
+	report, err := fleetsim.Run(srv.URL(), opts)
+	if err != nil {
+		return report, fmt.Errorf("nextdvfs: %w", err)
+	}
+	return report, nil
 }
 
 // Controller is the interface a custom management policy implements to
