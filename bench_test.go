@@ -24,6 +24,9 @@ import (
 	"nextdvfs/internal/ctrl"
 	"nextdvfs/internal/exp"
 	"nextdvfs/internal/fleetd"
+	"nextdvfs/internal/platform"
+	"nextdvfs/internal/scenario"
+	"nextdvfs/internal/sim"
 )
 
 func BenchmarkFig1SchedutilTrace(b *testing.B) {
@@ -275,6 +278,37 @@ func BenchmarkFleetCheckin(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "checkins/s")
+}
+
+// BenchmarkScenarioStep measures the scenario engine's hot path: one op
+// compiles the broadest preset (mixed-day, scaled to ~21 simulated
+// seconds so an op stays ~ms-sized) and integrates it through the sim
+// engine — timeline cursor, ambient/refresh schedules, screen-off
+// power path and all. The headline metric is simulated ticks per
+// wall-clock second; the floor is recorded in BENCH_scenario.json and
+// enforced by the CI bench gate.
+func BenchmarkScenarioStep(b *testing.B) {
+	plat := platform.MustGet(platform.DefaultName)
+	scn := scenario.Scaled(scenario.MustGet("mixed-day"), 0.01)
+	var ticks int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		compiled, err := scenario.Compile(scn, 42, plat.AmbientC)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := plat.Config(compiled.Timeline, 42)
+		cfg.Ambient = compiled.Ambient
+		cfg.Refresh = compiled.Refresh
+		eng, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.Run()
+		ticks += compiled.Timeline.DurUS() / 1000 // default 1 ms tick
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(ticks)/b.Elapsed().Seconds(), "simticks/s")
 }
 
 func BenchmarkExtensionHighRefresh(b *testing.B) {

@@ -1,0 +1,85 @@
+// Command benchgate is the CI bench-regression gate: it reads
+// `go test -bench` output on stdin, compares every baseline named in
+// -baselines against the recorded floors/ceilings, and exits non-zero
+// when a benchmark regressed below its floor (or a baseline's
+// benchmark never ran — a renamed bench must fail the gate, not skip
+// it).
+//
+// Usage:
+//
+//	go test -run NONE -bench 'FleetCheckin|ScenarioStep' -benchtime 1s . |
+//	    go run ./cmd/benchgate -baselines BENCH_fleet.json,BENCH_scenario.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"nextdvfs/internal/benchgate"
+)
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func main() {
+	paths := flag.String("baselines", "", "comma-separated BENCH_*.json baseline files (required)")
+	flag.Parse()
+	if *paths == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baselines is required")
+		os.Exit(2)
+	}
+
+	var baselines []benchgate.Baseline
+	for _, p := range strings.Split(*paths, ",") {
+		b, err := benchgate.LoadBaseline(strings.TrimSpace(p))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		baselines = append(baselines, b)
+	}
+
+	results, err := benchgate.ParseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	violations, err := benchgate.Check(baselines, results)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, b := range baselines {
+		m := results[b.Benchmark]
+		fmt.Printf("%s:", b.Benchmark)
+		for _, metric := range []string{"ns/op"} {
+			if v, ok := m[metric]; ok {
+				fmt.Printf(" %g %s", v, metric)
+			}
+		}
+		for _, metric := range sortedKeys(b.Floors) {
+			fmt.Printf(" | %s %g (floor %g)", metric, m[metric], b.Floors[metric])
+		}
+		for _, metric := range sortedKeys(b.Ceilings) {
+			fmt.Printf(" | %s %g (ceiling %g)", metric, m[metric], b.Ceilings[metric])
+		}
+		fmt.Println()
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "FAIL", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: all floors held")
+}

@@ -13,6 +13,8 @@
 //	nextbench -fig 78 -parallel 8          # fan the grid across 8 workers
 //	nextbench -fleet 64                    # serving benchmark: 64-device fleet vs fleetd
 //	nextbench -platforms                   # list the registry
+//	nextbench -scenarios                   # scenario × platform × scheme grid
+//	nextbench -scenarios -schemes schedutil,powersave,next -scale 0.1
 package main
 
 import (
@@ -38,6 +40,9 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker-pool size for experiment grids (0 = GOMAXPROCS, 1 = sequential)")
 	fleet := flag.Int("fleet", 0, "serving benchmark: drive an in-process fleetd with N simulated devices and report throughput")
 	listPlats := flag.Bool("platforms", false, "list registered platforms and exit")
+	scenarios := flag.Bool("scenarios", false, "run the scenario × platform × scheme grid instead of a figure")
+	schemes := flag.String("schemes", "schedutil,next", "for -scenarios: comma-separated schemes")
+	scale := flag.Float64("scale", 0, "for -scenarios: shrink every scenario's duration by this factor (0 = full length)")
 	flag.Parse()
 
 	if *listPlats {
@@ -53,6 +58,11 @@ func main() {
 
 	if *fleet > 0 {
 		runFleet(*fleet, *plat, *seed, *parallel)
+		return
+	}
+
+	if *scenarios {
+		runScenarios(*plat, *seed, *schemes, *scale, *parallel)
 		return
 	}
 
@@ -95,6 +105,23 @@ func runFleet(devices int, plat string, seed int64, parallel int) {
 		os.Exit(1)
 	}
 	report.WriteSummary(os.Stdout)
+	fmt.Println()
+}
+
+func runScenarios(plat string, seed int64, schemes string, scale float64, parallel int) {
+	fmt.Printf("== Scenario grid: %d usage scenarios on %s ==\n", len(nextdvfs.Scenarios()), plat)
+	rows, err := exp.ScenarioGrid(exp.ScenarioOptions{
+		Seed:          seed,
+		Platforms:     []string{plat},
+		Schemes:       strings.Split(schemes, ","),
+		Parallel:      parallel,
+		DurationScale: scale,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nextbench:", err)
+		os.Exit(1)
+	}
+	exp.WriteScenarioGrid(os.Stdout, rows)
 	fmt.Println()
 }
 

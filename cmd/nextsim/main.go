@@ -7,6 +7,9 @@
 //	nextsim -app spotify -scheme schedutil -seconds 120 -csv out.csv
 //	nextsim -app lineage2revolution -scheme next -train 8
 //	nextsim -app pubgmobile -platform sd855-120hz
+//	nextsim -scenario commute                 # a composed usage scenario
+//	nextsim -scenario thermal-soak -seconds 120
+//	nextsim -scenarios                        # list the scenario library
 package main
 
 import (
@@ -22,14 +25,24 @@ import (
 
 func main() {
 	app := flag.String("app", "spotify", "application preset: "+strings.Join(nextdvfs.Apps(), ", "))
+	scen := flag.String("scenario", "", "usage scenario preset (overrides -app): "+strings.Join(nextdvfs.Scenarios(), ", "))
+	listScens := flag.Bool("scenarios", false, "list the scenario library and exit")
 	plat := flag.String("platform", platform.DefaultName, "simulated device: "+strings.Join(nextdvfs.Platforms(), ", "))
 	scheme := flag.String("scheme", "schedutil", "management scheme: schedutil, next, intqospm, performance, powersave")
-	seconds := flag.Float64("seconds", 0, "session length (0 = paper default for the app class)")
+	seconds := flag.Float64("seconds", 0, "session length (0 = paper default; with -scenario: rescale to this total)")
 	seed := flag.Int64("seed", 1, "session seed")
 	train := flag.Int("train", 0, "for -scheme next: training sessions to run first")
 	csv := flag.String("csv", "", "write the trace to this CSV file")
 	every := flag.Float64("record", 1, "trace sample period in seconds")
 	flag.Parse()
+
+	if *listScens {
+		for _, s := range nextdvfs.ScenarioInfos() {
+			fmt.Printf("%-18s %6.0f s  %s\n%18s          apps: %s\n",
+				s.Name, s.Seconds, s.Description, "", strings.Join(s.Apps, ", "))
+		}
+		return
+	}
 
 	opts := nextdvfs.RunOptions{
 		App:            *app,
@@ -39,16 +52,44 @@ func main() {
 		Seed:           *seed,
 		RecordEverySec: *every,
 	}
+	label := *app
+	if *scen != "" {
+		opts.Scenario = *scen
+		opts.App = ""
+		label = "scenario " + *scen
+	}
 	if opts.Scheme == nextdvfs.SchemeNext && *train > 0 {
-		agent, stats, err := nextdvfs.TrainAgent(*app, nextdvfs.TrainOptions{
-			Sessions: *train, Seed: *seed, Platform: *plat,
-		})
-		if err != nil {
-			fatal(err)
+		if opts.Scenario != "" {
+			// Train on the scenario itself: repeated differently-seeded
+			// sessions of the same usage shape, one shared agent.
+			cfg, err := nextdvfs.AgentConfigFor(*plat)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Seed = *seed
+			agent := nextdvfs.NewAgent(cfg)
+			for i := 1; i <= *train; i++ {
+				trainOpts := opts
+				trainOpts.Agent = agent
+				trainOpts.Seed = *seed + int64(i)
+				trainOpts.RecordEverySec = 0
+				if _, err := nextdvfs.Run(trainOpts); err != nil {
+					fatal(err)
+				}
+			}
+			fmt.Printf("trained on scenario %s: %d sessions\n", *scen, *train)
+			opts.Agent = agent
+		} else {
+			agent, stats, err := nextdvfs.TrainAgent(*app, nextdvfs.TrainOptions{
+				Sessions: *train, Seed: *seed, Platform: *plat,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trained %s: sessions=%d converged=%v on-device time=%.0f s, %d states\n",
+				*app, stats.Sessions, stats.Converged, float64(stats.TrainedUS)/1e6, stats.States)
+			opts.Agent = agent
 		}
-		fmt.Printf("trained %s: sessions=%d converged=%v on-device time=%.0f s, %d states\n",
-			*app, stats.Sessions, stats.Converged, float64(stats.TrainedUS)/1e6, stats.States)
-		opts.Agent = agent
 	}
 
 	res, err := nextdvfs.Run(opts)
@@ -56,7 +97,7 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("session: %s on %s (%s), %.0f s\n", *app, res.Scheme, *plat, res.DurationS)
+	fmt.Printf("session: %s on %s (%s), %.0f s\n", label, res.Scheme, *plat, res.DurationS)
 	fmt.Printf("  power:   avg %.3f W, peak %.2f W, energy %.1f J\n", res.AvgPowerW, res.PeakPowerW, res.EnergyJ)
 	fmt.Printf("  thermal: big avg %.1f °C peak %.1f °C | device avg %.1f °C peak %.1f °C\n",
 		res.AvgTempBigC, res.PeakTempBigC, res.AvgTempDevC, res.PeakTempDevC)

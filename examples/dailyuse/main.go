@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -14,6 +15,11 @@ import (
 )
 
 func main() {
+	pickups := flag.Int("pickups", 12, "phone pickups to simulate")
+	sessions := flag.Int("sessions", 10, "training sessions per app")
+	trainSec := flag.Float64("trainsec", 0, "seconds per training session (0 = paper default)")
+	maxSec := flag.Float64("maxsec", 0, "cap each pickup's duration (0 = the paper's 70/25/5 mix)")
+	flag.Parse()
 	apps := []string{"facebook", "spotify", "chrome", "youtube"}
 
 	// One shared agent accumulates Q-tables across apps, as on a real
@@ -22,7 +28,9 @@ func main() {
 	cfg.Seed = 3
 	agent := nextdvfs.NewAgent(cfg)
 	for _, app := range apps {
-		stats, err := nextdvfs.TrainAgentOn(agent, app, nextdvfs.TrainOptions{Seed: 3, Sessions: 10})
+		stats, err := nextdvfs.TrainAgentOn(agent, app, nextdvfs.TrainOptions{
+			Seed: 3, Sessions: *sessions, SessionSeconds: *trainSec,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -30,10 +38,9 @@ func main() {
 			app, float64(stats.TrainedUS)/1e6, stats.States)
 	}
 
-	const pickups = 12
 	rng := rand.New(rand.NewSource(77))
 	var schedJ, nextJ, secs float64
-	for i := 0; i < pickups; i++ {
+	for i := 0; i < *pickups; i++ {
 		app := apps[rng.Intn(len(apps))]
 		// 70/25/5 session-length mix from the paper's market research.
 		var dur float64
@@ -44,6 +51,9 @@ func main() {
 			dur = 120 + 480*rng.Float64()
 		default:
 			dur = 600 + 300*rng.Float64()
+		}
+		if *maxSec > 0 && dur > *maxSec {
+			dur = *maxSec
 		}
 		seed := int64(1000 + i)
 		sched, err := nextdvfs.Run(nextdvfs.RunOptions{App: app, Seconds: dur, Seed: seed})

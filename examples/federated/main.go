@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -12,6 +13,10 @@ import (
 )
 
 func main() {
+	sessions := flag.Int("sessions", 8, "training sessions per device")
+	trainSec := flag.Float64("trainsec", 0, "seconds per training session (0 = paper default)")
+	seconds := flag.Float64("seconds", 0, "evaluation session length (0 = paper default)")
+	flag.Parse()
 	const app = "facebook"
 	const devices = 3
 
@@ -22,7 +27,7 @@ func main() {
 	fmt.Printf("local training on %d devices...\n", devices)
 	for i := 0; i < devices; i++ {
 		stats, err := nextdvfs.TrainAgentOn(fleet.Devices[i], app, nextdvfs.TrainOptions{
-			Seed: int64(100 * (i + 1)), Sessions: 8,
+			Seed: int64(100 * (i + 1)), Sessions: *sessions, SessionSeconds: *trainSec,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -40,12 +45,12 @@ func main() {
 
 	// The fresh device (index devices) now runs with the merged table.
 	freshDevice := fleet.Devices[devices]
-	sched, err := nextdvfs.Run(nextdvfs.RunOptions{App: app, Seed: 900})
+	sched, err := nextdvfs.Run(nextdvfs.RunOptions{App: app, Seed: 900, Seconds: *seconds})
 	if err != nil {
 		log.Fatal(err)
 	}
 	next, err := nextdvfs.Run(nextdvfs.RunOptions{
-		App: app, Seed: 900, Scheme: nextdvfs.SchemeNext, Agent: freshDevice,
+		App: app, Seed: 900, Seconds: *seconds, Scheme: nextdvfs.SchemeNext, Agent: freshDevice,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -5,13 +5,22 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	"nextdvfs"
 )
 
+var (
+	sessions = flag.Int("sessions", 0, "training sessions per candidate (0 = paper default)")
+	trainSec = flag.Float64("trainsec", 0, "seconds per training session (0 = paper default)")
+	seconds  = flag.Float64("seconds", 0, "evaluation session length (0 = paper default: 5 min for games)")
+	qosFloor = flag.Float64("qosfloor", 40, "minimum validation FPS a candidate agent must hold")
+)
+
 func main() {
+	flag.Parse()
 	for _, app := range []string{"lineage2revolution", "pubgmobile"} {
 		fmt.Println("===", app, "===")
 
@@ -34,6 +43,7 @@ func main() {
 		fmt.Printf("%-10s %9s %9s %9s %7s %8s\n", "scheme", "power(W)", "bigPk°C", "devPk°C", "FPS", "drops")
 		for _, r := range rows {
 			r.opts.Seed = 500 // identical session for all three schemes
+			r.opts.Seconds = *seconds
 			res, err := nextdvfs.Run(r.opts)
 			if err != nil {
 				log.Fatal(err)
@@ -58,12 +68,18 @@ func pickBestAgent(app string) *nextdvfs.Agent {
 	var best *nextdvfs.Agent
 	bestEnergy := 0.0
 	for _, seed := range []int64{7, 42, 1234} {
-		agent, stats, err := nextdvfs.TrainAgent(app, nextdvfs.TrainOptions{Seed: seed})
+		agent, stats, err := nextdvfs.TrainAgent(app, nextdvfs.TrainOptions{
+			Seed: seed, Sessions: *sessions, SessionSeconds: *trainSec,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
+		valSec := 120.0
+		if *seconds > 0 {
+			valSec = *seconds
+		}
 		val, err := nextdvfs.Run(nextdvfs.RunOptions{
-			App: app, Seconds: 120, Seed: 31_000 + seed,
+			App: app, Seconds: valSec, Seed: 31_000 + seed,
 			Scheme: nextdvfs.SchemeNext, Agent: agent,
 		})
 		if err != nil {
@@ -71,7 +87,7 @@ func pickBestAgent(app string) *nextdvfs.Agent {
 		}
 		fmt.Printf("candidate seed %4d: trained %.0f s, validation %.2f W at %.1f FPS\n",
 			seed, float64(stats.TrainedUS)/1e6, val.AvgPowerW, val.ActiveAvgFPS)
-		if val.ActiveAvgFPS < 40 { // QoS floor for a 60 Hz game
+		if val.ActiveAvgFPS < *qosFloor { // QoS floor for a 60 Hz game
 			continue
 		}
 		if best == nil || val.AvgPowerW < bestEnergy {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -12,21 +13,27 @@ import (
 )
 
 func main() {
+	sessions := flag.Int("sessions", 0, "training sessions (0 = paper default)")
+	trainSec := flag.Float64("trainsec", 0, "seconds per training session (0 = paper default)")
+	seconds := flag.Float64("seconds", 0, "evaluation session length (0 = paper default)")
+	flag.Parse()
 	const app = "spotify"
 
 	fmt.Println("training Next on", app, "(the paper trains each new app once)...")
-	agent, stats, err := nextdvfs.TrainAgent(app, nextdvfs.TrainOptions{Seed: 11})
+	agent, stats, err := nextdvfs.TrainAgent(app, nextdvfs.TrainOptions{
+		Seed: 11, Sessions: *sessions, SessionSeconds: *trainSec,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  converged=%v after %.0f s of simulated usage (%d Q-states)\n\n",
 		stats.Converged, float64(stats.TrainedUS)/1e6, stats.States)
 
-	sched, err := nextdvfs.Run(nextdvfs.RunOptions{App: app, Scheme: nextdvfs.SchemeSchedutil, Seed: 99})
+	sched, err := nextdvfs.Run(nextdvfs.RunOptions{App: app, Scheme: nextdvfs.SchemeSchedutil, Seed: 99, Seconds: *seconds})
 	if err != nil {
 		log.Fatal(err)
 	}
-	next, err := nextdvfs.Run(nextdvfs.RunOptions{App: app, Scheme: nextdvfs.SchemeNext, Agent: agent, Seed: 99})
+	next, err := nextdvfs.Run(nextdvfs.RunOptions{App: app, Scheme: nextdvfs.SchemeNext, Agent: agent, Seed: 99, Seconds: *seconds})
 	if err != nil {
 		log.Fatal(err)
 	}

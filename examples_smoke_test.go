@@ -1,0 +1,46 @@
+package nextdvfs
+
+import (
+	"context"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The examples were built in CI but never executed; this smoke test
+// runs each one with a tiny step budget so a facade change that breaks
+// an example fails tier-1, not a user. Budgets are seconds of simulated
+// time — each example finishes in a few wall-clock seconds.
+func TestExamplesSmoke(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	cases := []struct {
+		dir  string
+		args []string
+		want string // a fragment the healthy output must contain
+	}{
+		{"./examples/quickstart", []string{"-sessions", "1", "-trainsec", "5", "-seconds", "5"}, "Next saved"},
+		{"./examples/dailyuse", []string{"-pickups", "1", "-sessions", "1", "-trainsec", "5", "-maxsec", "5"}, "day total"},
+		{"./examples/gaming", []string{"-sessions", "1", "-trainsec", "5", "-seconds", "5", "-qosfloor", "0"}, "saves"},
+		{"./examples/federated", []string{"-sessions", "1", "-trainsec", "5", "-seconds", "5"}, "merged table"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.dir, "./examples/"), func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+			defer cancel()
+			args := append([]string{"run", c.dir}, c.args...)
+			cmd := exec.CommandContext(ctx, "go", args...)
+			cmd.Dir = "."
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run %s: %v\n%s", c.dir, err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Fatalf("go run %s output missing %q:\n%s", c.dir, c.want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,186 @@
+// Package benchgate enforces benchmark floors in CI: it parses
+// `go test -bench` output, matches it against the BENCH_*.json
+// baselines checked into the repo, and reports any benchmark whose
+// throughput fell below its recorded floor (or whose latency rose
+// above a recorded ceiling). cmd/benchgate is the CLI the CI bench job
+// pipes bench output through.
+package benchgate
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is one BENCH_*.json file: a benchmark plus the limits CI
+// holds it to. Extra fields (host, notes, recorded values) are
+// documentation and ignored here.
+type Baseline struct {
+	Benchmark   string `json:"benchmark"`
+	Description string `json:"description,omitempty"`
+	// Floors maps metric name (e.g. "checkins/s") → minimum allowed.
+	Floors map[string]float64 `json:"floors,omitempty"`
+	// Ceilings maps metric name (e.g. "ns/op") → maximum allowed.
+	Ceilings map[string]float64 `json:"ceilings,omitempty"`
+}
+
+// Validate reports an unusable baseline (nothing to enforce).
+func (b Baseline) Validate() error {
+	if b.Benchmark == "" {
+		return fmt.Errorf("benchgate: baseline missing \"benchmark\"")
+	}
+	if len(b.Floors) == 0 && len(b.Ceilings) == 0 {
+		return fmt.Errorf("benchgate: baseline %s has no floors or ceilings", b.Benchmark)
+	}
+	for m, v := range b.Floors {
+		if v <= 0 {
+			return fmt.Errorf("benchgate: baseline %s floor %q = %v", b.Benchmark, m, v)
+		}
+	}
+	for m, v := range b.Ceilings {
+		if v <= 0 {
+			return fmt.Errorf("benchgate: baseline %s ceiling %q = %v", b.Benchmark, m, v)
+		}
+	}
+	return nil
+}
+
+// LoadBaseline reads and validates one BENCH_*.json file.
+func LoadBaseline(path string) (Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Baseline{}, fmt.Errorf("benchgate: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return Baseline{}, fmt.Errorf("benchgate: %s: %w", path, err)
+	}
+	if err := b.Validate(); err != nil {
+		return Baseline{}, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return b, nil
+}
+
+// Metrics is one benchmark's parsed values by unit ("ns/op",
+// "checkins/s", "B/op", …).
+type Metrics map[string]float64
+
+// ParseBench extracts per-benchmark metrics from `go test -bench`
+// output. The trailing -N GOMAXPROCS suffix is stripped, so
+// "BenchmarkFleetCheckin-8" and "BenchmarkFleetCheckin" are the same
+// benchmark. A benchmark that appears several times keeps its last
+// line (the one -count repetitions would settle on).
+func ParseBench(r io.Reader) (map[string]Metrics, error) {
+	out := make(map[string]Metrics)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := trimProcSuffix(fields[0])
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not an iteration count; some other Benchmark* text
+		}
+		m := make(Metrics)
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchgate: bad value %q for %s", fields[i], name)
+			}
+			m[fields[i+1]] = v
+		}
+		out[name] = m
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchgate: %w", err)
+	}
+	return out, nil
+}
+
+func trimProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i <= 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Violation is one broken limit.
+type Violation struct {
+	Benchmark string
+	Metric    string
+	// Kind is "floor" or "ceiling".
+	Kind  string
+	Limit float64
+	Got   float64
+}
+
+func (v Violation) String() string {
+	op := "<"
+	if v.Kind == "ceiling" {
+		op = ">"
+	}
+	return fmt.Sprintf("%s: %s %g %s %s %g", v.Benchmark, v.Metric, v.Got, op, v.Kind, v.Limit)
+}
+
+// Check matches every baseline against the parsed results. A baseline
+// whose benchmark never ran is an error (the gate must not silently
+// pass because a bench was renamed or filtered out); broken limits
+// come back as violations, sorted for stable output.
+func Check(baselines []Baseline, results map[string]Metrics) ([]Violation, error) {
+	var violations []Violation
+	for _, b := range baselines {
+		m, ok := results[b.Benchmark]
+		if !ok {
+			ran := make([]string, 0, len(results))
+			for name := range results {
+				ran = append(ran, name)
+			}
+			sort.Strings(ran)
+			return nil, fmt.Errorf("benchgate: %s not found in bench output (ran: %v)", b.Benchmark, ran)
+		}
+		for _, metric := range sortedKeys(b.Floors) {
+			got, ok := m[metric]
+			if !ok {
+				return nil, fmt.Errorf("benchgate: %s did not report metric %q", b.Benchmark, metric)
+			}
+			if got < b.Floors[metric] {
+				violations = append(violations, Violation{
+					Benchmark: b.Benchmark, Metric: metric, Kind: "floor",
+					Limit: b.Floors[metric], Got: got,
+				})
+			}
+		}
+		for _, metric := range sortedKeys(b.Ceilings) {
+			got, ok := m[metric]
+			if !ok {
+				return nil, fmt.Errorf("benchgate: %s did not report metric %q", b.Benchmark, metric)
+			}
+			if got > b.Ceilings[metric] {
+				violations = append(violations, Violation{
+					Benchmark: b.Benchmark, Metric: metric, Kind: "ceiling",
+					Limit: b.Ceilings[metric], Got: got,
+				})
+			}
+		}
+	}
+	return violations, nil
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,115 @@
+package benchgate
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: nextdvfs
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFleetCheckin-8 	    1436	    778292 ns/op	      1285 checkins/s
+BenchmarkScenarioStep 	     264	   4504473 ns/op	   4739733 simticks/s
+PASS
+ok  	nextdvfs	2.959s
+`
+
+func TestParseBench(t *testing.T) {
+	res, err := ParseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(res))
+	}
+	fc := res["BenchmarkFleetCheckin"] // -8 suffix stripped
+	if fc == nil {
+		t.Fatalf("FleetCheckin missing: %v", res)
+	}
+	if fc["ns/op"] != 778292 || fc["checkins/s"] != 1285 {
+		t.Fatalf("FleetCheckin metrics = %v", fc)
+	}
+	ss := res["BenchmarkScenarioStep"] // no suffix at GOMAXPROCS=1
+	if ss["simticks/s"] != 4739733 {
+		t.Fatalf("ScenarioStep metrics = %v", ss)
+	}
+}
+
+func TestCheckPassesAndFails(t *testing.T) {
+	res, err := ParseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := []Baseline{
+		{Benchmark: "BenchmarkFleetCheckin", Floors: map[string]float64{"checkins/s": 1000}},
+		{Benchmark: "BenchmarkScenarioStep", Floors: map[string]float64{"simticks/s": 1_500_000}},
+	}
+	v, err := Check(pass, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+
+	fail := []Baseline{
+		{Benchmark: "BenchmarkFleetCheckin",
+			Floors:   map[string]float64{"checkins/s": 2000},
+			Ceilings: map[string]float64{"ns/op": 500000}},
+	}
+	v, err = Check(fail, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 2 {
+		t.Fatalf("want floor+ceiling violations, got %v", v)
+	}
+	if v[0].Kind != "floor" || v[1].Kind != "ceiling" {
+		t.Fatalf("violation kinds = %v", v)
+	}
+	if !strings.Contains(v[0].String(), "checkins/s") {
+		t.Fatalf("violation text %q", v[0].String())
+	}
+}
+
+func TestCheckMissingBenchmarkIsError(t *testing.T) {
+	res, _ := ParseBench(strings.NewReader(sampleOutput))
+	_, err := Check([]Baseline{{Benchmark: "BenchmarkRenamed", Floors: map[string]float64{"x/s": 1}}}, res)
+	if err == nil {
+		t.Fatal("missing benchmark must be an error, not a silent pass")
+	}
+	_, err = Check([]Baseline{{Benchmark: "BenchmarkFleetCheckin", Floors: map[string]float64{"nope/s": 1}}}, res)
+	if err == nil {
+		t.Fatal("missing metric must be an error")
+	}
+}
+
+func TestLoadRepoBaselines(t *testing.T) {
+	// The two baselines CI enforces must stay loadable and armed.
+	for _, name := range []string{"BENCH_fleet.json", "BENCH_scenario.json"} {
+		b, err := LoadBaseline(filepath.Join("..", "..", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b.Floors) == 0 {
+			t.Fatalf("%s enforces nothing", name)
+		}
+	}
+}
+
+func TestLoadBaselineValidation(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"benchmark":"BenchmarkX"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(bad); err == nil {
+		t.Fatal("baseline without limits should fail to load")
+	}
+	if _, err := LoadBaseline(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}

@@ -1,0 +1,100 @@
+package display
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SetRefresh switches the panel's refresh rate at nowUS — the adaptive-
+// refresh mechanism shipping panels use (120↔60↔10 Hz) and the scenario
+// engine's per-phase panel hook. The next VSync is re-armed one new
+// period after the switch point; accumulated frame/drop counters and
+// the trailing-second flip history are preserved, so FPS reads stay
+// continuous across the switch.
+func (p *Pipeline) SetRefresh(refreshHz int, nowUS int64) {
+	if refreshHz <= 0 {
+		panic(fmt.Sprintf("display: refresh rate must be positive, got %d", refreshHz))
+	}
+	if refreshHz == p.RefreshHz {
+		return
+	}
+	p.ensureFlipRing(refreshHz + 1)
+	p.RefreshHz = refreshHz
+	p.periodUS = int64(1_000_000 / refreshHz)
+	p.nextVSync = nowUS + p.periodUS
+}
+
+// ensureFlipRing grows the flip-history ring to at least n slots,
+// preserving the recorded flips in chronological order. The ring must
+// hold one second of flips at the highest rate the panel will run.
+func (p *Pipeline) ensureFlipRing(n int) {
+	if len(p.flipTimes) >= n {
+		return
+	}
+	times := make([]int64, n)
+	// Oldest-first extraction: when the ring is full the oldest entry
+	// sits at flipHead; otherwise entries occupy [0, flipCount).
+	start := 0
+	if p.flipCount == len(p.flipTimes) {
+		start = p.flipHead
+	}
+	for i := 0; i < p.flipCount; i++ {
+		times[i] = p.flipTimes[(start+i)%len(p.flipTimes)]
+	}
+	p.flipTimes = times
+	p.flipHead = p.flipCount % len(times)
+}
+
+// RefreshStep is one piecewise-constant segment of a refresh schedule:
+// from AtUS onward the panel runs at RefreshHz.
+type RefreshStep struct {
+	AtUS      int64
+	RefreshHz int
+}
+
+// RefreshSchedule drives the panel rate over a run. Unlike the thermal
+// ambient schedule it needs no time-0 step: until the first step fires,
+// At returns 0 and the pipeline keeps the platform's native rate.
+type RefreshSchedule struct {
+	steps []RefreshStep
+	idx   int
+}
+
+// NewRefreshSchedule builds a schedule from steps, sorted by time.
+func NewRefreshSchedule(steps []RefreshStep) (*RefreshSchedule, error) {
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("display: refresh schedule needs at least one step")
+	}
+	s := &RefreshSchedule{steps: append([]RefreshStep(nil), steps...), idx: -1}
+	sort.Slice(s.steps, func(i, j int) bool { return s.steps[i].AtUS < s.steps[j].AtUS })
+	for i, st := range s.steps {
+		if st.RefreshHz <= 0 {
+			return nil, fmt.Errorf("display: refresh schedule step %d has rate %d", i, st.RefreshHz)
+		}
+		if i > 0 && st.AtUS == s.steps[i-1].AtUS {
+			return nil, fmt.Errorf("display: refresh schedule has duplicate step at %d µs", st.AtUS)
+		}
+	}
+	return s, nil
+}
+
+// Start rewinds the cursor for a fresh run.
+func (s *RefreshSchedule) Start() { s.idx = -1 }
+
+// At returns the scheduled rate at nowUS, or 0 while no step has fired
+// yet (keep the platform default). nowUS must be non-decreasing between
+// Start calls.
+func (s *RefreshSchedule) At(nowUS int64) int {
+	for s.idx+1 < len(s.steps) && s.steps[s.idx+1].AtUS <= nowUS {
+		s.idx++
+	}
+	if s.idx < 0 {
+		return 0
+	}
+	return s.steps[s.idx].RefreshHz
+}
+
+// Steps returns a copy of the schedule's segments (for reporting).
+func (s *RefreshSchedule) Steps() []RefreshStep {
+	return append([]RefreshStep(nil), s.steps...)
+}

@@ -95,16 +95,6 @@ func Fig3On(platformName string, seed int64) Fig3Result {
 	}
 }
 
-func allTrained(agent *core.Agent, apps ...string) bool {
-	for _, a := range apps {
-		tab := agent.TableFor(a)
-		if tab == nil || !tab.Trained {
-			return false
-		}
-	}
-	return true
-}
-
 // pctLess returns the percentage by which b undercuts a.
 func pctLess(a, b float64) float64 {
 	if a == 0 {

@@ -1,0 +1,222 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"nextdvfs/internal/batch"
+	"nextdvfs/internal/core"
+	"nextdvfs/internal/ctrl"
+	"nextdvfs/internal/governor"
+	"nextdvfs/internal/platform"
+	"nextdvfs/internal/scenario"
+	"nextdvfs/internal/sim"
+)
+
+// ScenarioOptions sizes a scenario × platform × scheme grid run.
+type ScenarioOptions struct {
+	Seed int64
+	// Scenarios names the presets to run (nil = the whole library).
+	Scenarios []string
+	// Platforms names the registry devices (nil = [note9]).
+	Platforms []string
+	// Schemes names the management stacks per cell (nil = [schedutil,
+	// next]). Known: schedutil, next, intqospm, thermalcap, performance,
+	// powersave.
+	Schemes []string
+	// Parallel sizes the batch worker pool (0 = GOMAXPROCS, 1 =
+	// sequential). Cells are independent — each trains its own agent and
+	// compiles its own timeline — so results are byte-identical at any
+	// worker count.
+	Parallel int
+	// DurationScale shrinks every scenario (0 or 1 = full length);
+	// tests and smoke runs use small factors to keep wall time bounded.
+	DurationScale float64
+	// TrainSessions is how many scenario sessions train each "next"
+	// cell's agent (0 → 6).
+	TrainSessions int
+}
+
+func (o *ScenarioOptions) defaults() {
+	if len(o.Scenarios) == 0 {
+		o.Scenarios = scenario.Names()
+	}
+	if len(o.Platforms) == 0 {
+		o.Platforms = []string{platform.DefaultName}
+	}
+	if len(o.Schemes) == 0 {
+		o.Schemes = []string{"schedutil", "next"}
+	}
+	if o.TrainSessions <= 0 {
+		o.TrainSessions = 6
+	}
+}
+
+// ScenarioRow is one grid cell's outcome.
+type ScenarioRow struct {
+	Scenario string
+	Platform string
+	Scheme   string
+	Result   sim.Result
+}
+
+// ScenarioGrid evaluates every (scenario, platform, scheme) cell of the
+// options across the batch pool and returns rows in fixed
+// scenario-major, platform-middle, scheme-minor order. All schemes of a
+// (scenario, platform) pair replay the byte-identical compiled
+// timeline, so their rows are directly comparable; "next" cells first
+// train a fresh agent on TrainSessions differently-seeded sessions of
+// the same scenario.
+func ScenarioGrid(opts ScenarioOptions) ([]ScenarioRow, error) {
+	opts.defaults()
+	type cell struct {
+		scn  scenario.Scenario
+		plat platform.Platform
+		si   int
+		pi   int
+		sch  string
+	}
+	var cells []cell
+	for si, sn := range opts.Scenarios {
+		scn, err := scenario.Get(sn)
+		if err != nil {
+			return nil, err
+		}
+		scn = scenario.Scaled(scn, opts.DurationScale)
+		for pi, pn := range opts.Platforms {
+			plat, err := platform.Get(pn)
+			if err != nil {
+				return nil, err
+			}
+			for _, sch := range opts.Schemes {
+				if !knownScheme(sch) {
+					return nil, fmt.Errorf("exp: unknown scheme %q (have: schedutil, next, intqospm, thermalcap, performance, powersave)", sch)
+				}
+				cells = append(cells, cell{scn: scn, plat: plat, si: si, pi: pi, sch: sch})
+			}
+		}
+	}
+
+	rows := make([]ScenarioRow, len(cells))
+	errs := make([]error, len(cells))
+	batch.Map(len(cells), opts.Parallel, func(i int) {
+		c := cells[i]
+		// Seeds derive from the (scenario, platform) pair only, so every
+		// scheme replays the identical evaluation timeline.
+		base := opts.Seed + int64(c.si)*100_003 + int64(c.pi)*1_009
+		res, err := scenarioCell(c.scn, c.plat, c.sch, base, opts.TrainSessions)
+		rows[i] = ScenarioRow{Scenario: c.scn.Name, Platform: c.plat.Name, Scheme: c.sch, Result: res}
+		errs[i] = err // cells are validated up front; this is defensive
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+func knownScheme(s string) bool {
+	switch s {
+	case "schedutil", "next", "intqospm", "thermalcap", "performance", "powersave":
+		return true
+	}
+	return false
+}
+
+// scenarioConfig compiles the scenario at seed and assembles the
+// platform's sim config with the environment schedules attached.
+func scenarioConfig(scn scenario.Scenario, plat platform.Platform, seed int64) (sim.Config, error) {
+	compiled, err := scenario.Compile(scn, seed, plat.AmbientC)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	cfg := plat.Config(compiled.Timeline, seed)
+	cfg.Ambient = compiled.Ambient
+	cfg.Refresh = compiled.Refresh
+	return cfg, nil
+}
+
+func scenarioCell(scn scenario.Scenario, plat platform.Platform, scheme string, baseSeed int64, trainSessions int) (sim.Result, error) {
+	var agent *core.Agent
+	if scheme == "next" {
+		cfg := DefaultAgentConfigFor(plat)
+		cfg.Seed = baseSeed
+		agent = core.NewAgent(cfg)
+		for i := 1; i <= trainSessions; i++ {
+			seed := baseSeed + int64(i)
+			c, err := scenarioConfig(scn, plat, seed)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			c.Controller = agent
+			eng, err := sim.New(c)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			eng.Run()
+		}
+	}
+
+	evalSeed := baseSeed + 500
+	cfg, err := scenarioConfig(scn, plat, evalSeed)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	switch scheme {
+	case "schedutil":
+		// Platform default.
+	case "next":
+		cfg.Controller = agent
+	case "intqospm":
+		cfg.Controller = NewIntQoSOn(plat)
+	case "thermalcap":
+		cfg.Controller = governor.NewThermalCap(governor.DefaultThermalCapConfig())
+	case "performance":
+		cfg.Governor = governor.Performance{}
+	case "powersave":
+		cfg.Governor = governor.Powersave{}
+	}
+	eng, err := sim.New(cfg)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return eng.Run(), nil
+}
+
+// RunScenarioOn compiles the scenario at seed for the named registry
+// platform and runs it with an optional controller — the single-run
+// entry point fleetsim and tools use.
+func RunScenarioOn(platformName string, scn scenario.Scenario, seed int64, controller ctrl.Controller) (sim.Result, error) {
+	plat, err := platform.Get(platformName)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	cfg, err := scenarioConfig(scn, plat, seed)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	if controller != nil {
+		cfg.Controller = controller
+	}
+	eng, err := sim.New(cfg)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return eng.Run(), nil
+}
+
+// WriteScenarioGrid prints the grid the way cmd/nextbench -scenarios
+// does — the shared printer keeps CLI output and the byte-identity
+// tests on the same bytes.
+func WriteScenarioGrid(w io.Writer, rows []ScenarioRow) {
+	fmt.Fprintf(w, "%-18s %-14s %-11s %9s %9s %9s %9s %8s %10s\n",
+		"scenario", "platform", "scheme", "avgP(W)", "peakP(W)", "bigPk°C", "devPk°C", "actFPS", "energy(J)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %-14s %-11s %9.3f %9.2f %9.1f %9.1f %8.1f %10.0f\n",
+			r.Scenario, r.Platform, r.Scheme,
+			r.Result.AvgPowerW, r.Result.PeakPowerW,
+			r.Result.PeakTempBigC, r.Result.PeakTempDevC,
+			r.Result.ActiveAvgFPS, r.Result.EnergyJ)
+	}
+}

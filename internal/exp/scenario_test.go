@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"nextdvfs/internal/scenario"
+)
+
+// The scenario-grid acceptance pin: every preset, run through the full
+// scheme pair, is byte-identical at -parallel 1 and -parallel 8 — both
+// as marshalled rows and as the exact bytes cmd/nextbench -scenarios
+// prints (WriteScenarioGrid is the CLI's printer).
+func TestScenarioGridParallelByteIdentical(t *testing.T) {
+	run := func(parallel int) ([]ScenarioRow, []byte) {
+		rows, err := ScenarioGrid(ScenarioOptions{
+			Seed:          42,
+			Parallel:      parallel,
+			DurationScale: 0.02,
+			TrainSessions: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		WriteScenarioGrid(&buf, rows)
+		return rows, buf.Bytes()
+	}
+	rows1, out1 := run(1)
+	rows8, out8 := run(8)
+
+	j1, err := json.Marshal(rows1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j8, err := json.Marshal(rows8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j8) {
+		t.Fatal("scenario grid rows differ between -parallel 1 and -parallel 8")
+	}
+	if !bytes.Equal(out1, out8) {
+		t.Fatalf("printed grid differs between -parallel 1 and -parallel 8:\n%s\n--- vs ---\n%s", out1, out8)
+	}
+
+	// Every preset × scheme cell is present, in library order.
+	wantRows := len(scenario.Names()) * 2
+	if len(rows1) != wantRows {
+		t.Fatalf("%d rows, want %d", len(rows1), wantRows)
+	}
+	for i, name := range scenario.Names() {
+		if rows1[2*i].Scenario != name || rows1[2*i].Scheme != "schedutil" ||
+			rows1[2*i+1].Scenario != name || rows1[2*i+1].Scheme != "next" {
+			t.Fatalf("row order broken at %s: %+v / %+v", name, rows1[2*i], rows1[2*i+1])
+		}
+		if rows1[2*i].Result.DurationS <= 0 {
+			t.Fatalf("%s: empty result", name)
+		}
+	}
+}
+
+func TestScenarioGridEnvironmentMatters(t *testing.T) {
+	rows, err := ScenarioGrid(ScenarioOptions{
+		Seed:          7,
+		Scenarios:     []string{"thermal-soak", "cold-start"},
+		Schemes:       []string{"schedutil"},
+		DurationScale: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	soak, cold := rows[0].Result, rows[1].Result
+	// A 35 °C car versus a 5 °C street must dominate everything else the
+	// two scenarios differ in.
+	if soak.PeakTempBigC <= cold.PeakTempBigC+10 {
+		t.Fatalf("thermal-soak peak %.1f °C vs cold-start %.1f °C — ambient not driving the grid",
+			soak.PeakTempBigC, cold.PeakTempBigC)
+	}
+}
+
+func TestScenarioGridRejectsUnknownNames(t *testing.T) {
+	if _, err := ScenarioGrid(ScenarioOptions{Scenarios: []string{"nope"}}); err == nil {
+		t.Fatal("unknown scenario should error")
+	}
+	if _, err := ScenarioGrid(ScenarioOptions{Platforms: []string{"nope"}}); err == nil {
+		t.Fatal("unknown platform should error")
+	}
+	if _, err := ScenarioGrid(ScenarioOptions{Schemes: []string{"nope"}}); err == nil {
+		t.Fatal("unknown scheme should error")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"nextdvfs/internal/exp"
 	"nextdvfs/internal/fleetd"
 	"nextdvfs/internal/platform"
+	"nextdvfs/internal/scenario"
 	"nextdvfs/internal/session"
 	"nextdvfs/internal/workload"
 )
@@ -45,6 +47,14 @@ type Options struct {
 	Seed int64
 	// Parallel sizes the device worker pool (0 → GOMAXPROCS).
 	Parallel int
+	// Scenarios, when non-empty, assigns heterogeneous usage across the
+	// fleet: device i trains on preset Scenarios[i%len] (each session a
+	// fresh seed-compiled scenario scaled to SessionSecs) instead of
+	// repeated single-app sessions. Every app a device's scenario visits
+	// is trained, uploaded and federated per app — merges blend policies
+	// learned under different usage, the Section IV-C premise the
+	// homogeneous fleet never exercised.
+	Scenarios []string
 }
 
 func (o *Options) defaults() {
@@ -72,16 +82,29 @@ func (o *Options) defaults() {
 type DeviceResult struct {
 	Device string
 	Err    string
-	// States/Steps describe the locally trained table.
+	// Scenario is the preset the device trained on (scenario fleets).
+	Scenario string
+	// States/Steps describe the locally trained table(s); for scenario
+	// fleets they total across every app the device trained.
 	States int
 	Steps  int64
 	// Uploaded is a deep copy of the table exactly as uploaded, so
 	// callers can serially re-merge the fleet for comparison.
 	Uploaded *core.QTable
+	// Tables are the per-app deep copies a scenario device uploaded.
+	Tables map[string]*core.QTable
 	// PolicyRound/PolicyStates describe the merged policy the device
 	// pulled and installed (the round it happened to observe mid-traffic).
 	PolicyRound  int64
 	PolicyStates int
+}
+
+// AppMerge is the final federated round for one app of a scenario
+// fleet, and the policy it produced.
+type AppMerge struct {
+	App    string
+	Merge  fleetd.MergeInfo
+	Merged *core.QTable
 }
 
 // Report summarizes a fleet run.
@@ -90,9 +113,14 @@ type Report struct {
 	Devices []DeviceResult
 	Errors  int
 	// Merge is the final federated round over every device's table, and
-	// Merged the policy it produced.
+	// Merged the policy it produced. For scenario fleets these describe
+	// the options' App when any device trained it, else the first app of
+	// PerApp.
 	Merge  fleetd.MergeInfo
 	Merged *core.QTable
+	// PerApp lists the final rounds of every app a scenario fleet
+	// trained, in sorted app order (empty for single-app fleets).
+	PerApp []AppMerge
 	// TrainWallS is the wall time of the simulation phase; TrafficWallS
 	// covers only the HTTP phase (check-in, upload, merge, policy pull
 	// per device), which is what the throughput numbers divide by.
@@ -114,6 +142,10 @@ func (r Report) WriteSummary(w io.Writer) {
 	fmt.Fprintf(w, "  requests/sec:        %.0f\n", r.RequestsPerSec)
 	fmt.Fprintf(w, "final merge: round %d, %d devices, %d states, %d µs\n",
 		r.Merge.Round, r.Merge.Devices, r.Merge.States, r.Merge.LatencyUS)
+	for _, am := range r.PerApp {
+		fmt.Fprintf(w, "  app %-20s round %d, %d devices, %d states\n",
+			am.App, am.Merge.Round, am.Merge.Devices, am.Merge.States)
+	}
 	for _, d := range r.Devices {
 		if d.Err != "" {
 			fmt.Fprintf(w, "  %s FAILED: %s\n", d.Device, d.Err)
@@ -127,6 +159,11 @@ func Run(baseURL string, opts Options) (Report, error) {
 	opts.defaults()
 	if workload.ByName(opts.App) == nil {
 		return Report{}, fmt.Errorf("fleetsim: unknown app %q", opts.App)
+	}
+	for _, sn := range opts.Scenarios {
+		if _, err := scenario.Get(sn); err != nil {
+			return Report{}, fmt.Errorf("fleetsim: %w", err)
+		}
 	}
 	plat, err := platform.Get(opts.Platform)
 	if err != nil {
@@ -161,21 +198,28 @@ func Run(baseURL string, opts Options) (Report, error) {
 	})
 	report.TrafficWallS = time.Since(trafficStart).Seconds()
 
-	// Phase 3 — the final round: with every upload in, one more merge is
-	// the deterministic fleet table; every device would pull it on its
-	// next check-in.
-	info, err := client.Merge(opts.App, opts.Platform)
-	if err != nil {
-		return report, fmt.Errorf("fleetsim: final merge: %w", err)
+	// Phase 3 — the final round: with every upload in, one more merge per
+	// app is the deterministic fleet table; every device would pull it on
+	// its next check-in.
+	for _, app := range finalApps(&report, opts) {
+		info, err := client.Merge(app, opts.Platform)
+		if err != nil {
+			return report, fmt.Errorf("fleetsim: final merge of %s: %w", app, err)
+		}
+		requests.Add(1)
+		merged, _, err := client.Policy(app, opts.Platform)
+		if err != nil {
+			return report, fmt.Errorf("fleetsim: final policy pull of %s: %w", app, err)
+		}
+		requests.Add(1)
+		if len(opts.Scenarios) > 0 {
+			report.PerApp = append(report.PerApp, AppMerge{App: app, Merge: info, Merged: merged})
+		}
+		if report.Merged == nil || app == opts.App {
+			report.Merge = info
+			report.Merged = merged
+		}
 	}
-	requests.Add(1)
-	merged, _, err := client.Policy(opts.App, opts.Platform)
-	if err != nil {
-		return report, fmt.Errorf("fleetsim: final policy pull: %w", err)
-	}
-	requests.Add(1)
-	report.Merge = info
-	report.Merged = merged
 	report.Requests = requests.Load()
 	for _, d := range report.Devices {
 		if d.Err != "" {
@@ -189,6 +233,34 @@ func Run(baseURL string, opts Options) (Report, error) {
 	return report, nil
 }
 
+// finalApps lists the apps phase 3 merges: the single options app for a
+// homogeneous fleet, or the sorted union of every app any scenario
+// device uploaded.
+func finalApps(report *Report, opts Options) []string {
+	if len(opts.Scenarios) == 0 {
+		return []string{opts.App}
+	}
+	set := make(map[string]bool)
+	for _, d := range report.Devices {
+		if d.Err != "" {
+			// A failed device may hold tables the server never received
+			// (check-in or upload died); merging an app only it trained
+			// would abort the run the per-device error already accounts
+			// for.
+			continue
+		}
+		for app := range d.Tables {
+			set[app] = true
+		}
+	}
+	apps := make([]string, 0, len(set))
+	for app := range set {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+	return apps
+}
+
 // deviceName pads wide enough that lexicographic order (what the
 // server merges in) matches index order (what the serial reference
 // merges in) for any realistic fleet — float accumulation order is part
@@ -198,6 +270,9 @@ func deviceName(i int) string { return fmt.Sprintf("dev-%08d", i) }
 // trainDevice runs the device's training sessions through the sim
 // engine and returns its agent (nil on error, recorded in res).
 func trainDevice(res *DeviceResult, plat platform.Platform, opts Options, i int) *core.Agent {
+	if len(opts.Scenarios) > 0 {
+		return trainScenarioDevice(res, plat, opts, i)
+	}
 	devSeed := opts.Seed + int64(i+1)*7919
 	cfg := exp.DefaultAgentConfigFor(plat)
 	cfg.Seed = devSeed
@@ -224,7 +299,46 @@ func trainDevice(res *DeviceResult, plat platform.Platform, opts Options, i int)
 	return agent
 }
 
-// driveDevice plays one device's HTTP session against the server.
+// trainScenarioDevice trains device i on its assigned scenario preset,
+// scaled to SessionSecs per session, and snapshots every per-app table
+// it produced.
+func trainScenarioDevice(res *DeviceResult, plat platform.Platform, opts Options, i int) *core.Agent {
+	devSeed := opts.Seed + int64(i+1)*7919
+	scn := scenario.MustGet(opts.Scenarios[i%len(opts.Scenarios)]) // validated in Run
+	res.Scenario = scn.Name
+	if d := scn.DurS(); opts.SessionSecs > 0 && d > 0 {
+		scn = scenario.Scaled(scn, opts.SessionSecs/d)
+	}
+	cfg := exp.DefaultAgentConfigFor(plat)
+	cfg.Seed = devSeed
+	agent := core.NewAgent(cfg)
+	for s := 1; s <= opts.Sessions; s++ {
+		seed := devSeed + int64(s)
+		if _, err := exp.RunScenarioOn(opts.Platform, scn, seed, agent); err != nil {
+			res.Err = err.Error()
+			return nil
+		}
+	}
+	res.Tables = make(map[string]*core.QTable)
+	for _, app := range agent.Apps() { // sorted
+		tab := agent.TableFor(app)
+		if tab == nil || tab.Table == nil || tab.Table.States() == 0 {
+			continue
+		}
+		res.Tables[app] = tab.Table.Clone()
+		res.States += tab.Table.States()
+		res.Steps += tab.Table.Steps
+	}
+	if len(res.Tables) == 0 {
+		res.Err = "scenario training produced no tables"
+		return nil
+	}
+	return agent
+}
+
+// driveDevice plays one device's HTTP session against the server: check
+// in, then upload → merge → policy-pull for each app it trained (one
+// app for homogeneous fleets, every scenario app otherwise).
 func driveDevice(res *DeviceResult, client *fleetd.Client, agent *core.Agent, opts Options, requests *atomic.Int64) {
 	if res.Err != "" || agent == nil {
 		return
@@ -234,23 +348,36 @@ func driveDevice(res *DeviceResult, client *fleetd.Client, agent *core.Agent, op
 		return
 	}
 	requests.Add(1)
-	if _, err := client.UploadTable(res.Device, opts.Platform, opts.App, res.Uploaded); err != nil {
-		res.Err = err.Error()
-		return
+
+	apps := []string{opts.App}
+	tables := map[string]*core.QTable{opts.App: res.Uploaded}
+	if len(res.Tables) > 0 {
+		apps = apps[:0]
+		for app := range res.Tables {
+			apps = append(apps, app)
+		}
+		sort.Strings(apps)
+		tables = res.Tables
 	}
-	requests.Add(1)
-	if _, err := client.Merge(opts.App, opts.Platform); err != nil {
-		res.Err = err.Error()
-		return
+	for _, app := range apps {
+		if _, err := client.UploadTable(res.Device, opts.Platform, app, tables[app]); err != nil {
+			res.Err = err.Error()
+			return
+		}
+		requests.Add(1)
+		if _, err := client.Merge(app, opts.Platform); err != nil {
+			res.Err = err.Error()
+			return
+		}
+		requests.Add(1)
+		policy, round, err := client.Policy(app, opts.Platform)
+		if err != nil {
+			res.Err = err.Error()
+			return
+		}
+		requests.Add(1)
+		agent.InstallTable(app, policy, true)
+		res.PolicyRound = round
+		res.PolicyStates = policy.States()
 	}
-	requests.Add(1)
-	policy, round, err := client.Policy(opts.App, opts.Platform)
-	if err != nil {
-		res.Err = err.Error()
-		return
-	}
-	requests.Add(1)
-	agent.InstallTable(opts.App, policy, true)
-	res.PolicyRound = round
-	res.PolicyStates = policy.States()
 }

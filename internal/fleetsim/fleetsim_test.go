@@ -2,6 +2,7 @@ package fleetsim
 
 import (
 	"bytes"
+	"encoding/json"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -157,5 +158,135 @@ func TestFleetRunValidation(t *testing.T) {
 	}
 	if _, err := Run("http://127.0.0.1:1", Options{}); err == nil || !strings.Contains(err.Error(), "not reachable") {
 		t.Fatal("dead server should fail fast")
+	}
+}
+
+// A heterogeneous scenario fleet: devices rotate through three usage
+// presets, every app any scenario visits is uploaded and federated, and
+// each per-app merge is byte-identical to a serial cloud.MergeTables of
+// the same device tables in device order — policies trained on
+// different usage genuinely blend.
+func TestFleetScenarioHeterogeneousMerge(t *testing.T) {
+	_, url, done := startServer(t)
+	defer done()
+
+	opts := Options{
+		Devices:     6,
+		Platform:    "note9",
+		Sessions:    1,
+		SessionSecs: 30,
+		Seed:        42,
+		Parallel:    4,
+		Scenarios:   []string{"commute", "doomscroll", "video-binge"},
+	}
+	report, err := Run(url, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 0 {
+		for _, d := range report.Devices {
+			if d.Err != "" {
+				t.Errorf("%s: %s", d.Device, d.Err)
+			}
+		}
+		t.Fatalf("%d devices failed", report.Errors)
+	}
+	for i, d := range report.Devices {
+		want := opts.Scenarios[i%len(opts.Scenarios)]
+		if d.Scenario != want {
+			t.Fatalf("%s trained %q, want %q", d.Device, d.Scenario, want)
+		}
+		if len(d.Tables) == 0 || d.States == 0 {
+			t.Fatalf("%s uploaded nothing", d.Device)
+		}
+	}
+	if len(report.PerApp) == 0 {
+		t.Fatal("scenario fleet reported no per-app merges")
+	}
+
+	// The union must span more than one app — heterogeneity is the point.
+	if len(report.PerApp) < 3 {
+		t.Fatalf("only %d apps federated: %+v", len(report.PerApp), report.PerApp)
+	}
+
+	for _, am := range report.PerApp {
+		var tables []*core.QTable
+		devs := 0
+		for _, d := range report.Devices { // device order == sorted name order
+			if tab, ok := d.Tables[am.App]; ok {
+				tables = append(tables, tab.Clone())
+				devs++
+			}
+		}
+		if devs != am.Merge.Devices {
+			t.Fatalf("%s: server merged %d devices, fleet holds %d", am.App, am.Merge.Devices, devs)
+		}
+		serial, err := cloud.MergeTables(tables)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotJSON, err := core.MarshalTable(am.App, am.Merged, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantJSON, err := core.MarshalTable(am.App, serial, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotJSON, wantJSON) {
+			t.Fatalf("%s: concurrent scenario-fleet merge differs from serial cloud.MergeTables", am.App)
+		}
+	}
+
+	// Devices on different scenarios trained different app sets or
+	// different tables — the blend is real.
+	if len(report.Devices[0].Tables) == len(report.Devices[1].Tables) {
+		same := true
+		for app := range report.Devices[0].Tables {
+			if _, ok := report.Devices[1].Tables[app]; !ok {
+				same = false
+				break
+			}
+		}
+		if same {
+			a, _ := json.Marshal(report.Devices[0].Tables)
+			b, _ := json.Marshal(report.Devices[1].Tables)
+			if bytes.Equal(a, b) {
+				t.Fatal("commute and doomscroll devices trained identical tables")
+			}
+		}
+	}
+}
+
+// Scenario fleets keep the determinism contract: identical options
+// against fresh servers produce byte-identical per-app merged tables.
+func TestFleetScenarioRunDeterministic(t *testing.T) {
+	opts := Options{
+		Devices: 4, Sessions: 1, SessionSecs: 20, Seed: 9, Parallel: 4,
+		Scenarios: []string{"bursty-messaging", "thermal-soak"},
+	}
+	var runs [][]byte
+	for i := 0; i < 2; i++ {
+		_, url, done := startServer(t)
+		report, err := Run(url, opts)
+		done()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.Errors != 0 {
+			t.Fatalf("run %d: %d device errors", i, report.Errors)
+		}
+		var blob bytes.Buffer
+		for _, am := range report.PerApp {
+			data, err := core.MarshalTable(am.App, am.Merged, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blob.Write(data)
+		}
+		runs = append(runs, blob.Bytes())
+	}
+	if !bytes.Equal(runs[0], runs[1]) {
+		t.Fatal("same scenario fleet options, different merged tables")
 	}
 }

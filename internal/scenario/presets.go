@@ -1,0 +1,189 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"nextdvfs/internal/workload"
+)
+
+// The preset library: the usage days the ROADMAP's "as many scenarios
+// as you can imagine" opens with. Each is a plain Scenario value —
+// callers can take one as a starting point, edit phases and Compile
+// their own variants.
+
+func commute() Scenario {
+	return Scenario{
+		Name:        "commute",
+		Description: "music in the pocket, bursts of feed and browser on the bus; outdoor→vehicle ambient",
+		AmbientC:    27,
+		Phases: []Phase{
+			{App: workload.NameHome, Seconds: 10},
+			{App: workload.NameSpotify, Seconds: 75},
+			{App: workload.NameSpotify, Seconds: 300, Mode: ModeScreenOff},
+			{App: workload.NameFacebook, Seconds: 120, AmbientC: 24},
+			{App: workload.NameSpotify, Seconds: 240, Mode: ModeScreenOff},
+			{App: workload.NameChrome, Seconds: 90},
+			{App: workload.NameSpotify, Seconds: 180, Mode: ModeScreenOff},
+			{App: workload.NameHome, Seconds: 15},
+		},
+	}
+}
+
+func gamingMarathon() Scenario {
+	return Scenario{
+		Name:        "gaming-marathon",
+		Description: "long Lineage and PubG stretches with a social break; the sustained-thermal stress case",
+		Phases: []Phase{
+			{App: workload.NameHome, Seconds: 15},
+			{App: workload.NameLineage, Seconds: 600},
+			{App: workload.NameLineage, Seconds: 300, Mode: ModeFixed, Inter: workload.InterPlay},
+			{App: workload.NameFacebook, Seconds: 90},
+			{App: workload.NamePubG, Seconds: 540},
+			{App: workload.NameLineage, Seconds: 240, Mode: ModeFixed, Inter: workload.InterPlay},
+		},
+	}
+}
+
+func doomscroll() Scenario {
+	return Scenario{
+		Name:        "doomscroll",
+		Description: "late-night feed scrolling on a fast panel, short video detours, screen-off lapses",
+		AmbientC:    22,
+		Phases: []Phase{
+			{App: workload.NameHome, Seconds: 10},
+			{App: workload.NameFacebook, Seconds: 240, Mode: ModeFixed, Inter: workload.InterScroll, RefreshHz: 120},
+			{App: workload.NameFacebook, Seconds: 300},
+			{App: workload.NameYouTube, Seconds: 180, RefreshHz: 60},
+			{App: workload.NameFacebook, Seconds: 180, Mode: ModeFixed, Inter: workload.InterScroll, RefreshHz: 120},
+			{App: workload.NameFacebook, Seconds: 120, Mode: ModeScreenOff},
+			{App: workload.NameFacebook, Seconds: 180},
+		},
+	}
+}
+
+func videoBinge() Scenario {
+	return Scenario{
+		Name:        "video-binge",
+		Description: "back-to-back streaming with seek bursts and a screen-off pause; the decode-pipeline soak",
+		Phases: []Phase{
+			{App: workload.NameHome, Seconds: 10},
+			{App: workload.NameYouTube, Seconds: 840, Mode: ModeFixed, Inter: workload.InterWatch},
+			{App: workload.NameYouTube, Seconds: 120},
+			{App: workload.NameYouTube, Seconds: 120, Mode: ModeScreenOff},
+			{App: workload.NameYouTube, Seconds: 840, Mode: ModeFixed, Inter: workload.InterWatch},
+		},
+	}
+}
+
+func burstyMessaging() Scenario {
+	s := Scenario{
+		Name:        "bursty-messaging",
+		Description: "the 70%-under-2-minutes pickup pattern: short feed bursts between pocketed stretches",
+	}
+	for i := 0; i < 6; i++ {
+		burst := workload.NameFacebook
+		if i%3 == 2 {
+			burst = workload.NameChrome
+		}
+		s.Phases = append(s.Phases,
+			Phase{App: workload.NameHome, Seconds: 8},
+			Phase{App: burst, Seconds: 50},
+			Phase{App: workload.NameHome, Seconds: 100, Mode: ModeScreenOff},
+		)
+	}
+	return s
+}
+
+func thermalSoak() Scenario {
+	return Scenario{
+		Name:        "thermal-soak",
+		Description: "PubG in a 35 °C car, then air conditioning kicks in; stresses thermal headroom policies",
+		AmbientC:    35,
+		Phases: []Phase{
+			{App: workload.NameHome, Seconds: 10},
+			{App: workload.NamePubG, Seconds: 480},
+			{App: workload.NamePubG, Seconds: 300, Mode: ModeFixed, Inter: workload.InterPlay},
+			{App: workload.NamePubG, Seconds: 180, Mode: ModeScreenOff, AmbientC: 30},
+			{App: workload.NamePubG, Seconds: 240},
+		},
+	}
+}
+
+func coldStart() Scenario {
+	return Scenario{
+		Name:        "cold-start",
+		Description: "a 5 °C winter morning moving indoors: browsing and music with huge thermal headroom",
+		AmbientC:    5,
+		Phases: []Phase{
+			{App: workload.NameHome, Seconds: 15},
+			{App: workload.NameChrome, Seconds: 180},
+			{App: workload.NameSpotify, Seconds: 90},
+			{App: workload.NameSpotify, Seconds: 240, Mode: ModeScreenOff},
+			{App: workload.NameFacebook, Seconds: 120, AmbientC: 21},
+			{App: workload.NameChrome, Seconds: 120},
+		},
+	}
+}
+
+func mixedDay() Scenario {
+	return Scenario{
+		Name:        "mixed-day",
+		Description: "morning→noon→evening rotation over six apps with ambient drift; the broadest single scenario",
+		AmbientC:    18,
+		Phases: []Phase{
+			{App: workload.NameHome, Seconds: 15},
+			{App: workload.NameFacebook, Seconds: 180},
+			{App: workload.NameSpotify, Seconds: 300, Mode: ModeScreenOff},
+			{App: workload.NameChrome, Seconds: 180, AmbientC: 26},
+			{App: workload.NameYouTube, Seconds: 300, Mode: ModeFixed, Inter: workload.InterWatch},
+			{App: workload.NameLineage, Seconds: 420},
+			{App: workload.NameFacebook, Seconds: 240, Mode: ModeFixed, Inter: workload.InterScroll, AmbientC: 21, RefreshHz: 90},
+			{App: workload.NameSpotify, Seconds: 480, Mode: ModeScreenOff},
+			{App: workload.NameHome, Seconds: 20},
+		},
+	}
+}
+
+// presets maps name → factory. Factories (not values) so every caller
+// gets an independent Scenario it may mutate freely.
+var presets = map[string]func() Scenario{
+	"commute":          commute,
+	"gaming-marathon":  gamingMarathon,
+	"doomscroll":       doomscroll,
+	"video-binge":      videoBinge,
+	"bursty-messaging": burstyMessaging,
+	"thermal-soak":     thermalSoak,
+	"cold-start":       coldStart,
+	"mixed-day":        mixedDay,
+}
+
+// Names returns the preset scenario names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Get returns the named preset scenario. The error lists the library so
+// CLI users see their options.
+func Get(name string) (Scenario, error) {
+	mk, ok := presets[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("scenario: unknown scenario %q (have: %v)", name, Names())
+	}
+	return mk(), nil
+}
+
+// MustGet is Get for wiring code where the name is a compile-time
+// constant; it panics on unknown names.
+func MustGet(name string) Scenario {
+	s, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

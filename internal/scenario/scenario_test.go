@@ -1,0 +1,207 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"nextdvfs/internal/session"
+	"nextdvfs/internal/workload"
+)
+
+func TestPresetsValidateAndCompile(t *testing.T) {
+	names := Names()
+	if len(names) < 8 {
+		t.Fatalf("preset library has %d scenarios, want ≥ 8", len(names))
+	}
+	for _, name := range names {
+		s, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name != name {
+			t.Fatalf("preset %q carries name %q", name, s.Name)
+		}
+		if s.Description == "" {
+			t.Fatalf("preset %q has no description", name)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		c, err := Compile(s, 42, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Timeline.Validate(); err != nil {
+			t.Fatalf("%s: compiled timeline invalid: %v", name, err)
+		}
+		var wantUS int64
+		for _, p := range s.Phases {
+			wantUS += session.Seconds(p.Seconds)
+		}
+		if got := c.Timeline.DurUS(); got != wantUS {
+			t.Fatalf("%s: timeline %d µs, scenario %d µs", name, got, wantUS)
+		}
+		// Consecutive same-app phases coalesce into one script, so the
+		// engine never sees an app switch where the app stayed resident.
+		runs := 1
+		for i := 1; i < len(s.Phases); i++ {
+			if s.Phases[i].App != s.Phases[i-1].App {
+				runs++
+			}
+		}
+		if len(c.Timeline.Scripts) != runs {
+			t.Fatalf("%s: %d scripts for %d app runs", name, len(c.Timeline.Scripts), runs)
+		}
+		for i := 1; i < len(c.Timeline.Scripts); i++ {
+			if c.Timeline.Scripts[i].App.Name() == c.Timeline.Scripts[i-1].App.Name() {
+				t.Fatalf("%s: scripts %d and %d share app %s — not coalesced", name, i-1, i, c.Timeline.Scripts[i].App.Name())
+			}
+		}
+		if len(s.Apps()) == 0 {
+			t.Fatalf("%s: no apps", name)
+		}
+	}
+}
+
+func TestCompileDeterministicPerSeed(t *testing.T) {
+	for _, name := range Names() {
+		s := MustGet(name)
+		a, err := Compile(s, 7, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Compile(s, 7, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Timeline, b.Timeline) {
+			t.Fatalf("%s: same seed compiled different timelines", name)
+		}
+	}
+	// A scenario with stochastic phases must differ across seeds.
+	s := MustGet("commute")
+	a, _ := Compile(s, 7, 21)
+	b, _ := Compile(s, 8, 21)
+	if reflect.DeepEqual(a.Timeline, b.Timeline) {
+		t.Fatal("different seeds compiled identical commute timelines")
+	}
+}
+
+func TestCompileEnvironmentSchedules(t *testing.T) {
+	// commute opens at 27 °C and drops to 24 °C when the bus phase
+	// starts (10 + 75 + 300 seconds in).
+	c, err := Compile(MustGet("commute"), 1, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Ambient == nil {
+		t.Fatal("commute should carry an ambient schedule")
+	}
+	c.Ambient.Start()
+	if got := c.Ambient.At(0); got != 27 {
+		t.Fatalf("commute opens at %v °C, want 27", got)
+	}
+	busUS := session.Seconds(10 + 75 + 300)
+	if got := c.Ambient.At(busUS); got != 24 {
+		t.Fatalf("commute bus phase at %v °C, want 24", got)
+	}
+	if c.Refresh != nil {
+		t.Fatal("commute should not switch the panel")
+	}
+
+	// doomscroll switches 120 → 60 → 120 Hz at phase starts.
+	d, err := Compile(MustGet("doomscroll"), 1, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Refresh == nil {
+		t.Fatal("doomscroll should carry a refresh schedule")
+	}
+	steps := d.Refresh.Steps()
+	if len(steps) != 3 || steps[0].RefreshHz != 120 || steps[1].RefreshHz != 60 || steps[2].RefreshHz != 120 {
+		t.Fatalf("doomscroll refresh steps = %+v", steps)
+	}
+
+	// A scenario that never leaves the platform ambient compiles without
+	// an ambient schedule at all.
+	g, err := Compile(MustGet("gaming-marathon"), 1, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Ambient != nil {
+		t.Fatal("ambient-free scenario should compile a nil schedule")
+	}
+
+	// Scenario base ambient equal to the platform's is also schedule-free.
+	s := Scenario{Name: "x", AmbientC: 21, Phases: []Phase{{App: workload.NameHome, Seconds: 5}}}
+	x, err := Compile(s, 1, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Ambient != nil {
+		t.Fatal("matching base ambient should compile a nil schedule")
+	}
+}
+
+func TestScreenOffPhasesCompileToInterOff(t *testing.T) {
+	c, err := Compile(MustGet("commute"), 3, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := 0
+	for _, script := range c.Timeline.Scripts {
+		for _, p := range script.Phases {
+			if p.Inter == workload.InterOff {
+				off++
+			}
+		}
+	}
+	if off != 3 {
+		t.Fatalf("commute compiled %d screen-off phases, want 3", off)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := MustGet("mixed-day")
+	half := Scaled(s, 0.5)
+	if got, want := half.DurS(), s.DurS()/2; got != want {
+		t.Fatalf("scaled duration %v, want %v", got, want)
+	}
+	if s.Phases[1].Seconds == half.Phases[1].Seconds {
+		t.Fatal("Scaled mutated nothing")
+	}
+	if Scaled(s, 1).DurS() != s.DurS() || Scaled(s, 0).DurS() != s.DurS() {
+		t.Fatal("factor 1/0 should be identity")
+	}
+	// Aggressively scaled scenarios still compile to valid timelines.
+	tiny := Scaled(s, 0.01)
+	c, err := Compile(tiny, 5, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Timeline.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Scenario{
+		{Name: "", Phases: []Phase{{App: workload.NameHome, Seconds: 1}}},
+		{Name: "x"},
+		{Name: "x", Phases: []Phase{{App: "nosuchapp", Seconds: 1}}},
+		{Name: "x", Phases: []Phase{{App: workload.NameHome, Seconds: 0}}},
+		{Name: "x", Phases: []Phase{{App: workload.NameHome, Seconds: 1, Mode: Mode(99)}}},
+		{Name: "x", Phases: []Phase{{App: workload.NameHome, Seconds: 1, RefreshHz: -1}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("case %d should fail validation", i)
+		}
+		if _, err := Compile(s, 1, 21); err == nil {
+			t.Fatalf("case %d should fail compilation", i)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("unknown preset should error")
+	}
+}

@@ -33,6 +33,18 @@ type Config struct {
 	// SkinPowerFrac is the share of the base (display/rest-of-device)
 	// power deposited into the skin thermal node.
 	SkinPowerFrac float64
+	// Ambient optionally drives the thermal model's ambient temperature
+	// over the run (scenario phases that move between environments). Nil
+	// keeps the model's fixed ambient.
+	Ambient *thermal.AmbientSchedule
+	// Refresh optionally switches the panel rate mid-run (adaptive
+	// refresh; scenario phases that change panel mode). Nil keeps the
+	// pipeline's native rate.
+	Refresh *display.RefreshSchedule
+	// ScreenOffBaseFrac is the fraction of Power.BaseW still drawn while
+	// the screen is off (workload.InterOff phases): the display is the
+	// bulk of base power on a handset. Default 0.25.
+	ScreenOffBaseFrac float64
 	// SnapshotFault optionally corrupts controller observations before
 	// delivery — the failure-injection hook (sensor dropout, FPS jitter).
 	SnapshotFault func(*ctrl.Snapshot)
@@ -69,6 +81,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.SkinPowerFrac <= 0 {
 		c.SkinPowerFrac = 0.7
+	}
+	if c.ScreenOffBaseFrac <= 0 {
+		c.ScreenOffBaseFrac = 0.25
 	}
 	if c.DevSense == nil {
 		c.DevSense = thermal.Note9DeviceSensor(c.Thermal)

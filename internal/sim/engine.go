@@ -46,15 +46,15 @@ type Engine struct {
 	tickRender []float64
 
 	// cadence bookkeeping.
-	nextGovUS     int64
-	nextObsUS     int64
-	nextCtlUS     int64
-	nextRecUS     int64
-	lastPowerW    float64
-	ctlPowerSum   float64 // power integrated since the last Control
-	ctlPowerN     int
-	prevInter     workload.Interaction
-	prevRendering bool
+	nextGovUS   int64
+	nextObsUS   int64
+	nextCtlUS   int64
+	nextRecUS   int64
+	lastPowerW  float64
+	ctlPowerSum float64 // power integrated since the last Control
+	ctlPowerN   int
+	screenOff   bool // current tick's screen state (workload.InterOff)
+	nativeHz    int  // the panel's built-in rate, restored before each run
 
 	views []ctrl.ClusterView
 	opps  [][]int
@@ -119,6 +119,7 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e.powerBuf = make([]float64, cfg.Thermal.NumNodes())
 	e.tickRender = make([]float64, n)
+	e.nativeHz = cfg.Display.RefreshHz
 	return e, nil
 }
 
@@ -126,7 +127,19 @@ func New(cfg Config) (*Engine, error) {
 func (e *Engine) Run() Result {
 	cfg := &e.cfg
 	cfg.Chip.ResetDVFS()
+	if cfg.Ambient != nil {
+		// The run starts in whatever environment the schedule opens with:
+		// ambient (and the node temperatures Reset restores) must match.
+		cfg.Ambient.Start()
+		cfg.Thermal.AmbientC = cfg.Ambient.At(0)
+	}
 	cfg.Thermal.Reset()
+	if cfg.Refresh != nil {
+		// Restore the native panel rate a previous run's schedule may have
+		// switched away from, then rewind the schedule.
+		cfg.Display.SetRefresh(e.nativeHz, 0)
+		cfg.Refresh.Start()
+	}
 	cfg.Display.Reset()
 	cfg.Governor.Reset()
 	if cfg.Controller != nil {
@@ -158,6 +171,18 @@ func (e *Engine) Run() Result {
 			}
 		}
 
+		// Environment schedules (scenario-driven): ambient temperature and
+		// panel refresh follow their piecewise-constant steps.
+		if cfg.Ambient != nil {
+			cfg.Thermal.AmbientC = cfg.Ambient.At(now)
+		}
+		if cfg.Refresh != nil {
+			if hz := cfg.Refresh.At(now); hz > 0 && hz != cfg.Display.RefreshHz {
+				cfg.Display.SetRefresh(hz, now)
+			}
+		}
+		e.screenOff = inter == workload.InterOff
+
 		// Input boost fires on every tick of an active gesture, like the
 		// stream of input events Android sees. Gameplay counts: a game
 		// session is a continuous stream of touchscreen input, which is
@@ -168,7 +193,6 @@ func (e *Engine) Run() Result {
 				b.OnInput(now)
 			}
 		}
-		e.prevInter = inter
 
 		demand := app.Tick(now, dt, inter, e.rng)
 		rendering := e.advanceRenderer(app, inter, demand, dtSec)
@@ -196,7 +220,6 @@ func (e *Engine) Run() Result {
 		if expecting {
 			acc.activeFPS.Push(fps)
 		}
-		e.prevRendering = rendering
 
 		// Governor cadence.
 		if now >= e.nextGovUS {
@@ -267,8 +290,7 @@ func (e *Engine) resetRunState() {
 	e.nextGovUS, e.nextObsUS, e.nextCtlUS, e.nextRecUS = 0, 0, 0, 0
 	e.lastPowerW = 0
 	e.ctlPowerSum, e.ctlPowerN = 0, 0
-	e.prevInter = workload.InterIdle
-	e.prevRendering = false
+	e.screenOff = false
 }
 
 // dropInFlightFrame abandons any partially rendered frame on app switch.
@@ -370,12 +392,18 @@ func (e *Engine) noteRender(c *soc.Cluster, used float64) {
 // utilization, and fills the thermal power buffer. Returns total watts.
 func (e *Engine) integratePower(demand workload.Demand, dtSec float64) float64 {
 	cfg := &e.cfg
-	total := cfg.Power.BaseW
+	baseW := cfg.Power.BaseW
+	if e.screenOff {
+		// The panel and its rail dominate base power; screen-off sheds
+		// most of it (the remainder is radios, sensors, always-on logic).
+		baseW *= cfg.ScreenOffBaseFrac
+	}
+	total := baseW
 	for i := range e.powerBuf {
 		e.powerBuf[i] = 0
 	}
 	if e.skinIdx >= 0 {
-		e.powerBuf[e.skinIdx] = cfg.Power.BaseW * cfg.SkinPowerFrac
+		e.powerBuf[e.skinIdx] = baseW * cfg.SkinPowerFrac
 	}
 
 	for i, c := range cfg.Chip.Clusters {

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"testing"
+
+	"nextdvfs/internal/display"
+	"nextdvfs/internal/session"
+	"nextdvfs/internal/thermal"
+	"nextdvfs/internal/workload"
+)
+
+// envTimeline holds one app in one interaction for secs seconds.
+func envTimeline(app *workload.ProfileApp, inter workload.Interaction, secs float64) *session.Timeline {
+	return &session.Timeline{Scripts: []session.Script{{
+		App:    app,
+		Phases: []session.Phase{{Inter: inter, DurUS: session.Seconds(secs)}},
+	}}}
+}
+
+func TestScreenOffShedsBasePower(t *testing.T) {
+	run := func(inter workload.Interaction) Result {
+		cfg := Note9Config(envTimeline(workload.Spotify(), inter, 30), 5)
+		eng, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng.Run()
+	}
+	idle := run(workload.InterIdle)
+	off := run(workload.InterOff)
+	// Same app, same idle background — the whole gap is the display's
+	// share of base power. Note9 base is ≈0.9 W; screen-off keeps 25 %.
+	gap := idle.AvgPowerW - off.AvgPowerW
+	if gap < 0.3 {
+		t.Fatalf("screen-off saved only %.3f W (idle %.3f, off %.3f)", gap, idle.AvgPowerW, off.AvgPowerW)
+	}
+	if off.FramesDropped != 0 {
+		t.Fatalf("screen-off counted %d drops", off.FramesDropped)
+	}
+}
+
+func TestAmbientScheduleShiftsTemperatures(t *testing.T) {
+	run := func(sched *thermal.AmbientSchedule) Result {
+		cfg := Note9Config(envTimeline(workload.Spotify(), workload.InterIdle, 60), 5)
+		cfg.Ambient = sched
+		eng, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng.Run()
+	}
+	base := run(nil)
+	hot, err := thermal.NewAmbientSchedule([]thermal.AmbientStep{{AtUS: 0, AmbientC: 35}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(hot)
+	if res.AvgTempBigC < base.AvgTempBigC+10 {
+		t.Fatalf("35 °C ambient big temp %.1f vs 21 °C %.1f — schedule not applied", res.AvgTempBigC, base.AvgTempBigC)
+	}
+
+	// The schedule cursor rewinds per run: a second engine reusing the
+	// exhausted schedule object reproduces the first run bit-for-bit.
+	again := run(hot)
+	if again.AvgTempBigC != res.AvgTempBigC || again.AvgPowerW != res.AvgPowerW {
+		t.Fatalf("schedule reuse drifted: %.6f/%.6f vs %.6f/%.6f",
+			res.AvgTempBigC, res.AvgPowerW, again.AvgTempBigC, again.AvgPowerW)
+	}
+}
+
+func TestRefreshScheduleSwitchesPanel(t *testing.T) {
+	sched, err := display.NewRefreshSchedule([]display.RefreshStep{
+		{AtUS: session.Seconds(10), RefreshHz: 120},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Note9Config(envTimeline(workload.Lineage(), workload.InterPlay, 20), 5)
+	cfg.Refresh = sched
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Run()
+	// 10 s at 60 Hz + 10 s at 120 Hz ⇒ about 1800 VSyncs; a fixed 60 Hz
+	// panel would see ~1200.
+	if res.VSyncs < 1500 {
+		t.Fatalf("VSyncs = %d, want ≈1800 (panel never switched?)", res.VSyncs)
+	}
+	if cfg.Display.RefreshHz != 120 {
+		t.Fatalf("panel ended at %d Hz, want 120", cfg.Display.RefreshHz)
+	}
+	// Re-run restores the native rate first, so the totals reproduce.
+	if again := eng.Run(); again.VSyncs != res.VSyncs {
+		t.Fatalf("re-run VSyncs %d vs %d", again.VSyncs, res.VSyncs)
+	}
+}

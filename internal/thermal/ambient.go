@@ -1,0 +1,63 @@
+package thermal
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AmbientStep is one piecewise-constant segment of an ambient schedule:
+// from AtUS onward the environment sits at AmbientC, until the next
+// step takes over.
+type AmbientStep struct {
+	AtUS     int64
+	AmbientC float64
+}
+
+// AmbientSchedule drives Model.AmbientC over a run — the scenario
+// engine's hook for sessions that move between environments (outdoors,
+// a hot car, an air-conditioned office). Steps are piecewise constant
+// and must be queried with non-decreasing timestamps; the engine calls
+// Start once per run and At once per tick, both O(1) amortized.
+type AmbientSchedule struct {
+	steps []AmbientStep
+	idx   int
+}
+
+// NewAmbientSchedule builds a schedule from steps. At least one step
+// must start at (or before) time zero so At is defined for the whole
+// run; steps are sorted by time. Duplicate timestamps are a programming
+// error (schedules come from scenario compilation, not user input).
+func NewAmbientSchedule(steps []AmbientStep) (*AmbientSchedule, error) {
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("thermal: ambient schedule needs at least one step")
+	}
+	s := &AmbientSchedule{steps: append([]AmbientStep(nil), steps...)}
+	sort.Slice(s.steps, func(i, j int) bool { return s.steps[i].AtUS < s.steps[j].AtUS })
+	if s.steps[0].AtUS > 0 {
+		return nil, fmt.Errorf("thermal: ambient schedule starts at %d µs, needs a step at time 0", s.steps[0].AtUS)
+	}
+	for i := 1; i < len(s.steps); i++ {
+		if s.steps[i].AtUS == s.steps[i-1].AtUS {
+			return nil, fmt.Errorf("thermal: ambient schedule has duplicate step at %d µs", s.steps[i].AtUS)
+		}
+	}
+	return s, nil
+}
+
+// Start rewinds the cursor; the engine calls it at the top of every
+// run so a schedule (like the rest of a sim.Config) can be re-run.
+func (s *AmbientSchedule) Start() { s.idx = 0 }
+
+// At returns the ambient at nowUS. nowUS must be non-decreasing between
+// Start calls.
+func (s *AmbientSchedule) At(nowUS int64) float64 {
+	for s.idx+1 < len(s.steps) && s.steps[s.idx+1].AtUS <= nowUS {
+		s.idx++
+	}
+	return s.steps[s.idx].AmbientC
+}
+
+// Steps returns a copy of the schedule's segments (for reporting).
+func (s *AmbientSchedule) Steps() []AmbientStep {
+	return append([]AmbientStep(nil), s.steps...)
+}

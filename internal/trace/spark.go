@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"math"
 	"strings"
 
 	"nextdvfs/internal/sim"
@@ -13,6 +14,10 @@ var sparkLevels = []rune("▁▂▃▄▅▆▇█")
 // terminal-friendly plot cmd/nextsim prints next to a session summary.
 // Values are min-max normalized; width ≤ 0 uses one glyph per value,
 // otherwise the series is bucketed (bucket mean) to the given width.
+// Non-finite values render at the baseline and are excluded from the
+// normalization range — a single NaN sample (converting int(NaN) is
+// platform-dependent in Go) must never panic the printer or flatten the
+// rest of the trace.
 func Sparkline(values []float64, width int) string {
 	if len(values) == 0 {
 		return ""
@@ -21,8 +26,11 @@ func Sparkline(values []float64, width int) string {
 	if width > 0 && len(values) > width {
 		series = bucketMeans(values, width)
 	}
-	lo, hi := series[0], series[0]
+	lo, hi := math.Inf(1), math.Inf(-1)
 	for _, v := range series {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
 		if v < lo {
 			lo = v
 		}
@@ -35,8 +43,20 @@ func Sparkline(values []float64, width int) string {
 	span := hi - lo
 	for _, v := range series {
 		idx := 0
-		if span > 0 {
+		switch {
+		case math.IsNaN(v) || v <= lo || !(span > 0) || math.IsInf(span, 0):
+			// Baseline: non-finite samples, the minimum, constant series
+			// (span 0) and all-non-finite series (span -Inf or NaN).
+		case v >= hi:
+			idx = len(sparkLevels) - 1
+		default:
 			idx = int((v - lo) / span * float64(len(sparkLevels)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx > len(sparkLevels)-1 {
+				idx = len(sparkLevels) - 1
+			}
 		}
 		b.WriteRune(sparkLevels[idx])
 	}

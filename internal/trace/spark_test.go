@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -65,5 +66,47 @@ func TestSampleSeries(t *testing.T) {
 	}
 	if !strings.Contains(Sparkline(SampleSeries(samples, "fps"), 0), "█") {
 		t.Fatal("composed sparkline missing peak glyph")
+	}
+}
+
+func TestSparklineNonFiniteSamples(t *testing.T) {
+	// A NaN sample must render at the baseline without panicking
+	// (int(NaN) is platform-dependent) and must not flatten the rest.
+	s := Sparkline([]float64{0, math.NaN(), 7}, 0)
+	if s != "▁▁█" {
+		t.Fatalf("NaN series rendered %q", s)
+	}
+	// Infinities clamp to the extremes instead of poisoning the range.
+	s = Sparkline([]float64{0, math.Inf(1), 7}, 0)
+	if r := []rune(s); r[1] != '█' || r[0] != '▁' {
+		t.Fatalf("+Inf series rendered %q", s)
+	}
+	s = Sparkline([]float64{0, math.Inf(-1), 7}, 0)
+	if r := []rune(s); r[1] != '▁' || r[2] != '█' {
+		t.Fatalf("-Inf series rendered %q", s)
+	}
+	// All-NaN series: every glyph at the baseline, no panic.
+	s = Sparkline([]float64{math.NaN(), math.NaN()}, 0)
+	if s != "▁▁" {
+		t.Fatalf("all-NaN series rendered %q", s)
+	}
+	// NaN survives bucketing (a poisoned bucket mean is still NaN).
+	vals := make([]float64, 40)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	vals[3] = math.NaN()
+	s = Sparkline(vals, 10)
+	if n := len([]rune(s)); n != 10 {
+		t.Fatalf("bucketed NaN series width %d", n)
+	}
+	if r := []rune(s); r[0] != '▁' || r[9] != '█' {
+		t.Fatalf("bucketed NaN series rendered %q", s)
+	}
+}
+
+func TestSparklineSingleValue(t *testing.T) {
+	if s := Sparkline([]float64{3.14}, 10); s != "▁" {
+		t.Fatalf("single value rendered %q", s)
 	}
 }

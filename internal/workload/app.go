@@ -51,9 +51,15 @@ const (
 	// work and no frame production (FPS ≈ 0 at high load — the case the
 	// paper uses to break utilization-driven management).
 	InterLoading
+	// InterOff: screen off with the app still foreground-resident — the
+	// pocketed-phone state the paper counts among its user-interaction
+	// signals. No frames are produced or expected; background work (audio
+	// playback, sync) keeps running at the app's idle rate, and the
+	// engine sheds the display's share of base power.
+	InterOff
 )
 
-var interNames = [...]string{"idle", "touch", "scroll", "watch", "play", "loading"}
+var interNames = [...]string{"idle", "touch", "scroll", "watch", "play", "loading", "off"}
 
 // String returns the lowercase interaction name.
 func (i Interaction) String() string {

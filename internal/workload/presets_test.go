@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// presetMakers mirrors every preset constructor with its expected
+// identity; ByName and the class contracts are pinned against it.
+var presetMakers = []struct {
+	name  string
+	class Class
+	make  func() *ProfileApp
+}{
+	{NameHome, ClassLauncher, Home},
+	{NameFacebook, ClassSocial, Facebook},
+	{NameSpotify, ClassMusic, Spotify},
+	{NameChrome, ClassBrowser, Chrome},
+	{NameLineage, ClassGame, Lineage},
+	{NamePubG, ClassGame, PubG},
+	{NameYouTube, ClassVideo, YouTube},
+}
+
+func TestPresetInvariants(t *testing.T) {
+	for _, p := range presetMakers {
+		app := p.make()
+		if app.Name() != p.name {
+			t.Fatalf("preset %q reports name %q", p.name, app.Name())
+		}
+		if app.Class() != p.class {
+			t.Fatalf("%s class = %v, want %v", p.name, app.Class(), p.class)
+		}
+		prof := app.Profile()
+		if err := prof.Validate(); err != nil {
+			t.Fatalf("%s profile invalid: %v", p.name, err)
+		}
+		// Background fractions are fractions of max capacity.
+		for _, bg := range []float64{
+			prof.ActiveBigBg, prof.ActiveLittleBg, prof.ActiveGPUBg,
+			prof.IdleBigBg, prof.IdleLittleBg, prof.IdleGPUBg,
+			prof.LoadingBigBg, prof.LoadingLittleBg,
+		} {
+			if bg < 0 || bg > 1 {
+				t.Fatalf("%s background %v out of [0,1]", p.name, bg)
+			}
+		}
+		if prof.BgJitter < 0 || prof.BgJitter >= 1 {
+			t.Fatalf("%s BgJitter %v out of [0,1)", p.name, prof.BgJitter)
+		}
+		// Games drive a render loop; video a playback cadence.
+		if p.class == ClassGame && prof.GameFPS <= 0 {
+			t.Fatalf("%s is a game without GameFPS", p.name)
+		}
+		if p.class == ClassVideo && prof.VideoFPS <= 0 {
+			t.Fatalf("%s is video without VideoFPS", p.name)
+		}
+	}
+}
+
+func TestByNameRoundTripAndUnknown(t *testing.T) {
+	for _, p := range presetMakers {
+		app := ByName(p.name)
+		if app == nil || app.Name() != p.name {
+			t.Fatalf("ByName(%q) = %v", p.name, app)
+		}
+		// Every call builds a fresh instance — presets must never share
+		// mutable cadence state across sessions.
+		if ByName(p.name) == app {
+			t.Fatalf("ByName(%q) returned a shared instance", p.name)
+		}
+	}
+	if ByName("") != nil || ByName("nosuchapp") != nil {
+		t.Fatal("unknown names must return nil")
+	}
+}
+
+func TestEvaluationAppsMatchPaperOrder(t *testing.T) {
+	apps := EvaluationApps()
+	want := []string{NameFacebook, NameLineage, NamePubG, NameSpotify, NameChrome, NameYouTube}
+	if len(apps) != len(want) {
+		t.Fatalf("%d evaluation apps, want %d", len(apps), len(want))
+	}
+	for i, app := range apps {
+		if app.Name() != want[i] {
+			t.Fatalf("evaluation app %d = %s, want %s (paper presentation order)", i, app.Name(), want[i])
+		}
+	}
+}
+
+func TestSpotifyKeepsBackgroundWhileIdleAndOff(t *testing.T) {
+	// The Fig. 1 waste case: music keeps the pipeline hot with the
+	// screen static — and still with the screen off (scenario phases).
+	app := Spotify()
+	rng := rand.New(rand.NewSource(1))
+	idle := app.Tick(0, 1000, InterIdle, rng)
+	if idle.BigBg < 0.2 || idle.WantFrame {
+		t.Fatalf("spotify idle demand = %+v", idle)
+	}
+	app.Reset()
+	off := app.Tick(0, 1000, InterOff, rng)
+	if off.BigBg < 0.2 {
+		t.Fatalf("spotify screen-off background collapsed: %+v", off)
+	}
+	if off.WantFrame {
+		t.Fatal("screen-off must not demand frames")
+	}
+}
+
+func TestInteractionNamesCoverAllStates(t *testing.T) {
+	for i := InterIdle; i <= InterOff; i++ {
+		if name := i.String(); name == "" || name[0] == 'I' {
+			t.Fatalf("interaction %d has no lowercase name: %q", int(i), name)
+		}
+	}
+	if InterOff.String() != "off" {
+		t.Fatalf("InterOff = %q", InterOff.String())
+	}
+	if Interaction(99).String() != "Interaction(99)" {
+		t.Fatalf("out-of-range interaction = %q", Interaction(99).String())
+	}
+}

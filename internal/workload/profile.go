@@ -117,7 +117,10 @@ func (a *ProfileApp) Tick(nowUS, dtUS int64, inter Interaction, rng *rand.Rand) 
 		a.pendingFrame = false
 		a.nextCadence = 0
 		d.BigBg, d.LittleBg = a.p.LoadingBigBg, a.p.LoadingLittleBg
-	default: // InterIdle
+	default: // InterIdle, InterOff
+		// Screen-off keeps the idle background running (audio decode and
+		// sync don't care about the panel); the display-side savings are
+		// the engine's business, not the app's.
 		a.pendingFrame = false
 		a.nextCadence = 0
 		d.BigBg, d.LittleBg, d.GPUBg = a.p.IdleBigBg, a.p.IdleLittleBg, a.p.IdleGPUBg

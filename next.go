@@ -7,6 +7,9 @@
 //
 //   - Run executes one user session on the simulated handset under a
 //     chosen management scheme and returns power/thermal/QoS results;
+//   - RunScenario replays a composable usage scenario (commute,
+//     gaming marathon, doomscroll, … — see Scenarios) with screen-off
+//     stretches, ambient-temperature drift and panel-refresh switches;
 //   - TrainAgent trains a Next agent on an application the way the
 //     paper does (repeated sessions until the Q-table converges);
 //   - NewFleet wires several simulated devices into the federated
@@ -30,6 +33,7 @@ import (
 	"nextdvfs/internal/fleetsim"
 	"nextdvfs/internal/governor"
 	"nextdvfs/internal/platform"
+	"nextdvfs/internal/scenario"
 	"nextdvfs/internal/session"
 	"nextdvfs/internal/sim"
 	"nextdvfs/internal/workload"
@@ -124,17 +128,24 @@ func PlatformInfos() []PlatformInfo {
 
 // RunOptions configures a single simulated session.
 type RunOptions struct {
-	// App is a preset name from Apps. Required unless Fig1Session.
+	// App is a preset name from Apps. Required unless Fig1Session or
+	// Scenario is set.
 	App string
 	// Platform is a preset device name from Platforms (default
 	// "note9", the paper's handset).
 	Platform string
 	// Seconds is the session length (0 → the paper's per-class default:
-	// 5 min for games, 1.5–3 min otherwise).
+	// 5 min for games, 1.5–3 min otherwise). With Scenario it rescales
+	// the whole scenario to this total duration.
 	Seconds float64
 	// Fig1Session replays the paper's home→Facebook→Spotify session
 	// instead of a single app.
 	Fig1Session bool
+	// Scenario names a preset usage scenario from Scenarios — a
+	// multi-app session with screen-off stretches, ambient-temperature
+	// drift and panel-refresh switches. Mutually exclusive with App and
+	// Fig1Session.
+	Scenario string
 	// Scheme picks the management stack (default SchemeSchedutil).
 	Scheme Scheme
 	// Agent supplies a (possibly trained) Next agent for SchemeNext.
@@ -155,11 +166,32 @@ func Run(opts RunOptions) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("nextdvfs: %w (see Platforms())", err)
 	}
-	tl, err := timelineFor(opts)
-	if err != nil {
-		return Result{}, err
+	var cfg sim.Config
+	if opts.Scenario != "" {
+		if opts.App != "" || opts.Fig1Session {
+			return Result{}, fmt.Errorf("nextdvfs: Scenario is mutually exclusive with App and Fig1Session")
+		}
+		scn, err := scenario.Get(opts.Scenario)
+		if err != nil {
+			return Result{}, fmt.Errorf("nextdvfs: %w", err)
+		}
+		if d := scn.DurS(); opts.Seconds > 0 && d > 0 {
+			scn = scenario.Scaled(scn, opts.Seconds/d)
+		}
+		compiled, err := scenario.Compile(scn, opts.Seed, plat.AmbientC)
+		if err != nil {
+			return Result{}, fmt.Errorf("nextdvfs: %w", err)
+		}
+		cfg = plat.Config(compiled.Timeline, opts.Seed)
+		cfg.Ambient = compiled.Ambient
+		cfg.Refresh = compiled.Refresh
+	} else {
+		tl, err := timelineFor(opts)
+		if err != nil {
+			return Result{}, err
+		}
+		cfg = plat.Config(tl, opts.Seed)
 	}
-	cfg := plat.Config(tl, opts.Seed)
 	if opts.RecordEverySec > 0 {
 		cfg.RecordIntervalUS = int64(opts.RecordEverySec * 1e6)
 	}
@@ -207,6 +239,39 @@ func timelineFor(opts RunOptions) (*session.Timeline, error) {
 		}}, nil
 	}
 	return session.EvalTimeline(app, rng), nil
+}
+
+// RunScenario simulates one preset usage scenario (see Scenarios) on
+// the chosen platform — shorthand for Run with RunOptions.Scenario set.
+func RunScenario(name string, opts RunOptions) (Result, error) {
+	opts.Scenario = name
+	return Run(opts)
+}
+
+// Scenarios returns the preset usage-scenario names: composable
+// multi-app sessions (commute, gaming-marathon, doomscroll, …) with
+// screen-off stretches, ambient-temperature drift and panel-refresh
+// switches.
+func Scenarios() []string { return scenario.Names() }
+
+// ScenarioInfo describes one preset scenario for listings.
+type ScenarioInfo struct {
+	Name        string
+	Description string
+	Seconds     float64
+	Apps        []string
+}
+
+// ScenarioInfos returns name/description/duration/apps for every
+// preset scenario, sorted by name.
+func ScenarioInfos() []ScenarioInfo {
+	names := scenario.Names()
+	infos := make([]ScenarioInfo, 0, len(names))
+	for _, n := range names {
+		s := scenario.MustGet(n)
+		infos = append(infos, ScenarioInfo{Name: s.Name, Description: s.Description, Seconds: s.DurS(), Apps: s.Apps()})
+	}
+	return infos
 }
 
 // TrainOptions configures TrainAgent.
@@ -277,6 +342,18 @@ func TrainAgentOn(agent *Agent, app string, opts TrainOptions) (TrainStats, erro
 
 // NewAgent builds a fresh Next agent.
 func NewAgent(cfg AgentConfig) *Agent { return core.NewAgent(cfg) }
+
+// AgentConfigFor returns the paper-default agent configuration adapted
+// to the named platform: on fast panels the FPS/target quantizers widen
+// to span the refresh rate. Use it to seed agents that will train via
+// Run/RunScenario with RunOptions.Agent.
+func AgentConfigFor(platformName string) (AgentConfig, error) {
+	p, err := platform.Get(platformName)
+	if err != nil {
+		return AgentConfig{}, fmt.Errorf("nextdvfs: %w (see Platforms())", err)
+	}
+	return exp.DefaultAgentConfigFor(p), nil
+}
 
 // NewFleet builds a federated-training fleet of n fresh devices with
 // the paper's cloud cost model.

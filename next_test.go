@@ -1,6 +1,9 @@
 package nextdvfs
 
-import "testing"
+import (
+	"sort"
+	"testing"
+)
 
 func TestAppsLisTSevenPresets(t *testing.T) {
 	apps := Apps()
@@ -204,6 +207,75 @@ func TestRunThermalCapScheme(t *testing.T) {
 		t.Fatal(err)
 	}
 	if res.Scheme != "thermalcap" {
+		t.Fatalf("scheme = %q", res.Scheme)
+	}
+}
+
+func TestScenariosListedAndDescribed(t *testing.T) {
+	names := Scenarios()
+	if len(names) < 8 {
+		t.Fatalf("scenario library has %d entries, want ≥ 8", len(names))
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Scenarios() not sorted: %v", names)
+	}
+	infos := ScenarioInfos()
+	if len(infos) != len(names) {
+		t.Fatalf("%d infos for %d scenarios", len(infos), len(names))
+	}
+	for _, info := range infos {
+		if info.Description == "" || info.Seconds <= 0 || len(info.Apps) == 0 {
+			t.Fatalf("incomplete scenario info: %+v", info)
+		}
+	}
+}
+
+func TestRunScenario(t *testing.T) {
+	res, err := RunScenario("commute", RunOptions{Seconds: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DurationS < 29 || res.DurationS > 31 {
+		t.Fatalf("scaled commute ran %.1f s, want ≈30", res.DurationS)
+	}
+	// Same options, same bytes — the repo-wide determinism contract.
+	again, err := RunScenario("commute", RunOptions{Seconds: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgPowerW != again.AvgPowerW || res.EnergyJ != again.EnergyJ {
+		t.Fatal("identical scenario runs diverged")
+	}
+	// The thermal-soak scenario's 35 °C car must show up in the results.
+	soak, err := RunScenario("thermal-soak", RunOptions{Seconds: 60, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if soak.PeakTempDevC < res.PeakTempDevC {
+		t.Fatalf("thermal-soak device peak %.1f °C below commute's %.1f °C", soak.PeakTempDevC, res.PeakTempDevC)
+	}
+}
+
+func TestRunScenarioValidation(t *testing.T) {
+	if _, err := RunScenario("nope", RunOptions{}); err == nil {
+		t.Fatal("unknown scenario should error")
+	}
+	if _, err := Run(RunOptions{Scenario: "commute", App: "spotify"}); err == nil {
+		t.Fatal("Scenario+App should error")
+	}
+	if _, err := Run(RunOptions{Scenario: "commute", Fig1Session: true}); err == nil {
+		t.Fatal("Scenario+Fig1Session should error")
+	}
+}
+
+func TestRunScenarioUnderNextScheme(t *testing.T) {
+	res, err := RunScenario("bursty-messaging", RunOptions{
+		Seconds: 30, Seed: 9, Scheme: SchemeNext,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheme != "next" {
 		t.Fatalf("scheme = %q", res.Scheme)
 	}
 }
