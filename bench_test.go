@@ -25,8 +25,12 @@ import (
 	"nextdvfs/internal/exp"
 	"nextdvfs/internal/fleetd"
 	"nextdvfs/internal/platform"
+	"nextdvfs/internal/power"
 	"nextdvfs/internal/scenario"
 	"nextdvfs/internal/sim"
+	"nextdvfs/internal/soc"
+	"nextdvfs/internal/stats"
+	"nextdvfs/internal/thermal"
 )
 
 func BenchmarkFig1SchedutilTrace(b *testing.B) {
@@ -309,6 +313,67 @@ func BenchmarkScenarioStep(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(ticks)/b.Elapsed().Seconds(), "simticks/s")
+}
+
+// benchSink defeats dead-code elimination in the micro benches below.
+var benchSink float64
+
+// --- Per-subsystem micro gates (floors in BENCH_sim.json) ----------------
+//
+// The scenario bench above covers the integrated hot path; these three
+// isolate the per-tick kernels the tentpole optimized, so a regression
+// in one subsystem is caught at its own gate instead of hiding inside
+// end-to-end noise.
+
+// BenchmarkPowerStep measures the table-driven cluster power lookup —
+// the engine evaluates it once per cluster per simulated millisecond.
+func BenchmarkPowerStep(b *testing.B) {
+	chip := soc.Exynos9810()
+	model := power.Exynos9810Model()
+	tables := make([]*power.Table, len(chip.Clusters))
+	for i, c := range chip.Clusters {
+		tables[i] = model.Table(c)
+	}
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k, c := range chip.Clusters {
+			sink += tables[k].Power(i%c.NumOPPs(), 0.6, 55)
+		}
+	}
+	b.StopTimer()
+	benchSink = sink
+	b.ReportMetric(float64(b.N)*float64(len(chip.Clusters))/b.Elapsed().Seconds(), "evals/s")
+}
+
+// BenchmarkThermalStep measures one RC-network integration step of the
+// Note 9 thermal model — once per simulated millisecond in the engine.
+func BenchmarkThermalStep(b *testing.B) {
+	m := thermal.Note9(21)
+	powerW := make([]float64, m.NumNodes())
+	for i := range powerW {
+		powerW[i] = 1.5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step(0.001, powerW)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steps/s")
+}
+
+// BenchmarkQuantize measures the agent's state-space quantizer round
+// trip (Index + Value), the inner kernel of every Observe/Control.
+func BenchmarkQuantize(b *testing.B) {
+	q := stats.NewQuantizer(0, 120, 12)
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += q.Value(q.Index(float64(i%1201) * 0.1))
+	}
+	b.StopTimer()
+	benchSink = sink
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
 }
 
 func BenchmarkExtensionHighRefresh(b *testing.B) {

@@ -40,12 +40,12 @@ func main() {
 
 	var baselines []benchgate.Baseline
 	for _, p := range strings.Split(*paths, ",") {
-		b, err := benchgate.LoadBaseline(strings.TrimSpace(p))
+		bs, err := benchgate.LoadBaselineFile(strings.TrimSpace(p))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		baselines = append(baselines, b)
+		baselines = append(baselines, bs...)
 	}
 
 	results, err := benchgate.ParseBench(os.Stdin)

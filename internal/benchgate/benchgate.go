@@ -50,20 +50,40 @@ func (b Baseline) Validate() error {
 	return nil
 }
 
-// LoadBaseline reads and validates one BENCH_*.json file.
-func LoadBaseline(path string) (Baseline, error) {
+// LoadBaselineFile reads a BENCH_*.json file holding either a single
+// baseline object or a JSON array of them (the per-subsystem gate files
+// bundle several benchmarks per file). Every baseline is validated; an
+// empty array is an error — a gate file that gates nothing means a
+// wiring mistake, not a pass.
+func LoadBaselineFile(path string) ([]Baseline, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return Baseline{}, fmt.Errorf("benchgate: %w", err)
+		return nil, fmt.Errorf("benchgate: %w", err)
 	}
-	var b Baseline
-	if err := json.Unmarshal(data, &b); err != nil {
-		return Baseline{}, fmt.Errorf("benchgate: %s: %w", path, err)
+	trimmed := strings.TrimLeftFunc(string(data), func(r rune) bool {
+		return r == ' ' || r == '\t' || r == '\n' || r == '\r'
+	})
+	var list []Baseline
+	if strings.HasPrefix(trimmed, "[") {
+		if err := json.Unmarshal(data, &list); err != nil {
+			return nil, fmt.Errorf("benchgate: %s: %w", path, err)
+		}
+	} else {
+		var b Baseline
+		if err := json.Unmarshal(data, &b); err != nil {
+			return nil, fmt.Errorf("benchgate: %s: %w", path, err)
+		}
+		list = []Baseline{b}
 	}
-	if err := b.Validate(); err != nil {
-		return Baseline{}, fmt.Errorf("%w (in %s)", err, path)
+	if len(list) == 0 {
+		return nil, fmt.Errorf("benchgate: %s holds no baselines", path)
 	}
-	return b, nil
+	for _, b := range list {
+		if err := b.Validate(); err != nil {
+			return nil, fmt.Errorf("%w (in %s)", err, path)
+		}
+	}
+	return list, nil
 }
 
 // Metrics is one benchmark's parsed values by unit ("ns/op",

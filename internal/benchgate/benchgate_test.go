@@ -88,14 +88,43 @@ func TestCheckMissingBenchmarkIsError(t *testing.T) {
 }
 
 func TestLoadRepoBaselines(t *testing.T) {
-	// The two baselines CI enforces must stay loadable and armed.
-	for _, name := range []string{"BENCH_fleet.json", "BENCH_scenario.json"} {
-		b, err := LoadBaseline(filepath.Join("..", "..", name))
+	// Every baseline file CI enforces must stay loadable and armed.
+	want := map[string]int{
+		"BENCH_fleet.json":    1,
+		"BENCH_scenario.json": 1,
+		"BENCH_sim.json":      3,
+	}
+	for name, n := range want {
+		bs, err := LoadBaselineFile(filepath.Join("..", "..", name))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(b.Floors) == 0 {
-			t.Fatalf("%s enforces nothing", name)
+		if len(bs) != n {
+			t.Fatalf("%s holds %d baselines, want %d", name, len(bs), n)
+		}
+		for _, b := range bs {
+			if len(b.Floors) == 0 {
+				t.Fatalf("%s: %s enforces nothing", name, b.Benchmark)
+			}
+		}
+	}
+}
+
+// TestBenchSimFloorsCoverTickSubsystems pins the per-subsystem gate
+// wiring: renaming one of the micro benches must break this test, not
+// silently drop the gate.
+func TestBenchSimFloorsCoverTickSubsystems(t *testing.T) {
+	bs, err := LoadBaselineFile(filepath.Join("..", "..", "BENCH_sim.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, b := range bs {
+		got[b.Benchmark] = true
+	}
+	for _, name := range []string{"BenchmarkPowerStep", "BenchmarkThermalStep", "BenchmarkQuantize"} {
+		if !got[name] {
+			t.Errorf("BENCH_sim.json does not gate %s", name)
 		}
 	}
 }
@@ -106,10 +135,79 @@ func TestLoadBaselineValidation(t *testing.T) {
 	if err := os.WriteFile(bad, []byte(`{"benchmark":"BenchmarkX"}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadBaseline(bad); err == nil {
+	if _, err := LoadBaselineFile(bad); err == nil {
 		t.Fatal("baseline without limits should fail to load")
 	}
-	if _, err := LoadBaseline(filepath.Join(dir, "missing.json")); err == nil {
-		t.Fatal("missing file should error")
+}
+
+// TestLoadBaselineFilePaths covers the multi-baseline loader: missing
+// floor file, malformed JSON, empty arrays, invalid members, and the
+// two accepted shapes (single object, array).
+func TestLoadBaselineFilePaths(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	if _, err := LoadBaselineFile(filepath.Join(dir, "nope.json")); err == nil {
+		t.Fatal("missing floor file must error, not silently gate nothing")
+	}
+	if _, err := LoadBaselineFile(write("garbage.json", `{not json`)); err == nil {
+		t.Fatal("malformed JSON object must error")
+	}
+	if _, err := LoadBaselineFile(write("garbage2.json", `[{"benchmark":`)); err == nil {
+		t.Fatal("malformed JSON array must error")
+	}
+	if _, err := LoadBaselineFile(write("empty.json", `[]`)); err == nil {
+		t.Fatal("empty baseline array must error")
+	}
+	if _, err := LoadBaselineFile(write("unarmored.json", `[{"benchmark":"BenchmarkX"}]`)); err == nil {
+		t.Fatal("array member without limits must error")
+	}
+
+	one, err := LoadBaselineFile(write("one.json", `{"benchmark":"BenchmarkA","floors":{"x/s":1}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0].Benchmark != "BenchmarkA" {
+		t.Fatalf("single-object load = %+v", one)
+	}
+	many, err := LoadBaselineFile(write("many.json", `  [
+		{"benchmark":"BenchmarkA","floors":{"x/s":1}},
+		{"benchmark":"BenchmarkB","ceilings":{"ns/op":100}}
+	]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(many) != 2 || many[1].Benchmark != "BenchmarkB" {
+		t.Fatalf("array load = %+v", many)
+	}
+}
+
+// TestParseBenchMalformedLine covers the parse failure paths: a bench
+// line whose metric value is not numeric must error (a truncated or
+// corrupted bench log must fail the gate loudly), while non-result
+// lines that merely start with "Benchmark" are skipped.
+func TestParseBenchMalformedLine(t *testing.T) {
+	_, err := ParseBench(strings.NewReader("BenchmarkBad 100 oops ns/op\n"))
+	if err == nil {
+		t.Fatal("non-numeric metric value must error")
+	}
+	res, err := ParseBench(strings.NewReader(
+		"BenchmarkScenarioStep measures the scenario hot path\n" + // prose, no iter count
+			"Benchmark\n" + // bare prefix, too few fields
+			"BenchmarkGood-4 200 123 ns/op 456 widgets/s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("parsed %d benchmarks, want just BenchmarkGood: %v", len(res), res)
+	}
+	if m := res["BenchmarkGood"]; m["ns/op"] != 123 || m["widgets/s"] != 456 {
+		t.Fatalf("BenchmarkGood metrics = %v", m)
 	}
 }

@@ -1,0 +1,97 @@
+package display
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refFPS is the pre-cursor reference implementation: a full scan of the
+// retained flip ring. The windowed cursor must agree with it exactly.
+func refFPS(p *Pipeline, nowUS int64) float64 {
+	cutoff := nowUS - p.horizonUS
+	n := 0
+	for i := 0; i < p.flipCount; i++ {
+		if t := p.flipTimes[i]; t > cutoff && t <= nowUS {
+			n++
+		}
+	}
+	return float64(n)
+}
+
+// TestFPSCursorMatchesScan drives a pipeline through a random vsync
+// workload with an FPS query every tick (the engine's access pattern)
+// and checks the O(1) cursor against the full-scan reference at every
+// step, across refresh switches and a mid-run Reset.
+func TestFPSCursorMatchesScan(t *testing.T) {
+	p := NewPipeline(60)
+	rng := rand.New(rand.NewSource(11))
+	now := int64(0)
+	for tick := 0; tick < 300_000; tick++ {
+		now += 1000
+		if rng.Intn(2000) == 0 {
+			rates := []int{60, 90, 120, 30}
+			p.SetRefresh(rates[rng.Intn(len(rates))], now)
+		}
+		if rng.Intn(50000) == 0 {
+			p.Reset()
+			now = 0
+			continue
+		}
+		if rng.Float64() < 0.7 {
+			p.OfferFrame()
+		}
+		p.Tick(now, rng.Float64() < 0.5)
+		want := refFPS(p, now)
+		if got := p.FPS(now); got != want {
+			t.Fatalf("tick %d now %d: cursor FPS %g, reference %g", tick, now, got, want)
+		}
+		// Re-query at the same instant must be stable.
+		if got := p.FPS(now); got != want {
+			t.Fatalf("tick %d: repeated query drifted from %g", tick, want)
+		}
+	}
+}
+
+// TestFPSNonMonotonicQuery pins the fallback: querying an older instant
+// after newer ones must still count exactly (tests and ad-hoc probes do
+// this; the engine never does).
+func TestFPSNonMonotonicQuery(t *testing.T) {
+	p := NewPipeline(60)
+	now := int64(0)
+	for tick := 0; tick < 3000; tick++ {
+		now += 1000
+		p.OfferFrame()
+		p.Tick(now, true)
+	}
+	if got := p.FPS(now); got != 60 {
+		t.Fatalf("warm FPS = %g, want 60", got)
+	}
+	// 500 ms into the run only ~30 flips had happened yet — but those
+	// early flips have been overwritten in the ring by now, so the exact
+	// answer over the retained set is what the old implementation would
+	// have returned too.
+	for _, q := range []int64{now - 1, now - 400_000, now} {
+		if got, want := p.FPS(q), refFPS(p, q); got != want {
+			t.Fatalf("FPS(%d) = %g, reference %g", q, got, want)
+		}
+	}
+	// And a later monotonic query still works after the detour.
+	p.Tick(now+1000, true)
+	if got, want := p.FPS(now+1000), refFPS(p, now+1000); got != want {
+		t.Fatalf("post-detour FPS = %g, reference %g", got, want)
+	}
+}
+
+func TestFPSZeroAllocQuery(t *testing.T) {
+	p := NewPipeline(120)
+	now := int64(0)
+	allocs := testing.AllocsPerRun(2000, func() {
+		now += 1000
+		p.OfferFrame()
+		p.Tick(now, true)
+		p.FPS(now)
+	})
+	if allocs != 0 {
+		t.Fatalf("Tick+FPS allocates %v per tick, want 0", allocs)
+	}
+}

@@ -24,6 +24,18 @@ type Pipeline struct {
 	flipHead  int
 	flipCount int
 	horizonUS int64
+
+	// Trailing-window cursor for the per-tick FPS query. flipSeq counts
+	// every flip ever recorded; winStart is the sequence number of the
+	// oldest flip still inside the trailing horizon as of the latest
+	// monotonic FPS call, so the hot path is an O(1)-amortized eviction
+	// walk instead of a full ring scan. maxNowUS/lastFlipUS gate the
+	// fast path: a query older than either falls back to the exact scan
+	// (the cursor only ever moves forward in time).
+	flipSeq    int64
+	winStart   int64
+	maxNowUS   int64
+	lastFlipUS int64
 }
 
 // NewPipeline returns a pipeline refreshing at refreshHz (60 for the
@@ -96,14 +108,46 @@ func (p *Pipeline) recordFlip(atUS int64) {
 	if p.flipCount < len(p.flipTimes) {
 		p.flipCount++
 	}
+	p.flipSeq++
+	p.lastFlipUS = atUS
+}
+
+// slot maps a flip sequence number onto its ring index. Valid for the
+// retained sequences [flipSeq-flipCount, flipSeq).
+func (p *Pipeline) slot(seq int64) int {
+	i := p.flipHead - int(p.flipSeq-seq)
+	if i < 0 {
+		i += len(p.flipTimes)
+	}
+	return i
 }
 
 // FPS returns the frame rate over the trailing one-second horizon ending
 // at nowUS: the number of front-buffer updates with timestamps in
 // (nowUS-1s, nowUS]. This is the instantaneous frame rate the Next agent
 // samples every 25 ms.
+//
+// Queries at non-decreasing times (the engine's tick loop) are O(1)
+// amortized: flips are recorded in time order, so the window cursor
+// only ever evicts from the old end. A query older than a previous one
+// (or older than the newest flip) takes the exact full-ring scan
+// instead — same count either way.
 func (p *Pipeline) FPS(nowUS int64) float64 {
 	cutoff := nowUS - p.horizonUS
+	if nowUS >= p.maxNowUS && nowUS >= p.lastFlipUS {
+		p.maxNowUS = nowUS
+		// Flips overwritten in the ring are gone from the countable set
+		// regardless of age; the ring is sized to hold a full horizon at
+		// the panel's peak rate, so this clamp only bites callers that
+		// let far more than a second of flips pile up between queries.
+		if lo := p.flipSeq - int64(p.flipCount); p.winStart < lo {
+			p.winStart = lo
+		}
+		for p.winStart < p.flipSeq && p.flipTimes[p.slot(p.winStart)] <= cutoff {
+			p.winStart++
+		}
+		return float64(p.flipSeq - p.winStart)
+	}
 	n := 0
 	for i := 0; i < p.flipCount; i++ {
 		if t := p.flipTimes[i]; t > cutoff && t <= nowUS {
@@ -134,6 +178,10 @@ func (p *Pipeline) Reset() {
 	p.vsyncs = 0
 	p.flipHead = 0
 	p.flipCount = 0
+	p.flipSeq = 0
+	p.winStart = 0
+	p.maxNowUS = 0
+	p.lastFlipUS = 0
 	for i := range p.flipTimes {
 		p.flipTimes[i] = 0
 	}

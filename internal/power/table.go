@@ -1,0 +1,82 @@
+package power
+
+import (
+	"fmt"
+
+	"nextdvfs/internal/soc"
+)
+
+// Table is the per-OPP precomputed power lookup for one cluster: the
+// voltage/frequency portions of the model are folded into per-index
+// constants at construction so the simulation tick loop does two
+// indexed loads and three multiplies instead of a map lookup and the
+// full analytic evaluation.
+//
+// The folding is exact, not approximate: every precomputed product
+// keeps the evaluation order of Model.ClusterPower (Go does not
+// reorder floating-point expressions), so Table.Power is bit-for-bit
+// identical to the analytic path — byte-identical simulation output is
+// part of the contract and pinned by TestTableMatchesClusterPower.
+type Table struct {
+	// dynFullW[i] is the dynamic power at OPP i and 100 % utilization:
+	// Cdyn × f[GHz] × V². Multiply by util for the tick's dynamic term.
+	dynFullW []float64
+	// leakVW[i] is the voltage-dependent leakage factor at OPP i:
+	// LeakWAtRef × (V / VRef). Multiply by the temperature term.
+	leakVW []float64
+	// leakTempCo and idleW mirror the Coeff fields.
+	leakTempCo float64
+	idleW      float64
+}
+
+// Table builds the per-OPP lookup for cluster c. It panics when the
+// model has no coefficients for the cluster, exactly like ClusterPower
+// would on first use.
+func (m *Model) Table(c *soc.Cluster) *Table {
+	co, ok := m.coeffs[c.Name]
+	if !ok {
+		panic(fmt.Sprintf("power: no coefficients for cluster %q", c.Name))
+	}
+	n := c.NumOPPs()
+	t := &Table{
+		dynFullW:   make([]float64, n),
+		leakVW:     make([]float64, n),
+		leakTempCo: co.LeakTempCo,
+		idleW:      co.IdleW,
+	}
+	for i := 0; i < n; i++ {
+		opp := c.OPPAt(i)
+		v := opp.Volts()
+		// Same association order as ClusterPower: ((Cdyn*f)*v)*v and
+		// Leak*(v/VRef); the remaining factors are applied in Power.
+		t.dynFullW[i] = co.CdynWPerGHzV2 * opp.FreqGHz() * v * v
+		t.leakVW[i] = co.LeakWAtRef * (v / co.VRef)
+	}
+	return t
+}
+
+// NumOPPs returns the number of operating points in the table.
+func (t *Table) NumOPPs() int { return len(t.dynFullW) }
+
+// Power returns the cluster's power at OPP index idx, utilization util
+// (clamped to [0,1]) and temperature tempC — bit-identical to
+// Model.PowerAt for in-range indices. Out-of-range indices are clamped
+// like soc.Cluster.OPPAt does.
+func (t *Table) Power(idx int, util, tempC float64) float64 {
+	if idx < 0 {
+		idx = 0
+	} else if idx >= len(t.dynFullW) {
+		idx = len(t.dynFullW) - 1
+	}
+	if util < 0 {
+		util = 0
+	} else if util > 1 {
+		util = 1
+	}
+	dyn := t.dynFullW[idx] * util
+	leak := t.leakVW[idx] * (1 + t.leakTempCo*(tempC-25))
+	if leak < 0 {
+		leak = 0
+	}
+	return dyn + leak + t.idleW
+}

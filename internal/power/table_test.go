@@ -1,0 +1,89 @@
+package power
+
+import (
+	"testing"
+
+	"nextdvfs/internal/soc"
+)
+
+// TestTableMatchesClusterPower pins the bit-identity contract: the
+// precomputed table must reproduce the analytic model exactly — not
+// within an epsilon — across every OPP, a sweep of utilizations
+// (including the clamped extremes) and temperatures. The sim engine's
+// byte-identical-output guarantee rests on this.
+func TestTableMatchesClusterPower(t *testing.T) {
+	models := map[string]*Model{
+		"note9": Exynos9810Model(),
+		"sd855": Snapdragon855Model(),
+		"mid6":  Mid6Model(),
+	}
+	chips := map[string]*soc.Chip{
+		"note9": soc.Exynos9810(),
+		"sd855": soc.Snapdragon855(),
+		"mid6":  soc.Mid6(),
+	}
+	utils := []float64{-0.5, 0, 0.01, 0.25, 0.5, 0.999, 1, 1.7}
+	temps := []float64{-10, 0, 21, 25, 40.5, 55, 85, 120}
+	for name, m := range models {
+		for _, c := range chips[name].Clusters {
+			tbl := m.Table(c)
+			if tbl.NumOPPs() != c.NumOPPs() {
+				t.Fatalf("%s/%s: table has %d OPPs, cluster %d", name, c.Name, tbl.NumOPPs(), c.NumOPPs())
+			}
+			for idx := 0; idx < c.NumOPPs(); idx++ {
+				for _, u := range utils {
+					for _, tc := range temps {
+						want := m.PowerAt(c, idx, u, tc)
+						got := tbl.Power(idx, u, tc)
+						if got != want {
+							t.Fatalf("%s/%s opp %d util %g temp %g: table %v != model %v",
+								name, c.Name, idx, u, tc, got, want)
+						}
+					}
+				}
+			}
+			// The current-OPP path must agree too.
+			c.SetCur(c.NumOPPs() / 2)
+			if got, want := tbl.Power(c.Cur(), 0.5, 40), m.ClusterPower(c, 0.5, 40); got != want {
+				t.Fatalf("%s/%s cur path: table %v != model %v", name, c.Name, got, want)
+			}
+			c.ResetDVFS()
+		}
+	}
+}
+
+func TestTableClampsIndex(t *testing.T) {
+	m := Exynos9810Model()
+	c := soc.Exynos9810().Clusters[0]
+	tbl := m.Table(c)
+	if got, want := tbl.Power(-3, 1, 40), tbl.Power(0, 1, 40); got != want {
+		t.Fatalf("low clamp: %v != %v", got, want)
+	}
+	top := tbl.NumOPPs() - 1
+	if got, want := tbl.Power(top+5, 1, 40), tbl.Power(top, 1, 40); got != want {
+		t.Fatalf("high clamp: %v != %v", got, want)
+	}
+}
+
+func TestTableUnknownClusterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Table on a cluster without coefficients must panic")
+		}
+	}()
+	m := NewModel(1, map[string]Coeff{})
+	c := soc.NewCluster("mystery", soc.KindCPU, 1, 1, []soc.OPP{{FreqKHz: 1_000_000, VoltMicro: 900_000}})
+	m.Table(c)
+}
+
+func TestTableZeroAllocPower(t *testing.T) {
+	m := Exynos9810Model()
+	c := soc.Exynos9810().Clusters[0]
+	tbl := m.Table(c)
+	allocs := testing.AllocsPerRun(1000, func() {
+		tbl.Power(3, 0.5, 47)
+	})
+	if allocs != 0 {
+		t.Fatalf("Table.Power allocates %v per call, want 0", allocs)
+	}
+}

@@ -1,0 +1,474 @@
+// Package prof parses pprof profiles (the gzipped protobuf files
+// runtime/pprof writes) and aggregates them into flat/cumulative
+// hotspot tables — a dependency-free subset of `go tool pprof -top`.
+// cmd/nextprof uses it to print the next optimization target straight
+// from a workload run, without shelling out to the Go toolchain.
+//
+// Only the message fields the table needs are decoded (sample types,
+// samples, locations, lines, functions, the string table); everything
+// else in the profile is skipped field-by-field per the protobuf wire
+// format.
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ValueType names one sample dimension, e.g. {"cpu", "nanoseconds"} or
+// {"alloc_space", "bytes"}.
+type ValueType struct {
+	Type string
+	Unit string
+}
+
+type sample struct {
+	locs []uint64
+	vals []int64
+}
+
+type location struct {
+	address uint64
+	// funcs holds the location's function names, innermost (deepest
+	// inline callee) first, matching pprof's Line ordering.
+	funcs []string
+}
+
+// Profile is one parsed pprof profile.
+type Profile struct {
+	SampleTypes   []ValueType
+	DurationNanos int64
+
+	samples   []sample
+	locations map[uint64]*location
+}
+
+// Parse reads a pprof profile, transparently gunzipping (runtime/pprof
+// always gzips; raw protobuf is accepted too).
+func Parse(r io.Reader) (*Profile, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("prof: %w", err)
+	}
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip: %w", err)
+		}
+		if data, err = io.ReadAll(zr); err != nil {
+			return nil, fmt.Errorf("prof: gunzip: %w", err)
+		}
+	}
+	return parseProto(data)
+}
+
+// SampleIndex returns the index of the sample type with the given type
+// name ("cpu", "alloc_space", ...), or -1.
+func (p *Profile) SampleIndex(name string) int {
+	for i, st := range p.SampleTypes {
+		if st.Type == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Total returns the sum of all sample values at index si.
+func (p *Profile) Total(si int) int64 {
+	var t int64
+	for _, s := range p.samples {
+		if si < len(s.vals) {
+			t += s.vals[si]
+		}
+	}
+	return t
+}
+
+// Entry is one row of a hotspot table.
+type Entry struct {
+	Name string
+	// Flat is the value attributed to the function itself (it was the
+	// innermost frame of the sample).
+	Flat int64
+	// Cum additionally counts samples where the function was anywhere
+	// on the stack.
+	Cum int64
+}
+
+// Top aggregates sample index si per function and returns the n
+// heaviest entries by flat value (ties broken by cum, then name, so the
+// table is deterministic).
+func (p *Profile) Top(si, n int) []Entry {
+	if si < 0 || n <= 0 {
+		return nil
+	}
+	agg := make(map[string]*Entry)
+	get := func(name string) *Entry {
+		e := agg[name]
+		if e == nil {
+			e = &Entry{Name: name}
+			agg[name] = e
+		}
+		return e
+	}
+	var onStack []string // scratch: distinct function names of one sample
+	for _, s := range p.samples {
+		if si >= len(s.vals) || s.vals[si] == 0 || len(s.locs) == 0 {
+			continue
+		}
+		v := s.vals[si]
+		onStack = onStack[:0]
+		for li, id := range s.locs {
+			loc := p.locations[id]
+			var names []string
+			switch {
+			case loc != nil && len(loc.funcs) > 0:
+				names = loc.funcs
+			case loc != nil:
+				names = []string{fmt.Sprintf("0x%x", loc.address)}
+			default:
+				names = []string{fmt.Sprintf("0x%x", id)}
+			}
+			if li == 0 {
+				// Flat goes to the innermost function of the leaf
+				// location — names[0] is the deepest inline callee.
+				get(names[0]).Flat += v
+			}
+			for _, name := range names {
+				seen := false
+				for _, prev := range onStack {
+					if prev == name {
+						seen = true
+						break
+					}
+				}
+				if !seen {
+					onStack = append(onStack, name)
+					get(name).Cum += v
+				}
+			}
+		}
+	}
+	out := make([]Entry, 0, len(agg))
+	for _, e := range agg {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Flat != out[j].Flat {
+			return out[i].Flat > out[j].Flat
+		}
+		if out[i].Cum != out[j].Cum {
+			return out[i].Cum > out[j].Cum
+		}
+		return out[i].Name < out[j].Name
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// --- wire-format decoding ------------------------------------------------
+
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *decoder) done() bool { return d.pos >= len(d.buf) }
+
+func (d *decoder) varint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if d.pos >= len(d.buf) {
+			return 0, fmt.Errorf("prof: truncated varint")
+		}
+		b := d.buf[d.pos]
+		d.pos++
+		v |= uint64(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("prof: varint overflow")
+}
+
+// field reads the next field header: number and wire type.
+func (d *decoder) field() (num int, wire int, err error) {
+	key, err := d.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(key >> 3), int(key & 7), nil
+}
+
+// bytes reads a length-delimited payload.
+func (d *decoder) bytes() ([]byte, error) {
+	n, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.buf)-d.pos) {
+		return nil, fmt.Errorf("prof: truncated field (%d bytes claimed, %d left)", n, len(d.buf)-d.pos)
+	}
+	b := d.buf[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return b, nil
+}
+
+// skip discards one field of the given wire type.
+func (d *decoder) skip(wire int) error {
+	switch wire {
+	case 0:
+		_, err := d.varint()
+		return err
+	case 1:
+		if len(d.buf)-d.pos < 8 {
+			return fmt.Errorf("prof: truncated fixed64")
+		}
+		d.pos += 8
+		return nil
+	case 2:
+		_, err := d.bytes()
+		return err
+	case 5:
+		if len(d.buf)-d.pos < 4 {
+			return fmt.Errorf("prof: truncated fixed32")
+		}
+		d.pos += 4
+		return nil
+	default:
+		return fmt.Errorf("prof: unsupported wire type %d", wire)
+	}
+}
+
+// uints reads a repeated uint64 field occurrence: packed when wire type
+// 2, a single value when wire type 0.
+func (d *decoder) uints(wire int, into []uint64) ([]uint64, error) {
+	if wire == 0 {
+		v, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		return append(into, v), nil
+	}
+	if wire != 2 {
+		return nil, fmt.Errorf("prof: repeated scalar with wire type %d", wire)
+	}
+	payload, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	sub := decoder{buf: payload}
+	for !sub.done() {
+		v, err := sub.varint()
+		if err != nil {
+			return nil, err
+		}
+		into = append(into, v)
+	}
+	return into, nil
+}
+
+func parseProto(data []byte) (*Profile, error) {
+	p := &Profile{locations: make(map[uint64]*location)}
+	var strtab []string
+	// Indices into strtab, resolved once the whole message is read (the
+	// string table may follow the messages that reference it).
+	type vtIdx struct{ typ, unit uint64 }
+	var sampleTypeIdx []vtIdx
+	funcNameIdx := make(map[uint64]uint64) // function id -> name index
+	type rawLoc struct {
+		address uint64
+		funcIDs []uint64
+	}
+	rawLocs := make(map[uint64]*rawLoc)
+
+	d := decoder{buf: data}
+	for !d.done() {
+		num, wire, err := d.field()
+		if err != nil {
+			return nil, err
+		}
+		switch num {
+		case 1: // sample_type
+			msg, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			var vt vtIdx
+			sd := decoder{buf: msg}
+			for !sd.done() {
+				fn, fw, err := sd.field()
+				if err != nil {
+					return nil, err
+				}
+				switch fn {
+				case 1:
+					if vt.typ, err = sd.varint(); err != nil {
+						return nil, err
+					}
+				case 2:
+					if vt.unit, err = sd.varint(); err != nil {
+						return nil, err
+					}
+				default:
+					if err := sd.skip(fw); err != nil {
+						return nil, err
+					}
+				}
+			}
+			sampleTypeIdx = append(sampleTypeIdx, vt)
+		case 2: // sample
+			msg, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			var s sample
+			sd := decoder{buf: msg}
+			for !sd.done() {
+				fn, fw, err := sd.field()
+				if err != nil {
+					return nil, err
+				}
+				switch fn {
+				case 1:
+					if s.locs, err = sd.uints(fw, s.locs); err != nil {
+						return nil, err
+					}
+				case 2:
+					var vals []uint64
+					if vals, err = sd.uints(fw, nil); err != nil {
+						return nil, err
+					}
+					for _, v := range vals {
+						s.vals = append(s.vals, int64(v))
+					}
+				default:
+					if err := sd.skip(fw); err != nil {
+						return nil, err
+					}
+				}
+			}
+			p.samples = append(p.samples, s)
+		case 4: // location
+			msg, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			loc := &rawLoc{}
+			var id uint64
+			sd := decoder{buf: msg}
+			for !sd.done() {
+				fn, fw, err := sd.field()
+				if err != nil {
+					return nil, err
+				}
+				switch fn {
+				case 1:
+					if id, err = sd.varint(); err != nil {
+						return nil, err
+					}
+				case 3:
+					if loc.address, err = sd.varint(); err != nil {
+						return nil, err
+					}
+				case 4: // line
+					lmsg, err := sd.bytes()
+					if err != nil {
+						return nil, err
+					}
+					ld := decoder{buf: lmsg}
+					for !ld.done() {
+						lf, lw, err := ld.field()
+						if err != nil {
+							return nil, err
+						}
+						if lf == 1 {
+							fid, err := ld.varint()
+							if err != nil {
+								return nil, err
+							}
+							loc.funcIDs = append(loc.funcIDs, fid)
+						} else if err := ld.skip(lw); err != nil {
+							return nil, err
+						}
+					}
+				default:
+					if err := sd.skip(fw); err != nil {
+						return nil, err
+					}
+				}
+			}
+			rawLocs[id] = loc
+		case 5: // function
+			msg, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			var id, nameIdx uint64
+			sd := decoder{buf: msg}
+			for !sd.done() {
+				fn, fw, err := sd.field()
+				if err != nil {
+					return nil, err
+				}
+				switch fn {
+				case 1:
+					if id, err = sd.varint(); err != nil {
+						return nil, err
+					}
+				case 2:
+					if nameIdx, err = sd.varint(); err != nil {
+						return nil, err
+					}
+				default:
+					if err := sd.skip(fw); err != nil {
+						return nil, err
+					}
+				}
+			}
+			funcNameIdx[id] = nameIdx
+		case 6: // string_table
+			b, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			strtab = append(strtab, string(b))
+		case 10: // duration_nanos
+			v, err := d.varint()
+			if err != nil {
+				return nil, err
+			}
+			p.DurationNanos = int64(v)
+		default:
+			if err := d.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	str := func(i uint64) string {
+		if i < uint64(len(strtab)) {
+			return strtab[i]
+		}
+		return ""
+	}
+	for _, vt := range sampleTypeIdx {
+		p.SampleTypes = append(p.SampleTypes, ValueType{Type: str(vt.typ), Unit: str(vt.unit)})
+	}
+	for id, rl := range rawLocs {
+		loc := &location{address: rl.address}
+		for _, fid := range rl.funcIDs {
+			loc.funcs = append(loc.funcs, str(funcNameIdx[fid]))
+		}
+		p.locations[id] = loc
+	}
+	if len(p.SampleTypes) == 0 {
+		return nil, fmt.Errorf("prof: no sample types (not a pprof profile?)")
+	}
+	return p, nil
+}

@@ -1,0 +1,230 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"testing"
+)
+
+// --- minimal protobuf writer for building test fixtures ------------------
+
+type pbuf struct{ b []byte }
+
+func (p *pbuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+func (p *pbuf) tag(field, wire int) { p.varint(uint64(field<<3 | wire)) }
+
+func (p *pbuf) msg(field int, body *pbuf) {
+	p.tag(field, 2)
+	p.varint(uint64(len(body.b)))
+	p.b = append(p.b, body.b...)
+}
+
+func (p *pbuf) str(field int, s string) {
+	p.tag(field, 2)
+	p.varint(uint64(len(s)))
+	p.b = append(p.b, s...)
+}
+
+func (p *pbuf) packed(field int, vals ...uint64) {
+	var body pbuf
+	for _, v := range vals {
+		body.varint(v)
+	}
+	p.msg(field, &body)
+}
+
+func (p *pbuf) uint(field int, v uint64) {
+	p.tag(field, 0)
+	p.varint(v)
+}
+
+// buildFixture assembles a tiny but structurally complete CPU profile:
+//
+//	strings: "", "samples", "count", "cpu", "nanoseconds", "main", "leaf", "inlined"
+//	functions: 1=main 2=leaf 3=inlined
+//	locations: 1={main} 2={inlined,leaf} (location 2 carries an inline pair:
+//	           line[0] is the innermost callee)
+//	samples: [loc2, loc1] x {10, 1000} and [loc1] x {5, 500}
+func buildFixture(t *testing.T) []byte {
+	t.Helper()
+	var root pbuf
+	// sample_type: samples/count, cpu/nanoseconds
+	var st1, st2 pbuf
+	st1.uint(1, 1)
+	st1.uint(2, 2)
+	st2.uint(1, 3)
+	st2.uint(2, 4)
+	root.msg(1, &st1)
+	root.msg(1, &st2)
+	// samples
+	var s1, s2 pbuf
+	s1.packed(1, 2, 1)
+	s1.packed(2, 10, 1000)
+	root.msg(2, &s1)
+	s2.packed(1, 1)
+	s2.packed(2, 5, 500)
+	root.msg(2, &s2)
+	// locations
+	var l1, l1line pbuf
+	l1.uint(1, 1)
+	l1line.uint(1, 1)
+	l1.msg(4, &l1line)
+	root.msg(4, &l1)
+	var l2, l2lineA, l2lineB pbuf
+	l2.uint(1, 2)
+	l2lineA.uint(1, 3) // innermost: inlined
+	l2.msg(4, &l2lineA)
+	l2lineB.uint(1, 2) // caller at same location: leaf
+	l2.msg(4, &l2lineB)
+	root.msg(4, &l2)
+	// functions
+	for id, name := range map[uint64]uint64{1: 5, 2: 6, 3: 7} {
+		var f pbuf
+		f.uint(1, id)
+		f.uint(2, name)
+		root.msg(5, &f)
+	}
+	// string table
+	for _, s := range []string{"", "samples", "count", "cpu", "nanoseconds", "main", "leaf", "inlined"} {
+		root.str(6, s)
+	}
+	root.uint(10, 2_000_000_000) // duration_nanos
+	return root.b
+}
+
+func TestParseFixture(t *testing.T) {
+	p, err := Parse(bytes.NewReader(buildFixture(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.SampleTypes) != 2 || p.SampleTypes[1].Type != "cpu" || p.SampleTypes[1].Unit != "nanoseconds" {
+		t.Fatalf("sample types = %+v", p.SampleTypes)
+	}
+	if p.DurationNanos != 2_000_000_000 {
+		t.Fatalf("duration = %d", p.DurationNanos)
+	}
+	if got := p.SampleIndex("cpu"); got != 1 {
+		t.Fatalf("SampleIndex(cpu) = %d", got)
+	}
+	if got := p.SampleIndex("nope"); got != -1 {
+		t.Fatalf("SampleIndex(nope) = %d", got)
+	}
+	if got := p.Total(1); got != 1500 {
+		t.Fatalf("Total = %d", got)
+	}
+
+	top := p.Top(1, 10)
+	want := map[string]Entry{
+		// Sample 1 leaf is location 2 whose innermost line is "inlined":
+		// flat 1000 there; "leaf" is the inline caller, cum only.
+		"inlined": {Name: "inlined", Flat: 1000, Cum: 1000},
+		"leaf":    {Name: "leaf", Flat: 0, Cum: 1000},
+		// "main" is on both stacks (cum 1500) and the leaf of sample 2.
+		"main": {Name: "main", Flat: 500, Cum: 1500},
+	}
+	if len(top) != len(want) {
+		t.Fatalf("top has %d entries: %+v", len(top), top)
+	}
+	for _, e := range top {
+		if w, ok := want[e.Name]; !ok || e != w {
+			t.Errorf("entry %+v, want %+v", e, w)
+		}
+	}
+	// Deterministic flat-descending order.
+	if top[0].Name != "inlined" || top[1].Name != "main" || top[2].Name != "leaf" {
+		t.Fatalf("order = %s, %s, %s", top[0].Name, top[1].Name, top[2].Name)
+	}
+}
+
+func TestParseGzippedFixture(t *testing.T) {
+	var gz bytes.Buffer
+	w := gzip.NewWriter(&gz)
+	if _, err := w.Write(buildFixture(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Parse(&gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Total(1); got != 1500 {
+		t.Fatalf("Total after gunzip = %d", got)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for name, data := range map[string][]byte{
+		"truncated-varint":  {0x82}, // continuation bit set, nothing follows
+		"truncated-payload": {0x12, 0x7f, 0x01},
+		"empty":             {},
+		"not-a-profile":     []byte("BenchmarkFoo 100 123 ns/op"),
+	} {
+		if _, err := Parse(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: Parse accepted malformed input", name)
+		}
+	}
+}
+
+func TestWriteTop(t *testing.T) {
+	p, err := Parse(bytes.NewReader(buildFixture(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := WriteTop(&out, p, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"inlined", "main", "cpu", "66.67%", "100.00%"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("table missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "leaf") {
+		t.Errorf("top-2 table should have cut the third entry:\n%s", got)
+	}
+	if err := WriteTop(&out, p, 9, 2); err == nil {
+		t.Error("out-of-range sample index must error")
+	}
+}
+
+// TestParseLiveHeapProfile feeds a real runtime/pprof heap profile
+// through the parser: the wire format the package exists for.
+func TestParseLiveHeapProfile(t *testing.T) {
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 64<<10))
+	}
+	runtime.GC()
+	var buf bytes.Buffer
+	if err := pprof.WriteHeapProfile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_ = sink
+	p, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si := p.SampleIndex("alloc_space")
+	if si < 0 {
+		t.Fatalf("heap profile without alloc_space: %+v", p.SampleTypes)
+	}
+	if p.Total(si) <= 0 {
+		t.Fatal("alloc_space total is zero")
+	}
+	if len(p.Top(si, 5)) == 0 {
+		t.Fatal("no entries in live heap profile")
+	}
+}

@@ -1,0 +1,50 @@
+package prof
+
+import (
+	"fmt"
+	"io"
+)
+
+// FormatValue renders a sample value in a human unit: nanoseconds as
+// seconds, bytes as mega/kilobytes, anything else (counts) raw.
+func FormatValue(v int64, unit string) string {
+	switch unit {
+	case "nanoseconds":
+		return fmt.Sprintf("%.2fs", float64(v)/1e9)
+	case "bytes":
+		switch {
+		case v >= 1<<20:
+			return fmt.Sprintf("%.2fMB", float64(v)/(1<<20))
+		case v >= 1<<10:
+			return fmt.Sprintf("%.2fkB", float64(v)/(1<<10))
+		default:
+			return fmt.Sprintf("%dB", v)
+		}
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}
+
+// WriteTop prints the n heaviest functions of sample index si as a
+// `go tool pprof -top`-style table.
+func WriteTop(w io.Writer, p *Profile, si, n int) error {
+	if si < 0 || si >= len(p.SampleTypes) {
+		return fmt.Errorf("prof: sample index %d out of range (have %d types)", si, len(p.SampleTypes))
+	}
+	st := p.SampleTypes[si]
+	total := p.Total(si)
+	fmt.Fprintf(w, "Showing top %d of %s (total %s)\n", n, st.Type, FormatValue(total, st.Unit))
+	fmt.Fprintf(w, "%12s %7s %12s %7s  %s\n", "flat", "flat%", "cum", "cum%", "function")
+	pct := func(v int64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(v) / float64(total)
+	}
+	for _, e := range p.Top(si, n) {
+		fmt.Fprintf(w, "%12s %6.2f%% %12s %6.2f%%  %s\n",
+			FormatValue(e.Flat, st.Unit), pct(e.Flat),
+			FormatValue(e.Cum, st.Unit), pct(e.Cum), e.Name)
+	}
+	return nil
+}

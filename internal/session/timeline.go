@@ -80,15 +80,39 @@ type Cursor struct {
 	si, pi    int
 	phaseEnd  int64 // absolute end time of current phase
 	scriptNew bool  // true when the cursor just entered a new script
+
+	// curApp/curInter cache the active script's app and phase
+	// interaction so the per-tick fast path (same phase as last call)
+	// returns without touching the Scripts slice — re-reading
+	// tl.Scripts[si] copies a 40-byte Script header every tick
+	// otherwise. They are refreshed on every phase/script advance.
+	curApp   workload.App
+	curInter workload.Interaction
 }
 
 // NewCursor returns a cursor positioned at time 0.
 func NewCursor(tl *Timeline) *Cursor {
-	c := &Cursor{tl: tl, scriptNew: true}
-	if len(tl.Scripts) > 0 && len(tl.Scripts[0].Phases) > 0 {
-		c.phaseEnd = tl.Scripts[0].Phases[0].DurUS
-	}
+	c := &Cursor{tl: tl}
+	c.Rewind()
 	return c
+}
+
+// Rewind repositions the cursor at time 0 so the same cursor can walk
+// the timeline again — the engine holds one cursor per configuration
+// and rewinds it each Run instead of allocating a fresh one.
+func (c *Cursor) Rewind() {
+	c.si, c.pi = 0, 0
+	c.scriptNew = true
+	c.phaseEnd = 0
+	c.curApp, c.curInter = nil, workload.InterIdle
+	if len(c.tl.Scripts) > 0 {
+		s := &c.tl.Scripts[0]
+		c.curApp = s.App
+		if len(s.Phases) > 0 {
+			c.phaseEnd = s.Phases[0].DurUS
+			c.curInter = s.Phases[0].Inter
+		}
+	}
 }
 
 // At returns the active app and interaction at nowUS. ok is false once
@@ -102,16 +126,20 @@ func (c *Cursor) At(nowUS int64) (app workload.App, inter workload.Interaction, 
 		if c.si >= len(c.tl.Scripts) {
 			return nil, workload.InterIdle, false, false
 		}
-		s := c.tl.Scripts[c.si]
-		if c.pi < len(s.Phases) && nowUS < c.phaseEnd {
+		// Fast path: still inside the cached phase. phaseEnd is only
+		// ever extended while pi indexes a valid phase, so the explicit
+		// pi bound check of the slow path is implied here.
+		if nowUS < c.phaseEnd {
 			entered := c.scriptNew
 			c.scriptNew = false
-			return s.App, s.Phases[c.pi].Inter, entered, true
+			return c.curApp, c.curInter, entered, true
 		}
+		s := &c.tl.Scripts[c.si]
 		// advance phase
 		c.pi++
 		if c.pi < len(s.Phases) {
 			c.phaseEnd += s.Phases[c.pi].DurUS
+			c.curInter = s.Phases[c.pi].Inter
 			continue
 		}
 		// advance script
@@ -119,7 +147,10 @@ func (c *Cursor) At(nowUS int64) (app workload.App, inter workload.Interaction, 
 		c.pi = 0
 		c.scriptNew = true
 		if c.si < len(c.tl.Scripts) {
-			c.phaseEnd += c.tl.Scripts[c.si].Phases[0].DurUS
+			ns := &c.tl.Scripts[c.si]
+			c.phaseEnd += ns.Phases[0].DurUS
+			c.curApp = ns.App
+			c.curInter = ns.Phases[0].Inter
 		}
 	}
 }

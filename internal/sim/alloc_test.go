@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"testing"
+
+	"nextdvfs/internal/session"
+	"nextdvfs/internal/workload"
+)
+
+// allocEngine builds a Note 9 engine over a mixed watch/idle/scroll
+// timeline of the given length. Watch and scroll exercise the frame
+// pipeline and the input-boost path; the per-phase split scales with
+// the duration so short and long runs have the same shape.
+func allocEngine(t *testing.T, secs float64) *Engine {
+	t.Helper()
+	third := session.Seconds(secs / 3)
+	tl := &session.Timeline{Scripts: []session.Script{{
+		App: workload.YouTube(),
+		Phases: []session.Phase{
+			{Inter: workload.InterWatch, DurUS: third},
+			{Inter: workload.InterIdle, DurUS: third},
+			{Inter: workload.InterScroll, DurUS: third},
+		},
+	}}}
+	e, err := New(Note9Config(tl, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestRunZeroAllocsPerTick pins the tentpole guarantee: the tick loop
+// itself allocates nothing. Run still performs a fixed per-run prologue
+// (sample buffers, governor reset), so the assertion is differential —
+// a run with 4× the ticks must cost exactly the same number of
+// allocations as the short run. Any per-tick allocation would scale
+// with the tick count and break the equality.
+func TestRunZeroAllocsPerTick(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed under the race detector")
+	}
+	short := allocEngine(t, 3)
+	long := allocEngine(t, 12)
+	// Warm both engines: first runs seed lazily-grown governor maps.
+	short.Run()
+	long.Run()
+	aShort := testing.AllocsPerRun(5, func() { short.Run() })
+	aLong := testing.AllocsPerRun(5, func() { long.Run() })
+	if aLong > aShort {
+		perTick := (aLong - aShort) / float64((12-3)*1000)
+		t.Fatalf("tick loop allocates: %.0f allocs for 3 s vs %.0f for 12 s (%.4f allocs/tick, want 0)",
+			aShort, aLong, perTick)
+	}
+	// Sanity: the per-run prologue must stay small and bounded too, so
+	// a regression cannot hide behind equal-but-huge run costs.
+	if aShort > 40 {
+		t.Fatalf("per-run prologue allocates %.0f times, want <= 40", aShort)
+	}
+}

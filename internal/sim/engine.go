@@ -38,7 +38,29 @@ type Engine struct {
 	// thermal wiring.
 	nodeIdx  []int // cluster i -> thermal node index (-1 if absent)
 	skinIdx  int
+	bigTempI int // thermal node index of NodeBig (-1: resolve by name)
 	powerBuf []float64
+
+	// Precomputed hot-path tables, all built once in New so the tick
+	// loop is indexed lookups with no map access and no allocation. The
+	// folded products keep the original evaluation order, so every
+	// number the loop produces is bit-identical to the unfolded math.
+	powTbl     []*power.Table        // cluster i -> per-OPP power lookup
+	capPerTick [][]float64           // cluster i, OPP k -> cycles/tick at full util
+	maxCapTick []float64             // cluster i -> cycles/tick at the top OPP
+	bigPerCore []float64             // big-stage OPP k -> cycles/sec of one core
+	gpuDrain   []float64             // GPU-stage OPP k -> render cycles/tick
+	bigIdx     int                   // chip index of the render CPU stage (-1 if none)
+	gpuIdx     int                   // chip index of the render GPU stage (-1 if none)
+	booster    governor.InputBooster // non-nil when the governor boosts on input
+	obsBuf     []governor.Observation
+	cursor     *session.Cursor
+
+	// Per-run bulk sample storage: one allocation per run instead of
+	// three per recorded sample (the slices handed out in Result alias
+	// into these, so they are re-made each Run, never recycled).
+	sampleInts  []int
+	sampleUtils []float64
 
 	// per-tick render-thread cycles per cluster (chip order), consumed
 	// by integratePower so background work only gets the leftovers —
@@ -117,9 +139,53 @@ func New(cfg Config) (*Engine, error) {
 	} else {
 		e.skinIdx = -1
 	}
+	if big, ok := cfg.Thermal.Index(thermal.NodeBig); ok {
+		e.bigTempI = big
+	} else {
+		e.bigTempI = -1
+	}
 	e.powerBuf = make([]float64, cfg.Thermal.NumNodes())
 	e.tickRender = make([]float64, n)
 	e.nativeHz = cfg.Display.RefreshHz
+
+	// Precompute the per-OPP tables the tick loop indexes into. Every
+	// folded product preserves the association order of the expressions
+	// it replaces, so the loop's arithmetic is bit-identical.
+	dtSec := float64(e.cfg.TickUS) / 1e6
+	e.powTbl = make([]*power.Table, n)
+	e.capPerTick = make([][]float64, n)
+	e.maxCapTick = make([]float64, n)
+	e.bigIdx, e.gpuIdx = -1, -1
+	for i, c := range cfg.Chip.Clusters {
+		e.powTbl[i] = cfg.Power.Table(c)
+		caps := make([]float64, c.NumOPPs())
+		for k := range caps {
+			caps[k] = float64(c.OPPAt(k).FreqKHz) * 1e3 * c.IPC * float64(c.Cores) * dtSec
+		}
+		e.capPerTick[i] = caps
+		e.maxCapTick[i] = caps[len(caps)-1]
+		if c == e.big {
+			e.bigIdx = i
+		}
+		if c == e.gpu {
+			e.gpuIdx = i
+		}
+	}
+	if e.big != nil {
+		e.bigPerCore = make([]float64, e.big.NumOPPs())
+		for k := range e.bigPerCore {
+			e.bigPerCore[k] = float64(e.big.OPPAt(k).FreqKHz) * 1e3 * e.big.IPC
+		}
+	}
+	if e.gpu != nil {
+		e.gpuDrain = make([]float64, e.gpu.NumOPPs())
+		for k := range e.gpuDrain {
+			e.gpuDrain[k] = float64(e.gpu.OPPAt(k).FreqKHz) * 1e3 * e.gpu.IPC * float64(e.gpu.Cores) * dtSec
+		}
+	}
+	e.booster, _ = cfg.Governor.(governor.InputBooster)
+	e.obsBuf = make([]governor.Observation, n)
+	e.cursor = session.NewCursor(cfg.Timeline)
 	return e, nil
 }
 
@@ -147,7 +213,15 @@ func (e *Engine) Run() Result {
 	}
 	e.resetRunState()
 
-	cursor := session.NewCursor(cfg.Timeline)
+	cursor := e.cursor
+	cursor.Rewind()
+	// Bulk per-run sample storage: sized for the record cadence so the
+	// tick loop itself never allocates (allocations here are per run,
+	// and the Result aliases these buffers, so they must be fresh).
+	nc := len(cfg.Chip.Clusters)
+	nSamples := int(cfg.Timeline.DurUS()/cfg.RecordIntervalUS) + 2
+	e.sampleInts = make([]int, 0, nSamples*nc*2)
+	e.sampleUtils = make([]float64, 0, nSamples*nc)
 	var acc accumulators
 	var meter power.Meter
 	var result Result
@@ -189,8 +263,8 @@ func (e *Engine) Run() Result {
 		// precisely why stock Android keeps CPU floors boosted through
 		// entire matches.
 		if inter == workload.InterTouch || inter == workload.InterScroll || inter == workload.InterPlay {
-			if b, isBooster := cfg.Governor.(governor.InputBooster); isBooster {
-				b.OnInput(now)
+			if e.booster != nil {
+				e.booster.OnInput(now)
 			}
 		}
 
@@ -198,7 +272,7 @@ func (e *Engine) Run() Result {
 		rendering := e.advanceRenderer(app, inter, demand, dtSec)
 
 		// Power for this tick, integrating cluster utilization.
-		tickPower := e.integratePower(demand, dtSec)
+		tickPower := e.integratePower(demand)
 		e.lastPowerW = tickPower
 		e.ctlPowerSum += tickPower
 		e.ctlPowerN++
@@ -207,7 +281,12 @@ func (e *Engine) Run() Result {
 
 		// Thermal step.
 		cfg.Thermal.Step(dtSec, e.powerBuf)
-		tb := cfg.Thermal.TempByName(thermal.NodeBig)
+		var tb float64
+		if e.bigTempI >= 0 {
+			tb = cfg.Thermal.TempC(e.bigTempI)
+		} else {
+			tb = cfg.Thermal.TempByName(thermal.NodeBig)
+		}
 		td := cfg.DevSense.ReadC()
 		acc.tempBig.Push(tb)
 		acc.tempDev.Push(td)
@@ -249,6 +328,9 @@ func (e *Engine) Run() Result {
 
 		// Trace recording.
 		if now >= e.nextRecUS {
+			if result.Samples == nil {
+				result.Samples = make([]Sample, 0, nSamples)
+			}
 			result.Samples = append(result.Samples, e.sample(now, app, inter, fps, tickPower, tb, td))
 			e.nextRecUS = now + cfg.RecordIntervalUS
 		}
@@ -322,13 +404,13 @@ func (e *Engine) advanceRenderer(app workload.App, inter workload.Interaction, d
 		if limit := float64(e.big.Cores); cores > limit {
 			cores = limit
 		}
-		drain := float64(e.big.FreqKHz()) * 1e3 * e.big.IPC * cores * dtSec
+		drain := e.bigPerCore[e.big.Cur()] * cores * dtSec
 		used := drain
 		if used > e.cpuRemaining {
 			used = e.cpuRemaining
 		}
 		e.cpuRemaining -= used
-		e.noteRender(e.big, used)
+		e.noteRender(e.bigIdx, used)
 		if e.cpuRemaining <= 0 {
 			e.cpuActive = false
 			// Hand to GPU stage (stalls if GPU still busy with previous).
@@ -354,13 +436,13 @@ func (e *Engine) advanceRenderer(app workload.App, inter workload.Interaction, d
 	// GPU stage: rendering owns the GPU; decode/composition background
 	// shares but yields priority.
 	if e.gpuActive && e.gpu != nil {
-		drain := float64(e.gpu.FreqKHz()) * 1e3 * e.gpu.IPC * float64(e.gpu.Cores) * dtSec
+		drain := e.gpuDrain[e.gpu.Cur()]
 		used := drain
 		if used > e.gpuRemaining {
 			used = e.gpuRemaining
 		}
 		e.gpuRemaining -= used
-		e.noteRender(e.gpu, used)
+		e.noteRender(e.gpuIdx, used)
 		if e.gpuRemaining <= 0 {
 			e.gpuActive = false
 			e.gpuDone = true
@@ -377,20 +459,20 @@ func (e *Engine) advanceRenderer(app workload.App, inter workload.Interaction, d
 	return e.cpuActive || e.gpuActive || e.gpuDone
 }
 
-// noteRender charges render cycles to the cluster's tick accounting.
-func (e *Engine) noteRender(c *soc.Cluster, used float64) {
-	for i, cc := range e.cfg.Chip.Clusters {
-		if cc == c {
-			e.tickRender[i] += used
-			e.busyCycles[i] += used
-			return
-		}
+// noteRender charges render cycles to cluster i's tick accounting.
+func (e *Engine) noteRender(i int, used float64) {
+	if i < 0 {
+		return
 	}
+	e.tickRender[i] += used
+	e.busyCycles[i] += used
 }
 
 // integratePower computes this tick's device power, charges background
 // utilization, and fills the thermal power buffer. Returns total watts.
-func (e *Engine) integratePower(demand workload.Demand, dtSec float64) float64 {
+// The per-OPP capacity and power terms come from the tables New built;
+// the fixed tick step is already folded in.
+func (e *Engine) integratePower(demand workload.Demand) float64 {
 	cfg := &e.cfg
 	baseW := cfg.Power.BaseW
 	if e.screenOff {
@@ -418,8 +500,8 @@ func (e *Engine) integratePower(demand workload.Demand, dtSec float64) float64 {
 		case e.gpu:
 			bg = demand.GPUBg
 		}
-		capCur := float64(c.FreqKHz()) * 1e3 * c.IPC * float64(c.Cores) * dtSec
-		capMax := float64(c.MaxOPP().FreqKHz) * 1e3 * c.IPC * float64(c.Cores) * dtSec
+		capCur := e.capPerTick[i][c.Cur()]
+		capMax := e.maxCapTick[i]
 		// Background work takes whatever capacity the render thread
 		// left this tick (UI priority wins on Android).
 		avail := capCur - e.tickRender[i]
@@ -449,7 +531,7 @@ func (e *Engine) integratePower(demand workload.Demand, dtSec float64) float64 {
 		if e.nodeIdx[i] >= 0 {
 			nodeTemp = cfg.Thermal.TempC(e.nodeIdx[i])
 		}
-		w := cfg.Power.ClusterPower(c, util, nodeTemp)
+		w := e.powTbl[i].Power(c.Cur(), util, nodeTemp)
 		total += w
 		if e.nodeIdx[i] >= 0 {
 			e.powerBuf[e.nodeIdx[i]] += w
@@ -463,7 +545,10 @@ func (e *Engine) integratePower(demand workload.Demand, dtSec float64) float64 {
 // decideGovernor hands the governor its per-cluster observations and
 // resets the utilization windows.
 func (e *Engine) decideGovernor(nowUS int64) {
-	obs := make([]governor.Observation, len(e.cfg.Chip.Clusters))
+	// obsBuf is engine scratch: no governor retains the slice past its
+	// Decide call (they copy what they need), so reusing it keeps the
+	// decision path allocation-free.
+	obs := e.obsBuf
 	for i, c := range e.cfg.Chip.Clusters {
 		util, norm := 0.0, 0.0
 		if e.curCapCycles[i] > 0 {
@@ -531,11 +616,24 @@ func (e *Engine) sample(nowUS int64, app workload.App, inter workload.Interactio
 		TempBigC:    tb,
 		TempDevC:    td,
 	}
+	// Slice the per-sample vectors out of the run's bulk buffers (sized
+	// in Run for the record cadence): no per-sample allocation, and the
+	// three-index caps keep later appends from aliasing earlier samples
+	// even if an odd cadence outgrows the estimate.
+	base := len(e.sampleInts)
 	for _, c := range e.cfg.Chip.Clusters {
-		s.FreqKHz = append(s.FreqKHz, c.FreqKHz())
-		s.CapIdx = append(s.CapIdx, c.Cap())
+		e.sampleInts = append(e.sampleInts, c.FreqKHz())
 	}
-	s.Util = append(s.Util, e.lastUtil...)
+	mid := len(e.sampleInts)
+	for _, c := range e.cfg.Chip.Clusters {
+		e.sampleInts = append(e.sampleInts, c.Cap())
+	}
+	end := len(e.sampleInts)
+	s.FreqKHz = e.sampleInts[base:mid:mid]
+	s.CapIdx = e.sampleInts[mid:end:end]
+	ub := len(e.sampleUtils)
+	e.sampleUtils = append(e.sampleUtils, e.lastUtil...)
+	s.Util = e.sampleUtils[ub:len(e.sampleUtils):len(e.sampleUtils)]
 	return s
 }
 

@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count assertions are skipped under it (the instrumentation
+// allocates shadow state of its own).
+const raceEnabled = true

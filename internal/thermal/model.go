@@ -30,13 +30,28 @@ type Model struct {
 	index map[string]int
 	capJK []float64
 	gAmb  []float64
-	// g is the dense symmetric inter-node conductance matrix; the
-	// networks here have ≤ 6 nodes, so dense is both simplest and
-	// fastest.
-	g     [][]float64
+	// g is the dense symmetric inter-node conductance matrix, kept as
+	// the construction-time source of truth (duplicate links accumulate
+	// here before the sparse lists are derived).
+	g [][]float64
+	// nbrs[i] is the precomputed sparse neighbor list of node i: the
+	// non-zero entries of g[i] in ascending-j order. Step iterates these
+	// instead of scanning the dense row, so the per-tick cost is
+	// proportional to the edges that exist, and the skip-zero branch is
+	// gone. Same terms in the same order as the dense scan — the
+	// integration stays bit-identical (pinned by
+	// TestStepMatchesDenseReference).
+	nbrs  [][]edge
 	tempC []float64
 	// scratch for Step
 	dT []float64
+}
+
+// edge is one precomputed conductance term of the RC network: neighbor
+// node index plus the link conductance.
+type edge struct {
+	j int
+	g float64
 }
 
 // NewModel builds a network from node specs and links. It panics on
@@ -79,6 +94,14 @@ func NewModel(ambientC float64, nodes []NodeSpec, links []Link) *Model {
 		}
 		m.g[a][b] += l.GWPerK
 		m.g[b][a] += l.GWPerK
+	}
+	m.nbrs = make([][]edge, n)
+	for i := range m.g {
+		for j, gij := range m.g[i] {
+			if gij != 0 {
+				m.nbrs[i] = append(m.nbrs[i], edge{j: j, g: gij})
+			}
+		}
 	}
 	m.dT = make([]float64, n)
 	return m
@@ -128,19 +151,25 @@ func (m *Model) Step(dtSec float64, powerW []float64) {
 	if len(powerW) != len(m.tempC) {
 		panic(fmt.Sprintf("thermal: Step got %d powers for %d nodes", len(powerW), len(m.tempC)))
 	}
-	for i := range m.tempC {
-		flow := powerW[i] - m.gAmb[i]*(m.tempC[i]-m.AmbientC)
-		row := m.g[i]
-		ti := m.tempC[i]
-		for j, gij := range row {
-			if gij != 0 {
-				flow -= gij * (ti - m.tempC[j])
-			}
+	// Hoist the field loads and pin slice lengths so the integration
+	// loop keeps everything in registers and drops its bounds checks;
+	// the arithmetic is untouched (term order is the bit-identity
+	// contract pinned by TestStepMatchesDenseReference).
+	temp := m.tempC
+	powerW = powerW[:len(temp)]
+	dT := m.dT[:len(temp)]
+	gAmb := m.gAmb[:len(temp)]
+	capJK := m.capJK[:len(temp)]
+	amb := m.AmbientC
+	for i, ti := range temp {
+		flow := powerW[i] - gAmb[i]*(ti-amb)
+		for _, e := range m.nbrs[i] {
+			flow -= e.g * (ti - temp[e.j])
 		}
-		m.dT[i] = flow / m.capJK[i] * dtSec
+		dT[i] = flow / capJK[i] * dtSec
 	}
-	for i := range m.tempC {
-		m.tempC[i] += m.dT[i]
+	for i := range temp {
+		temp[i] += dT[i]
 	}
 }
 

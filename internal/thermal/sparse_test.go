@@ -1,0 +1,113 @@
+package thermal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// denseStepReference replays the pre-optimization dense-matrix Step on
+// a shadow temperature vector: scan the full conductance row and skip
+// zeros. The production Step must match it bit-for-bit — the sparse
+// neighbor lists are an exact-caching optimization, not an
+// approximation.
+func denseStepReference(m *Model, tempC []float64, dtSec float64, powerW []float64) {
+	dT := make([]float64, len(tempC))
+	for i := range tempC {
+		flow := powerW[i] - m.gAmb[i]*(tempC[i]-m.AmbientC)
+		row := m.g[i]
+		ti := tempC[i]
+		for j, gij := range row {
+			if gij != 0 {
+				flow -= gij * (ti - tempC[j])
+			}
+		}
+		dT[i] = flow / m.capJK[i] * dtSec
+	}
+	for i := range tempC {
+		tempC[i] += dT[i]
+	}
+}
+
+func TestStepMatchesDenseReference(t *testing.T) {
+	for _, build := range []struct {
+		name string
+		mk   func() *Model
+	}{
+		{"note9", func() *Model { return Note9(21) }},
+		{"flagship", func() *Model { return Flagship(21) }},
+		{"midrange", func() *Model { return Midrange(25) }},
+	} {
+		m := build.mk()
+		n := m.NumNodes()
+		shadow := make([]float64, n)
+		for i := 0; i < n; i++ {
+			shadow[i] = m.TempC(i)
+		}
+		rng := rand.New(rand.NewSource(7))
+		power := make([]float64, n)
+		for step := 0; step < 5000; step++ {
+			for i := range power {
+				power[i] = 4 * rng.Float64()
+			}
+			m.Step(0.001, power)
+			denseStepReference(m, shadow, 0.001, power)
+			for i := 0; i < n; i++ {
+				if m.TempC(i) != shadow[i] {
+					t.Fatalf("%s: node %d diverged at step %d: sparse %v dense %v",
+						build.name, i, step, m.TempC(i), shadow[i])
+				}
+			}
+		}
+	}
+}
+
+// TestNeighborListsMirrorMatrix pins the derivation: every non-zero
+// dense entry appears exactly once, in ascending-j order, including
+// duplicate links folded into one conductance.
+func TestNeighborListsMirrorMatrix(t *testing.T) {
+	nodes := []NodeSpec{
+		{Name: "a", CapJPerK: 1},
+		{Name: "b", CapJPerK: 1},
+		{Name: "c", CapJPerK: 1, GAmbWPerK: 0.5},
+	}
+	links := []Link{
+		{A: "a", B: "b", GWPerK: 1.5},
+		{A: "b", B: "a", GWPerK: 0.5}, // duplicate pair, must accumulate
+		{A: "b", B: "c", GWPerK: 2},
+	}
+	m := NewModel(20, nodes, links)
+	for i := range m.g {
+		var want []edge
+		for j, gij := range m.g[i] {
+			if gij != 0 {
+				want = append(want, edge{j: j, g: gij})
+			}
+		}
+		got := m.nbrs[i]
+		if len(got) != len(want) {
+			t.Fatalf("node %d: %d neighbors, want %d", i, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("node %d neighbor %d: got %+v want %+v", i, k, got[k], want[k])
+			}
+		}
+	}
+	if got := m.g[0][1]; got != 2.0 {
+		t.Fatalf("duplicate links must accumulate: g[a][b] = %v, want 2", got)
+	}
+}
+
+func TestStepZeroAlloc(t *testing.T) {
+	m := Note9(21)
+	power := make([]float64, m.NumNodes())
+	for i := range power {
+		power[i] = 1.5
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.Step(0.001, power)
+	})
+	if allocs != 0 {
+		t.Fatalf("Step allocates %v per call, want 0", allocs)
+	}
+}

@@ -1,0 +1,30 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAppHotPathZeroAlloc pins the workload side of the zero-alloc tick
+// loop: Tick and StartFrame are called every simulated millisecond and
+// must never touch the heap.
+func TestAppHotPathZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, app := range EvaluationApps() {
+		app.Reset()
+		now := int64(0)
+		inters := []Interaction{InterIdle, InterScroll, InterWatch, InterPlay, InterLoading, InterOff, InterTouch}
+		i := 0
+		allocs := testing.AllocsPerRun(500, func() {
+			now += 1000
+			d := app.Tick(now, 1000, inters[i%len(inters)], rng)
+			if d.WantFrame {
+				app.StartFrame(inters[i%len(inters)], rng)
+			}
+			i++
+		})
+		if allocs != 0 {
+			t.Errorf("%s: Tick/StartFrame allocates %v per tick, want 0", app.Name(), allocs)
+		}
+	}
+}
