@@ -24,6 +24,7 @@ import (
 	"nextdvfs/internal/ctrl"
 	"nextdvfs/internal/exp"
 	"nextdvfs/internal/fleetd"
+	"nextdvfs/internal/learner"
 	"nextdvfs/internal/platform"
 	"nextdvfs/internal/power"
 	"nextdvfs/internal/scenario"
@@ -224,12 +225,12 @@ func BenchmarkAblationCoarseFPSState(b *testing.B) {
 func BenchmarkAblationDoubleQ(b *testing.B) {
 	// Double Q-learning: removes max-operator overestimation under the
 	// noisy PPDW reward (extension beyond the paper).
-	ablationEval(b, func(c *core.AgentConfig) { c.Algo = core.AlgoDoubleQ })
+	ablationEval(b, func(c *core.AgentConfig) { c.Learner = "doubleq" })
 }
 
 func BenchmarkAblationSARSA(b *testing.B) {
 	// On-policy SARSA: conservative around exploratory dips.
-	ablationEval(b, func(c *core.AgentConfig) { c.Algo = core.AlgoSARSA })
+	ablationEval(b, func(c *core.AgentConfig) { c.Learner = "sarsa" })
 }
 
 // BenchmarkFleetCheckin measures the fleet policy server's hot path —
@@ -374,6 +375,47 @@ func BenchmarkQuantize(b *testing.B) {
 	b.StopTimer()
 	benchSink = sink
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+}
+
+// BenchmarkAgentSelect measures one action selection through the
+// Learner/Explorer interface pair (watkins + ε-greedy over a warmed
+// 64-state table) — the decision half of every 100 ms control step.
+// The floor in BENCH_sim.json pins the interface dispatch cost: the
+// registry refactor must not make the paper's 227 ns step regress.
+func BenchmarkAgentSelect(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	l := learner.Must("watkins", 9)
+	for i := 0; i < 2000; i++ {
+		l.Update(core.StateKey(i%64), i%9, rng.Float64()-0.5, core.StateKey((i+1)%64), i%9, 0.3, 0.9, rng)
+	}
+	ex := learner.MustExplorer("egreedy", learner.ExplorerConfig{EpsilonStart: 0.08, EpsilonMin: 0.08})
+	var sink int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += l.SelectAction(ex, core.StateKey(i%64), rng)
+	}
+	b.StopTimer()
+	benchSink = float64(sink)
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "selects/s")
+}
+
+// BenchmarkAgentUpdate measures one TD update through the Learner
+// interface (watkins over a warmed table) — the learning half of every
+// control step. Gated like BenchmarkAgentSelect.
+func BenchmarkAgentUpdate(b *testing.B) {
+	rng := rand.New(rand.NewSource(43))
+	l := learner.Must("watkins", 9)
+	for i := 0; i < 2000; i++ {
+		l.Update(core.StateKey(i%64), i%9, rng.Float64()-0.5, core.StateKey((i+1)%64), i%9, 0.3, 0.9, rng)
+	}
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += l.Update(core.StateKey(i%64), i%9, 0.25, core.StateKey((i+1)%64), i%9, 0.3, 0.9, rng)
+	}
+	b.StopTimer()
+	benchSink = sink
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/s")
 }
 
 func BenchmarkExtensionHighRefresh(b *testing.B) {

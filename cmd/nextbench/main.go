@@ -15,6 +15,8 @@
 //	nextbench -platforms                   # list the registry
 //	nextbench -scenarios                   # scenario × platform × scheme grid
 //	nextbench -scenarios -schemes schedutil,powersave,next -scale 0.1
+//	nextbench -learners all                # convergence + energy/QoS by update rule
+//	nextbench -learners watkins,doubleq -explorer softmax
 package main
 
 import (
@@ -41,8 +43,10 @@ func main() {
 	fleet := flag.Int("fleet", 0, "serving benchmark: drive an in-process fleetd with N simulated devices and report throughput")
 	listPlats := flag.Bool("platforms", false, "list registered platforms and exit")
 	scenarios := flag.Bool("scenarios", false, "run the scenario × platform × scheme grid instead of a figure")
-	schemes := flag.String("schemes", "schedutil,next", "for -scenarios: comma-separated schemes")
+	schemes := flag.String("schemes", "schedutil,next", "for -scenarios: comma-separated schemes ("+strings.Join(nextdvfs.Schemes(), ", ")+")")
 	scale := flag.Float64("scale", 0, "for -scenarios: shrink every scenario's duration by this factor (0 = full length)")
+	learners := flag.String("learners", "", "learner comparison grid: comma-separated learners or \"all\" ("+strings.Join(nextdvfs.Learners(), ", ")+")")
+	explorer := flag.String("explorer", "", "for -learners/-scenarios: exploration strategy agent cells train with ("+strings.Join(nextdvfs.Explorers(), ", ")+"; default egreedy)")
 	flag.Parse()
 
 	if *listPlats {
@@ -62,7 +66,14 @@ func main() {
 	}
 
 	if *scenarios {
-		runScenarios(*plat, *seed, *schemes, *scale, *parallel)
+		// -scenarios -learners X,Y sweeps the grid's learner dimension;
+		// without -scenarios, -learners runs the learner comparison grid.
+		runScenarios(*plat, *seed, *schemes, *scale, *parallel, learnerList(*learners), *explorer)
+		return
+	}
+
+	if *learners != "" {
+		runLearners(*plat, *seed, *learners, *explorer, *parallel)
 		return
 	}
 
@@ -108,12 +119,44 @@ func runFleet(devices int, plat string, seed int64, parallel int) {
 	fmt.Println()
 }
 
-func runScenarios(plat string, seed int64, schemes string, scale float64, parallel int) {
+// learnerList expands the -learners flag: "" → nil (each grid's
+// default), "all" → the whole registry, else the comma list.
+func learnerList(flag string) []string {
+	if flag == "" {
+		return nil
+	}
+	if flag == "all" {
+		return nextdvfs.Learners()
+	}
+	return strings.Split(flag, ",")
+}
+
+func runLearners(plat string, seed int64, learners, explorer string, parallel int) {
+	opts := exp.LearnerGridOptions{
+		Seed:     seed,
+		Platform: plat,
+		Explorer: explorer,
+		Parallel: parallel,
+		Learners: learnerList(learners),
+	}
+	fmt.Printf("== Learner grid: convergence and energy/QoS by update rule on %s ==\n", plat)
+	rows, err := exp.LearnerGrid(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nextbench:", err)
+		os.Exit(1)
+	}
+	exp.WriteLearnerGrid(os.Stdout, rows)
+	fmt.Println()
+}
+
+func runScenarios(plat string, seed int64, schemes string, scale float64, parallel int, learners []string, explorer string) {
 	fmt.Printf("== Scenario grid: %d usage scenarios on %s ==\n", len(nextdvfs.Scenarios()), plat)
 	rows, err := exp.ScenarioGrid(exp.ScenarioOptions{
 		Seed:          seed,
 		Platforms:     []string{plat},
 		Schemes:       strings.Split(schemes, ","),
+		Learners:      learners,
+		Explorer:      explorer,
 		Parallel:      parallel,
 		DurationScale: scale,
 	})

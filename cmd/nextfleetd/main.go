@@ -39,10 +39,11 @@ func main() {
 	seconds := flag.Float64("seconds", 8, "simulated seconds per training session (bench mode)")
 	seed := flag.Int64("seed", 42, "base seed; device i trains from seed+(i+1)*7919")
 	parallel := flag.Int("parallel", 0, "device worker-pool size (0 = GOMAXPROCS)")
+	learnerName := flag.String("learner", "", "TD update rule every device trains with (bench mode; \"\" = watkins)")
 	flag.Parse()
 
 	if *bench > 0 {
-		runBench(*bench, *app, *plat, *sessions, *seconds, *seed, *parallel)
+		runBench(*bench, *app, *plat, *sessions, *seconds, *seed, *parallel, *learnerName)
 		return
 	}
 	serve(*addr, *snapshot)
@@ -73,12 +74,12 @@ func serve(addr, snapshot string) {
 	srv.Close()
 }
 
-func runBench(devices int, app, plat string, sessions int, seconds float64, seed int64, parallel int) {
+func runBench(devices int, app, plat string, sessions int, seconds float64, seed int64, parallel int, learnerName string) {
 	fmt.Printf("== fleet bench: %d devices × %d session(s) of %s on %s ==\n", devices, sessions, app, plat)
 	report, err := nextdvfs.BenchFleet(fleetsim.Options{
 		Devices: devices, App: app, Platform: plat,
 		Sessions: sessions, SessionSecs: seconds,
-		Seed: seed, Parallel: parallel,
+		Seed: seed, Parallel: parallel, Learner: learnerName,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nextfleetd:", err)

@@ -6,6 +6,7 @@
 //
 //	nextsim -app spotify -scheme schedutil -seconds 120 -csv out.csv
 //	nextsim -app lineage2revolution -scheme next -train 8
+//	nextsim -app lineage2revolution -scheme next -train 8 -learner sarsa
 //	nextsim -app pubgmobile -platform sd855-120hz
 //	nextsim -scenario commute                 # a composed usage scenario
 //	nextsim -scenario thermal-soak -seconds 120
@@ -16,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 	"strings"
 
 	"nextdvfs"
@@ -28,7 +30,9 @@ func main() {
 	scen := flag.String("scenario", "", "usage scenario preset (overrides -app): "+strings.Join(nextdvfs.Scenarios(), ", "))
 	listScens := flag.Bool("scenarios", false, "list the scenario library and exit")
 	plat := flag.String("platform", platform.DefaultName, "simulated device: "+strings.Join(nextdvfs.Platforms(), ", "))
-	scheme := flag.String("scheme", "schedutil", "management scheme: schedutil, next, intqospm, performance, powersave")
+	scheme := flag.String("scheme", "schedutil", "management scheme: "+strings.Join(nextdvfs.Schemes(), ", "))
+	learnerName := flag.String("learner", "", "for -scheme next: TD update rule ("+strings.Join(nextdvfs.Learners(), ", ")+"; default watkins)")
+	explorer := flag.String("explorer", "", "for -scheme next: exploration strategy ("+strings.Join(nextdvfs.Explorers(), ", ")+"; default egreedy)")
 	seconds := flag.Float64("seconds", 0, "session length (0 = paper default; with -scenario: rescale to this total)")
 	seed := flag.Int64("seed", 1, "session seed")
 	train := flag.Int("train", 0, "for -scheme next: training sessions to run first")
@@ -44,11 +48,20 @@ func main() {
 		return
 	}
 
+	if *learnerName != "" && !slices.Contains(nextdvfs.Learners(), *learnerName) {
+		fatal(fmt.Errorf("unknown learner %q (have: %s)", *learnerName, strings.Join(nextdvfs.Learners(), ", ")))
+	}
+	if *explorer != "" && !slices.Contains(nextdvfs.Explorers(), *explorer) {
+		fatal(fmt.Errorf("unknown explorer %q (have: %s)", *explorer, strings.Join(nextdvfs.Explorers(), ", ")))
+	}
+
 	opts := nextdvfs.RunOptions{
 		App:            *app,
 		Platform:       *plat,
 		Seconds:        *seconds,
 		Scheme:         nextdvfs.Scheme(*scheme),
+		Learner:        *learnerName,
+		Explorer:       *explorer,
 		Seed:           *seed,
 		RecordEverySec: *every,
 	}
@@ -67,6 +80,8 @@ func main() {
 				fatal(err)
 			}
 			cfg.Seed = *seed
+			cfg.Learner = *learnerName
+			cfg.Explorer = *explorer
 			agent := nextdvfs.NewAgent(cfg)
 			for i := 1; i <= *train; i++ {
 				trainOpts := opts
@@ -82,6 +97,7 @@ func main() {
 		} else {
 			agent, stats, err := nextdvfs.TrainAgent(*app, nextdvfs.TrainOptions{
 				Sessions: *train, Seed: *seed, Platform: *plat,
+				Learner: *learnerName, Explorer: *explorer,
 			})
 			if err != nil {
 				fatal(err)

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	nexttrain -app spotify -store qtables/
+//	nexttrain -app spotify -learner doubleq -store qtables/
 //	nexttrain -app pubgmobile -federated 4 -store qtables/
 //	nexttrain -list -store qtables/
 package main
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"slices"
 	"strings"
 
 	"nextdvfs"
@@ -26,6 +28,8 @@ func main() {
 	sessions := flag.Int("sessions", 0, "training sessions (0 = default 16)")
 	seed := flag.Int64("seed", 1, "training seed")
 	federated := flag.Int("federated", 0, "train on N devices and merge (Section IV-C)")
+	learnerName := flag.String("learner", "", "TD update rule ("+strings.Join(nextdvfs.Learners(), ", ")+"; default watkins)")
+	explorer := flag.String("explorer", "", "exploration strategy ("+strings.Join(nextdvfs.Explorers(), ", ")+"; default egreedy)")
 	list := flag.Bool("list", false, "list stored Q-tables and exit")
 	flag.Parse()
 
@@ -39,12 +43,12 @@ func main() {
 	}
 
 	if *federated > 1 {
-		trainFederated(*app, *store, *federated, *sessions, *seed)
+		trainFederated(*app, *store, *federated, *sessions, *seed, *learnerName, *explorer)
 		return
 	}
 
 	agent, stats, err := nextdvfs.TrainAgent(*app, nextdvfs.TrainOptions{
-		Sessions: *sessions, Seed: *seed,
+		Sessions: *sessions, Seed: *seed, Learner: *learnerName, Explorer: *explorer,
 	})
 	if err != nil {
 		fatal(err)
@@ -54,9 +58,17 @@ func main() {
 	saveAgent(agent, *store)
 }
 
-func trainFederated(app, store string, n, sessions int, seed int64) {
+func trainFederated(app, store string, n, sessions int, seed int64, learnerName, explorer string) {
 	cfg := nextdvfs.DefaultAgentConfig()
 	cfg.Seed = seed
+	if !slices.Contains(append(nextdvfs.Learners(), ""), learnerName) {
+		fatal(fmt.Errorf("unknown learner %q (have: %s)", learnerName, strings.Join(nextdvfs.Learners(), ", ")))
+	}
+	if !slices.Contains(append(nextdvfs.Explorers(), ""), explorer) {
+		fatal(fmt.Errorf("unknown explorer %q (have: %s)", explorer, strings.Join(nextdvfs.Explorers(), ", ")))
+	}
+	cfg.Learner = learnerName
+	cfg.Explorer = explorer
 	fleet := nextdvfs.NewFleet(n, cfg)
 	// Each device trains locally on its own stochastic sessions.
 	for i, dev := range fleet.Devices {

@@ -1,0 +1,53 @@
+// Learners: train two (or more) TD update rules on the same app and
+// compare their convergence and the energy/QoS of the policies they
+// learn — the one-screen version of `nextbench -learners`. The default
+// pair is the paper's Watkins Q-learning against van Hasselt Double
+// Q-learning, whose two estimators cancel the max-operator's
+// overestimation of the noisy PPDW reward.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"nextdvfs"
+)
+
+func main() {
+	learners := flag.String("learners", "watkins,doubleq", "comma-separated learners to compare ("+strings.Join(nextdvfs.Learners(), ", ")+")")
+	app := flag.String("app", "spotify", "application preset")
+	sessions := flag.Int("sessions", 0, "training sessions per learner (0 = paper default)")
+	trainSec := flag.Float64("trainsec", 0, "seconds per training session (0 = paper default)")
+	seconds := flag.Float64("seconds", 0, "evaluation session length (0 = paper default)")
+	flag.Parse()
+
+	names := strings.Split(*learners, ",")
+	fmt.Printf("comparing %d learners on %s (same sessions, same evaluation):\n\n", len(names), *app)
+
+	sched, err := nextdvfs.Run(nextdvfs.RunOptions{App: *app, Seed: 99, Seconds: *seconds})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-15s %9s %7s %10s %10s %8s\n", "learner", "conv", "states", "power(W)", "energy(J)", "FPS")
+	fmt.Printf("%-15s %9s %7s %10.2f %10.0f %8.1f\n", "(schedutil)", "-", "-", sched.AvgPowerW, sched.EnergyJ, sched.ActiveAvgFPS)
+	for _, name := range names {
+		agent, stats, err := nextdvfs.TrainAgent(*app, nextdvfs.TrainOptions{
+			Seed: 11, Sessions: *sessions, SessionSeconds: *trainSec, Learner: name,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := nextdvfs.Run(nextdvfs.RunOptions{
+			App: *app, Scheme: nextdvfs.SchemeNext, Agent: agent, Seed: 99, Seconds: *seconds,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-15s %9v %7d %10.2f %10.0f %8.1f\n",
+			name, stats.Converged, stats.States, res.AvgPowerW, res.EnergyJ, res.ActiveAvgFPS)
+	}
+	fmt.Println("\nlearner comparison complete — same state, same reward, different update rule")
+}

@@ -25,6 +25,7 @@ func TestExamplesSmoke(t *testing.T) {
 		{"./examples/dailyuse", []string{"-pickups", "1", "-sessions", "1", "-trainsec", "5", "-maxsec", "5"}, "day total"},
 		{"./examples/gaming", []string{"-sessions", "1", "-trainsec", "5", "-seconds", "5", "-qosfloor", "0"}, "saves"},
 		{"./examples/federated", []string{"-sessions", "1", "-trainsec", "5", "-seconds", "5"}, "merged table"},
+		{"./examples/learners", []string{"-sessions", "1", "-trainsec", "5", "-seconds", "5"}, "learner comparison complete"},
 	}
 	for _, c := range cases {
 		c := c

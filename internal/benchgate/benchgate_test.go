@@ -92,7 +92,7 @@ func TestLoadRepoBaselines(t *testing.T) {
 	want := map[string]int{
 		"BENCH_fleet.json":    1,
 		"BENCH_scenario.json": 1,
-		"BENCH_sim.json":      3,
+		"BENCH_sim.json":      5,
 	}
 	for name, n := range want {
 		bs, err := LoadBaselineFile(filepath.Join("..", "..", name))
@@ -122,7 +122,10 @@ func TestBenchSimFloorsCoverTickSubsystems(t *testing.T) {
 	for _, b := range bs {
 		got[b.Benchmark] = true
 	}
-	for _, name := range []string{"BenchmarkPowerStep", "BenchmarkThermalStep", "BenchmarkQuantize"} {
+	for _, name := range []string{
+		"BenchmarkPowerStep", "BenchmarkThermalStep", "BenchmarkQuantize",
+		"BenchmarkAgentSelect", "BenchmarkAgentUpdate",
+	} {
 		if !got[name] {
 			t.Errorf("BENCH_sim.json does not gate %s", name)
 		}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"nextdvfs/internal/core"
+	"nextdvfs/internal/learner"
 )
 
 // TrainerConfig is the cloud cost model.
@@ -98,6 +99,55 @@ func MergeTables(tables []*core.QTable) (*core.QTable, error) {
 	return merged, nil
 }
 
+// MergeTableSets federated-averages complete learner table states
+// role-by-role: every set must come from the same learner (same
+// registry name and role layout), and each role merges independently
+// across devices via MergeTables — so a two-estimator Double-Q policy
+// keeps two distinct estimators through a fleet merge instead of
+// collapsing into one.
+func MergeTableSets(sets []*learner.TableSet) (*learner.TableSet, error) {
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("cloud: nothing to merge")
+	}
+	for i, s := range sets {
+		if s == nil || s.Primary() == nil {
+			return nil, fmt.Errorf("cloud: set %d is empty", i)
+		}
+	}
+	name := learner.Normalize(sets[0].Learner)
+	roles := make([]string, len(sets[0].Roles))
+	for i, r := range sets[0].Roles {
+		roles[i] = r.Role
+	}
+	for i, s := range sets {
+		if learner.Normalize(s.Learner) != name {
+			return nil, fmt.Errorf("cloud: set %d is from learner %q, fleet has %q",
+				i, learner.Normalize(s.Learner), name)
+		}
+		if len(s.Roles) != len(roles) {
+			return nil, fmt.Errorf("cloud: set %d has %d roles, want %d", i, len(s.Roles), len(roles))
+		}
+		for j, r := range s.Roles {
+			if r.Role != roles[j] {
+				return nil, fmt.Errorf("cloud: set %d role %d is %q, want %q", i, j, r.Role, roles[j])
+			}
+		}
+	}
+	merged := &learner.TableSet{Learner: name, Roles: make([]learner.RoleTable, len(roles))}
+	tables := make([]*core.QTable, len(sets))
+	for j, role := range roles {
+		for i, s := range sets {
+			tables[i] = s.Roles[j].Table
+		}
+		m, err := MergeTables(tables)
+		if err != nil {
+			return nil, fmt.Errorf("cloud: role %q: %w", role, err)
+		}
+		merged.Roles[j] = learner.RoleTable{Role: role, Table: m}
+	}
+	return merged, nil
+}
+
 // Fleet is a set of devices (agents) participating in federated
 // training of the same applications.
 type Fleet struct {
@@ -105,47 +155,31 @@ type Fleet struct {
 	Trainer TrainerConfig
 }
 
-// MergeApp merges the named app's tables across the fleet and installs
-// the merged, trained table on every device. It returns the merged
-// table and the user-visible wall time of the round (slowest device's
-// training time through the cloud cost model). Devices that never saw
-// the app are skipped as sources but still receive the merged table.
+// MergeApp merges the named app's learner table sets across the fleet
+// role-by-role and installs the merged, trained set on every device.
+// It returns the merged primary table and the user-visible wall time of
+// the round (slowest device's training time through the cloud cost
+// model). Devices that never saw the app are skipped as sources but
+// still receive the merged set.
 func (f *Fleet) MergeApp(app string) (*core.QTable, int64, error) {
-	var tables []*core.QTable
+	var sets []*learner.TableSet
 	var slowest int64
 	for _, d := range f.Devices {
-		t := d.TableFor(app)
-		if t == nil || t.Table == nil {
+		set := d.SnapshotFor(app)
+		if set == nil || set.Primary() == nil {
 			continue
 		}
-		tables = append(tables, t.Table)
-		if t.Table.TrainedUS > slowest {
-			slowest = t.Table.TrainedUS
+		sets = append(sets, set)
+		if set.Primary().TrainedUS > slowest {
+			slowest = set.Primary().TrainedUS
 		}
 	}
-	merged, err := MergeTables(tables)
+	merged, err := MergeTableSets(sets)
 	if err != nil {
 		return nil, 0, fmt.Errorf("cloud: merging %q: %w", app, err)
 	}
 	for _, d := range f.Devices {
-		d.InstallTable(app, cloneTable(merged), true)
+		d.InstallTableSet(app, merged.Clone(), true)
 	}
-	return merged, f.Trainer.WallTimeUS(slowest), nil
-}
-
-// cloneTable deep-copies a Q-table so devices do not share rows.
-func cloneTable(t *core.QTable) *core.QTable {
-	c := core.NewQTable(t.Actions)
-	c.Steps = t.Steps
-	c.TrainedUS = t.TrainedUS
-	c.ConvergedAtUS = t.ConvergedAtUS
-	for s, row := range t.Q {
-		r := make([]float64, len(row))
-		copy(r, row)
-		c.Q[s] = r
-	}
-	for s, v := range t.Visits {
-		c.Visits[s] = v
-	}
-	return c
+	return merged.Primary(), f.Trainer.WallTimeUS(slowest), nil
 }

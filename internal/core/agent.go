@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"nextdvfs/internal/ctrl"
+	"nextdvfs/internal/learner"
 )
 
 // AgentConfig parameterizes the Next agent. Defaults follow the paper:
@@ -42,9 +43,15 @@ type AgentConfig struct {
 	// window mean (ablation).
 	UseMeanTarget bool
 
-	// Algo selects the TD update rule (default: the paper's Watkins
-	// Q-learning; Double Q and SARSA are extensions — see LearnAlgo).
-	Algo LearnAlgo
+	// Learner names the TD update rule from the learner registry
+	// ("" = "watkins", the paper's Eq. 3 — bit-identical to the
+	// pre-registry agent). See learner.Names().
+	Learner string
+
+	// Explorer names the exploration strategy from the explorer
+	// registry ("" = "egreedy", the paper's schedule). See
+	// learner.ExplorerNames().
+	Explorer string
 
 	// EmergencyTempC is a safety layer above the learned policy: when
 	// the big-cluster sensor exceeds it, the agent force-lowers the big
@@ -87,9 +94,21 @@ func DefaultAgentConfig() AgentConfig {
 	}
 }
 
+// ExplorerConfig derives the explorer-construction parameters from the
+// agent configuration (the ε schedule feeds ε-greedy; UCB/softmax use
+// their registry defaults unless the caller tunes them post-hoc).
+func (c AgentConfig) ExplorerConfig() learner.ExplorerConfig {
+	return learner.ExplorerConfig{
+		EpsilonStart: c.EpsilonStart,
+		EpsilonMin:   c.EpsilonMin,
+		EpsilonDecay: c.EpsilonDecay,
+	}
+}
+
 // Agent is the Next controller (implements ctrl.Controller). One agent
-// manages one device; it keeps a Q-table per application, trains tables
-// that have never been seen, and exploits trained ones.
+// manages one device; it keeps a learner per application (a Q-table, or
+// two for "doubleq"), trains apps that have never been seen, and
+// exploits trained ones.
 type Agent struct {
 	cfg AgentConfig
 	rng *rand.Rand
@@ -100,22 +119,33 @@ type Agent struct {
 	tables map[string]*AppTable
 	cur    *AppTable
 
+	// exploit is the post-convergence selector (fixed ε, no decay) —
+	// one instance, shared across apps, so the trained-path decision
+	// costs no allocation.
+	exploit learner.EpsilonGreedy
+
 	prevValid  bool
 	prevState  StateKey
 	prevAction int
 	lastCtlUS  int64
 }
 
-// AppTable is a per-application Q-table plus training bookkeeping.
+// AppTable is a per-application learner plus training bookkeeping.
 type AppTable struct {
-	App    string
-	Table  *QTable
-	Policy Policy
+	App string
+	// Table is the primary Q-table (the learner's Tables()[0]) — the
+	// view persistence metadata, fleet merging and reporting use.
+	Table *QTable
 	// Trained is latched once convergence is detected (or set by
 	// LoadTrained); a trained table runs at ExploitEpsilon.
 	Trained bool
 
-	learner    *Learner
+	learner  learner.Learner
+	explorer learner.Explorer
+	// pending holds an installed snapshot until the first Control step
+	// knows the platform's action space and can build the learner.
+	pending *learner.TableSet
+
 	tdEWMA     float64
 	tdSeeded   bool
 	flipEWMA   float64
@@ -129,7 +159,14 @@ func (t *AppTable) TDError() float64 { return t.tdEWMA }
 // the convergence signal.
 func (t *AppTable) FlipRate() float64 { return t.flipEWMA }
 
-// NewAgent builds an agent with the given configuration.
+// Learner exposes the app's learner (nil until the first control step
+// builds it).
+func (t *AppTable) Learner() learner.Learner { return t.learner }
+
+// NewAgent builds an agent with the given configuration. Unknown
+// learner or explorer names panic: agent wiring is code, and every
+// input surface (facade options, CLI flags, grids) validates names
+// against the registries before constructing an agent.
 func NewAgent(cfg AgentConfig) *Agent {
 	if cfg.ObserveUS <= 0 {
 		cfg.ObserveUS = 25_000
@@ -140,11 +177,18 @@ func NewAgent(cfg AgentConfig) *Agent {
 	if cfg.WindowSamples <= 0 {
 		cfg.WindowSamples = 160
 	}
+	if !learner.Known(cfg.Learner) {
+		panic("core: unknown learner " + cfg.Learner)
+	}
+	if !learner.KnownExplorer(cfg.Explorer) {
+		panic("core: unknown explorer " + cfg.Explorer)
+	}
 	return &Agent{
-		cfg:    cfg,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		window: NewFrameWindow(cfg.WindowSamples, cfg.WarmupSamples),
-		tables: make(map[string]*AppTable),
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		window:  NewFrameWindow(cfg.WindowSamples, cfg.WarmupSamples),
+		tables:  make(map[string]*AppTable),
+		exploit: learner.EpsilonGreedy{Epsilon: cfg.ExploitEpsilon, EpsilonMin: cfg.ExploitEpsilon},
 	}
 }
 
@@ -164,9 +208,14 @@ func (a *Agent) Observe(snap ctrl.Snapshot) {
 }
 
 // AppChanged implements ctrl.Controller: switch (or create) the app's
-// Q-table and clear episode state. The frame window resets because the
-// target FPS of the previous app is meaningless for the next.
+// learner and clear episode state. The frame window resets because the
+// target FPS of the previous app is meaningless for the next, and the
+// outgoing learner's episode state (n-step buffers) flushes — a return
+// must never straddle two applications.
 func (a *Agent) AppChanged(name string, _ bool) {
+	if a.cur != nil && a.cur.learner != nil {
+		a.cur.learner.Reset()
+	}
 	a.cur = a.tableFor(name)
 	a.window.Reset()
 	a.prevValid = false
@@ -180,19 +229,52 @@ func (a *Agent) tableFor(name string) *AppTable {
 		return t
 	}
 	t := &AppTable{
-		App:   name,
-		Table: nil,
-		Policy: Policy{
-			Epsilon:    a.cfg.EpsilonStart,
-			EpsilonMin: a.cfg.EpsilonMin,
-			Decay:      a.cfg.EpsilonDecay,
-		},
+		App:      name,
+		explorer: learner.MustExplorer(a.cfg.Explorer, a.cfg.ExplorerConfig()),
 	}
 	a.tables[name] = t
 	return t
 }
 
-// Control implements ctrl.Controller: one Q-learning step per 100 ms.
+// ensureLearner builds the app's learner once the action space is
+// known, adopting any installed snapshot (persisted or federated
+// tables). A snapshot that names a non-default learner carries that
+// identity with it: a doubleq set loaded into a default-configured
+// agent keeps running doubleq for that app — silently collapsing it to
+// a single table would drop estimator B and the next save would make
+// the loss permanent. Legacy single-table sets (learner "watkins")
+// wrap into whatever the agent is configured with, preserving the
+// historical install semantics.
+func (a *Agent) ensureLearner(t *AppTable) {
+	if t.learner != nil {
+		return
+	}
+	set := t.pending
+	if set == nil && t.Table != nil {
+		set = learner.SingleTableSet(t.Table)
+	}
+	name := a.cfg.Learner
+	if set != nil && learner.Normalize(set.Learner) != learner.DefaultLearner {
+		name = set.Learner
+	}
+	t.learner = learner.Must(name, a.space.Actions())
+	if set != nil {
+		if err := t.learner.Restore(set); err != nil {
+			// Incompatible snapshot — typically a table trained on a
+			// platform with a different action space (stale store dir).
+			// Such a policy cannot drive this chip; do what a real
+			// device would do with a table for different hardware:
+			// discard it and train fresh. A failed Restore may leave
+			// the learner half-adopted, so rebuild it cleanly.
+			t.learner = learner.Must(a.cfg.Learner, a.space.Actions())
+			t.Trained = false
+		}
+		t.pending = nil
+	}
+	t.Table = t.learner.Tables()[0].Table
+}
+
+// Control implements ctrl.Controller: one TD-learning step per 100 ms.
 func (a *Agent) Control(snap ctrl.Snapshot, act ctrl.Actuator) {
 	if a.cur == nil {
 		a.AppChanged(snap.AppName, snap.AppClassGame)
@@ -205,25 +287,14 @@ func (a *Agent) Control(snap ctrl.Snapshot, act ctrl.Actuator) {
 		a.space = NewStateSpace(opps, a.cfg.State)
 	}
 	t := a.cur
-	if t.learner == nil {
-		if t.Table != nil {
-			// Installed (persisted/federated) table: wrap it.
-			t.learner = &Learner{Algo: a.cfg.Algo, A: t.Table}
-			if a.cfg.Algo == AlgoDoubleQ {
-				t.learner.B = t.Table.Clone()
-			}
-		} else {
-			t.learner = NewLearner(a.cfg.Algo, a.space.Actions())
-			t.Table = t.learner.A
-		}
-	}
+	a.ensureLearner(t)
 
 	// Exploring starts: early in training, begin each episode from
 	// random caps so the walk visits operating points the ±1-step
 	// action set would take thousands of steps to reach. Gated on the
 	// exploration schedule so a mostly-learned policy (or a live user
 	// session) never gets a random frequency jolt.
-	if !a.prevValid && !t.Trained && !a.cfg.Frozen && t.Policy.Epsilon > 0.15 {
+	if !a.prevValid && !t.Trained && !a.cfg.Frozen && t.explorer.Rate() > 0.15 {
 		for _, c := range snap.Clusters {
 			act.SetCap(c.Name, a.rng.Intn(c.NumOPPs))
 		}
@@ -246,10 +317,9 @@ func (a *Agent) Control(snap ctrl.Snapshot, act ctrl.Actuator) {
 	case emergency:
 		action = -1 // safety override, no policy action
 	case t.Trained:
-		exploit := Policy{Epsilon: a.cfg.ExploitEpsilon, EpsilonMin: a.cfg.ExploitEpsilon}
-		action = exploit.Select(t.learner.Table(), state, a.rng)
+		action = t.learner.SelectAction(&a.exploit, state, a.rng)
 	default:
-		action = t.Policy.Select(t.learner.Table(), state, a.rng)
+		action = t.learner.SelectAction(t.explorer, state, a.rng)
 	}
 
 	// Learn from the transition that produced this observation. Online
@@ -258,12 +328,24 @@ func (a *Agent) Control(snap ctrl.Snapshot, act ctrl.Actuator) {
 	if a.prevValid && !a.cfg.Frozen {
 		nextAction := action
 		if nextAction < 0 {
-			nextAction, _ = t.learner.Table().Best(state)
+			nextAction, _ = t.learner.Greedy(state)
 		}
-		bestBefore, _ := t.learner.Table().Best(a.prevState)
+		// The convergence signal measures greedy-action flips at the
+		// state the update actually modifies — a.prevState for one-step
+		// rules, the oldest buffered transition for n-step returns
+		// (UpdateTargeter). While an n-step learner is still buffering,
+		// no update happens and no convergence sample is taken.
+		flipState, applies := a.prevState, true
+		if ut, ok := t.learner.(learner.UpdateTargeter); ok {
+			flipState, applies = ut.NextUpdateTarget()
+		}
+		var bestBefore int
+		if applies {
+			bestBefore, _ = t.learner.Greedy(flipState)
+		}
 		td := t.learner.Update(a.prevState, a.prevAction, reward, state, nextAction, a.cfg.Alpha, a.cfg.Gamma, a.rng)
-		bestAfter, _ := t.learner.Table().Best(a.prevState)
-		if !t.Trained {
+		if applies && !t.Trained {
+			bestAfter, _ := t.learner.Greedy(flipState)
 			a.trackConvergence(t, td, bestBefore != bestAfter)
 		}
 	}
@@ -329,14 +411,20 @@ func (a *Agent) trackConvergence(t *AppTable, td float64, flipped bool) {
 	}
 }
 
-// Reset implements ctrl.Controller: clears per-session episode state
-// while keeping all learned Q-tables (the paper stores tables across
-// sessions; training happens once per app).
+// Reset implements ctrl.Controller: clears per-session episode state —
+// including every learner's transient buffers — while keeping all
+// learned Q-tables (the paper stores tables across sessions; training
+// happens once per app).
 func (a *Agent) Reset() {
 	a.window.Reset()
 	a.prevValid = false
 	a.lastCtlUS = 0
 	a.cur = nil
+	for _, t := range a.tables {
+		if t.learner != nil {
+			t.learner.Reset()
+		}
+	}
 }
 
 // ForgetAll drops every learned table (a factory-reset test hook).
@@ -361,16 +449,44 @@ func (a *Agent) Apps() []string {
 	return names
 }
 
-// InstallTable installs (or replaces) a table for an app — the loading
-// path for persisted or cloud/federated-trained tables.
-func (a *Agent) InstallTable(app string, table *QTable, trained bool) {
-	t := a.tableFor(app)
-	t.Table = table
-	t.learner = nil // re-wrapped lazily around the new table
-	t.Trained = trained
-	if trained {
-		t.Policy.Epsilon = a.cfg.ExploitEpsilon
+// SnapshotFor captures the app's complete learner table state for
+// persistence (nil if the app was never seen or holds no tables). The
+// set aliases live tables; clone before mutating.
+func (a *Agent) SnapshotFor(app string) *learner.TableSet {
+	t := a.tables[app]
+	if t == nil {
+		return nil
 	}
+	switch {
+	case t.learner != nil:
+		return t.learner.Snapshot()
+	case t.pending != nil:
+		return t.pending
+	case t.Table != nil:
+		return learner.SingleTableSet(t.Table)
+	}
+	return nil
+}
+
+// InstallTableSet installs (or replaces) an app's complete learner
+// state — the loading path for persisted or cloud/federated-trained
+// tables. The learner re-wraps the set lazily at the next control step
+// (when the platform's action space is known); a single-role set
+// installs into any learner, with multi-table rules bootstrapping
+// their extra estimators from the primary.
+func (a *Agent) InstallTableSet(app string, set *learner.TableSet, trained bool) {
+	t := a.tableFor(app)
+	t.pending = set
+	t.Table = set.Primary()
+	t.learner = nil // re-wrapped lazily around the new set
+	t.Trained = trained
+}
+
+// InstallTable installs a single (primary) table for an app — the
+// historical single-table entry point, kept for plain federated
+// policies and legacy snapshot files.
+func (a *Agent) InstallTable(app string, table *QTable, trained bool) {
+	a.InstallTableSet(app, learner.SingleTableSet(table), trained)
 }
 
 // MarkTrained force-latches an app's table as trained (used when an

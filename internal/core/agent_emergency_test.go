@@ -1,0 +1,69 @@
+// Tests for the EmergencyTempC thermal safety layer (recovered from
+// the pre-registry variants_test.go — the layer is orthogonal to the
+// learner refactor and keeps its own coverage).
+
+package core
+
+import (
+	"testing"
+
+	"nextdvfs/internal/ctrl"
+)
+
+func TestEmergencyTempOverridesPolicy(t *testing.T) {
+	cfg := DefaultAgentConfig()
+	cfg.Seed = 6
+	cfg.EmergencyTempC = 80
+	a := NewAgent(cfg)
+	a.AppChanged("hot", true)
+	act := &recordActuator{caps: map[string]int{}}
+
+	// Normal temperature: policy actions at most ±1.
+	snap, _ := snapWith([3]int{9, 5, 3}, 60, 0, 6, 70, 50)
+	snap.NowUS = 100_000
+	snap.AppName = "hot"
+	a.Observe(snap)
+	a.Control(snap, act)
+
+	// Over the trip point: big and GPU caps must drop by 2 regardless
+	// of the table.
+	hot, _ := snapWith([3]int{9, 5, 3}, 60, 0, 8, 92, 60)
+	hot.NowUS = 200_000
+	hot.AppName = "hot"
+	act2 := &recordActuator{caps: map[string]int{}}
+	a.Observe(hot)
+	a.Control(hot, act2)
+	if act2.caps["big"] != 7 {
+		t.Fatalf("emergency big cap = %d, want cur-2 = 7", act2.caps["big"])
+	}
+	if act2.caps["GPU"] != 1 {
+		t.Fatalf("emergency GPU cap = %d, want cur-2 = 1", act2.caps["GPU"])
+	}
+}
+
+func TestEmergencyDisabledByDefault(t *testing.T) {
+	cfg := DefaultAgentConfig()
+	if cfg.EmergencyTempC != 0 {
+		t.Fatal("emergency layer must be opt-in (the paper's agent has none)")
+	}
+	// Frozen isolates the check from exploring starts: with the layer
+	// disabled, even a scorching sensor must not force ±2 cap drops —
+	// only ordinary ±1 policy actions may fire.
+	cfg.Frozen = true
+	a := NewAgent(cfg)
+	a.AppChanged("x", false)
+	act := &recordActuator{caps: map[string]int{}}
+	snap, _ := snapWith([3]int{9, 5, 3}, 60, 0, 8, 99, 70)
+	snap.AppName = "x"
+	a.Control(snap, act)
+	if v, ok := act.caps["big"]; ok && v < 8 {
+		t.Fatalf("disabled emergency forced the big cap to %d (want >= cur-1)", v)
+	}
+	if v, ok := act.caps["GPU"]; ok && v < 2 {
+		t.Fatalf("disabled emergency forced the GPU cap to %d (want >= cur-1)", v)
+	}
+}
+
+var _ = ctrl.Snapshot{} // keep the import stable alongside helpers
+
+var _ = ctrl.Snapshot{} // keep the import stable alongside helpers

@@ -11,9 +11,13 @@
 //   - every 100 ms it observes the platform state (per-cluster maxfreq
 //     positions, current FPS, target FPS, power, big-cluster and device
 //     temperatures), folds it into a quantized tabular state, performs a
-//     Watkins Q-learning update (Eq. 3) rewarded by PPDW (Eq. 1), and
-//     picks one of the 3·m actions (frequency up / down / do nothing
-//     per cluster) ε-greedily;
+//     TD update rewarded by PPDW (Eq. 1), and picks one of the 3·m
+//     actions (frequency up / down / do nothing per cluster). The update
+//     rule and exploration strategy come from the internal/learner
+//     registries — Watkins Q-learning (Eq. 3) with decaying ε-greedy by
+//     default, bit-identical to the paper's hard-coded rule — so the
+//     same agent runs Double Q, SARSA, Expected SARSA or n-step returns
+//     (and softmax/UCB1 exploration) by configuration;
 //   - actions move the chosen cluster's maxfreq cap one OPP, leaving the
 //     stock governor free to choose any frequency below the cap.
 //

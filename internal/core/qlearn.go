@@ -1,157 +1,27 @@
 package core
 
-import "math/rand"
+import "nextdvfs/internal/learner"
 
-// StateKey is a packed mixed-radix encoding of the quantized state
-// tuple. Sparse Q-tables are keyed by it.
-type StateKey uint64
-
-// QTable is a sparse tabular action-value function: only visited states
-// occupy memory (the full product space of the paper's state tuple is
-// far larger than what a session visits).
-type QTable struct {
-	// Actions is the fixed action-space size (3 per cluster; 9 on the
-	// Exynos 9810).
-	Actions int
-	// Q maps state → action values.
-	Q map[StateKey][]float64
-	// Visits counts updates per state, used as federated-merge weights.
-	Visits map[StateKey]int
-	// Steps counts Q-updates applied over the table's lifetime.
-	Steps int64
-	// TrainedUS accumulates simulated training time (for Fig. 6).
-	TrainedUS int64
-	// ConvergedAtUS is the training time at which the policy first
-	// stabilized (0 = not yet).
-	ConvergedAtUS int64
-}
+// The tabular value store and the exploration/update rules live in
+// internal/learner (the pluggable policy layer); core re-exports the
+// table types so the persistence, cloud-merge and fleet surfaces keep
+// their historical names.
+type (
+	// StateKey is a packed mixed-radix encoding of the quantized state
+	// tuple. Sparse Q-tables are keyed by it.
+	StateKey = learner.StateKey
+	// QTable is a sparse tabular action-value function.
+	QTable = learner.QTable
+	// Policy is the ε-greedy action selector with multiplicative decay
+	// (the paper's exploration schedule; learner's "egreedy" explorer).
+	Policy = learner.EpsilonGreedy
+	// TableSet is a learner's complete table state: its registry name
+	// plus role-tagged tables (two estimators for "doubleq") — the unit
+	// the store persists and the fleet merges.
+	TableSet = learner.TableSet
+	// RoleTable is one role-tagged table of a TableSet.
+	RoleTable = learner.RoleTable
+)
 
 // NewQTable returns an empty table over the given action count.
-func NewQTable(actions int) *QTable {
-	if actions <= 0 {
-		panic("core: QTable needs a positive action count")
-	}
-	return &QTable{
-		Actions: actions,
-		Q:       make(map[StateKey][]float64),
-		Visits:  make(map[StateKey]int),
-	}
-}
-
-// row returns the action-value row for s, allocating lazily.
-func (t *QTable) row(s StateKey) []float64 {
-	if r, ok := t.Q[s]; ok {
-		return r
-	}
-	r := make([]float64, t.Actions)
-	t.Q[s] = r
-	return r
-}
-
-// Best returns the greedy action and its value for s (ties toward the
-// lowest action index, which is stable and deterministic).
-func (t *QTable) Best(s StateKey) (action int, value float64) {
-	r, ok := t.Q[s]
-	if !ok {
-		return 0, 0
-	}
-	action, value = 0, r[0]
-	for a := 1; a < len(r); a++ {
-		if r[a] > value {
-			action, value = a, r[a]
-		}
-	}
-	return action, value
-}
-
-// Update applies the Watkins Q-learning rule (the paper's Eq. 3):
-//
-//	Q(s,a) ← Q(s,a) + α·(r + γ·max_a' Q(s',a') − Q(s,a))
-//
-// and returns the TD error before the step (for convergence tracking).
-func (t *QTable) Update(s StateKey, a int, reward float64, next StateKey, alpha, gamma float64) float64 {
-	_, nextBest := t.Best(next)
-	row := t.row(s)
-	td := reward + gamma*nextBest - row[a]
-	row[a] += alpha * td
-	t.Visits[s]++
-	t.Steps++
-	return td
-}
-
-// States returns the number of distinct states visited.
-func (t *QTable) States() int { return len(t.Q) }
-
-// Clone deep-copies the table (rows are not shared).
-func (t *QTable) Clone() *QTable {
-	c := NewQTable(t.Actions)
-	c.Steps = t.Steps
-	c.TrainedUS = t.TrainedUS
-	c.ConvergedAtUS = t.ConvergedAtUS
-	for s, row := range t.Q {
-		r := make([]float64, len(row))
-		copy(r, row)
-		c.Q[s] = r
-	}
-	for s, v := range t.Visits {
-		c.Visits[s] = v
-	}
-	return c
-}
-
-// Policy is an ε-greedy action selector with multiplicative decay.
-type Policy struct {
-	Epsilon    float64
-	EpsilonMin float64
-	Decay      float64
-}
-
-// Select picks an action for s from the table: random with probability
-// Epsilon, greedy otherwise. Greedy ties break uniformly at random —
-// with zero-initialized rows a deterministic tie-break would
-// systematically favor one action ("big frequency up" under the paper's
-// enumeration) and bias early training. Each call decays Epsilon toward
-// EpsilonMin.
-func (p *Policy) Select(t *QTable, s StateKey, rng *rand.Rand) int {
-	eps := p.Epsilon
-	if eps < p.EpsilonMin {
-		eps = p.EpsilonMin
-	}
-	var a int
-	if rng.Float64() < eps {
-		a = rng.Intn(t.Actions)
-	} else {
-		a = greedyRandTie(t, s, rng)
-	}
-	if p.Decay > 0 && p.Epsilon > p.EpsilonMin {
-		p.Epsilon *= p.Decay
-		if p.Epsilon < p.EpsilonMin {
-			p.Epsilon = p.EpsilonMin
-		}
-	}
-	return a
-}
-
-// greedyRandTie returns an argmax action, sampling uniformly among ties.
-func greedyRandTie(t *QTable, s StateKey, rng *rand.Rand) int {
-	r, ok := t.Q[s]
-	if !ok {
-		return rng.Intn(t.Actions)
-	}
-	best := r[0]
-	n := 1
-	pick := 0
-	for a := 1; a < len(r); a++ {
-		switch {
-		case r[a] > best:
-			best, n, pick = r[a], 1, a
-		case r[a] == best:
-			// Reservoir sampling over the tie set.
-			n++
-			if rng.Intn(n) == 0 {
-				pick = a
-			}
-		}
-	}
-	return pick
-}
+func NewQTable(actions int) *QTable { return learner.NewQTable(actions) }

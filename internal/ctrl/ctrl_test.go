@@ -1,0 +1,235 @@
+// Package ctrl_test pins the Controller/Snapshot/Actuator contracts
+// from the outside: a probe controller rides a real sim engine run and
+// asserts the cadence plumbing (ObserveIntervalUS/ControlIntervalUS),
+// the lifecycle calls (Reset, AppChanged) and the actuator semantics
+// (SetCap bounds the operating point, Pin fixes it outright) that every
+// policy — the Next agent, Int. QoS PM, thermal capping — relies on.
+package ctrl_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"nextdvfs/internal/ctrl"
+	"nextdvfs/internal/platform"
+	"nextdvfs/internal/session"
+	"nextdvfs/internal/sim"
+	"nextdvfs/internal/workload"
+)
+
+// probe records every call the engine makes and optionally actuates a
+// scripted command at a given control step.
+type probe struct {
+	observeUS int64
+	controlUS int64
+
+	resets     int
+	appChanges []string
+	observeTs  []int64
+	controlTs  []int64
+	snaps      []ctrl.Snapshot
+
+	script func(step int, snap ctrl.Snapshot, act ctrl.Actuator)
+}
+
+func (p *probe) Name() string             { return "probe" }
+func (p *probe) ObserveIntervalUS() int64 { return p.observeUS }
+func (p *probe) ControlIntervalUS() int64 { return p.controlUS }
+func (p *probe) Observe(s ctrl.Snapshot)  { p.observeTs = append(p.observeTs, s.NowUS) }
+func (p *probe) Control(s ctrl.Snapshot, act ctrl.Actuator) {
+	p.controlTs = append(p.controlTs, s.NowUS)
+	p.snaps = append(p.snaps, s)
+	if p.script != nil {
+		p.script(len(p.controlTs), s, act)
+	}
+}
+func (p *probe) AppChanged(name string, _ bool) { p.appChanges = append(p.appChanges, name) }
+func (p *probe) Reset()                         { p.resets++ }
+
+// runProbe executes a short Note 9 session with the probe installed.
+func runProbe(t *testing.T, p *probe, secs float64, apps ...*workload.ProfileApp) sim.Result {
+	t.Helper()
+	if len(apps) == 0 {
+		apps = []*workload.ProfileApp{workload.YouTube()}
+	}
+	rng := rand.New(rand.NewSource(3))
+	var scripts []session.Script
+	for _, app := range apps {
+		scripts = append(scripts, session.ForApp(app, session.Seconds(secs/float64(len(apps))), rng))
+	}
+	plat := platform.MustGet(platform.DefaultName)
+	cfg := plat.Config(&session.Timeline{Scripts: scripts}, 3)
+	cfg.Controller = p
+	eng, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng.Run()
+}
+
+// TestObserveControlCadence pins the interval plumbing: the engine must
+// call Observe every ObserveIntervalUS and Control every
+// ControlIntervalUS — the paper's 25 ms / 100 ms split is exactly this
+// contract.
+func TestObserveControlCadence(t *testing.T) {
+	p := &probe{observeUS: 25_000, controlUS: 100_000}
+	runProbe(t, p, 10)
+	if len(p.observeTs) == 0 || len(p.controlTs) == 0 {
+		t.Fatal("controller never invoked")
+	}
+	for i := 1; i < len(p.observeTs); i++ {
+		if d := p.observeTs[i] - p.observeTs[i-1]; d != 25_000 {
+			t.Fatalf("observe gap %d µs at %d, want 25000", d, i)
+		}
+	}
+	for i := 1; i < len(p.controlTs); i++ {
+		if d := p.controlTs[i] - p.controlTs[i-1]; d != 100_000 {
+			t.Fatalf("control gap %d µs at %d, want 100000", d, i)
+		}
+	}
+	// ~4 observes per control (25 ms vs 100 ms).
+	if ratio := float64(len(p.observeTs)) / float64(len(p.controlTs)); ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("observe/control ratio = %.2f, want ≈4", ratio)
+	}
+}
+
+// TestZeroObserveIntervalDisablesSampling: a controller that reports 0
+// must never receive Observe (the Int. QoS PM/pin-controller shape).
+func TestZeroObserveIntervalDisablesSampling(t *testing.T) {
+	p := &probe{observeUS: 0, controlUS: 50_000}
+	runProbe(t, p, 5)
+	if len(p.observeTs) != 0 {
+		t.Fatalf("Observe called %d times despite a 0 interval", len(p.observeTs))
+	}
+	if len(p.controlTs) == 0 {
+		t.Fatal("Control starved")
+	}
+}
+
+// TestLifecycleCalls pins Reset-then-AppChanged ordering: the engine
+// resets the controller once per run and announces every foreground
+// app, in timeline order.
+func TestLifecycleCalls(t *testing.T) {
+	p := &probe{controlUS: 100_000}
+	runProbe(t, p, 8, workload.Spotify(), workload.Lineage())
+	if p.resets != 1 {
+		t.Fatalf("resets = %d, want 1 per run", p.resets)
+	}
+	if len(p.appChanges) != 2 || p.appChanges[0] != workload.NameSpotify || p.appChanges[1] != workload.NameLineage {
+		t.Fatalf("app changes = %v", p.appChanges)
+	}
+	// Snapshots during each script must carry that script's app.
+	for _, s := range p.snaps {
+		if s.AppName != workload.NameSpotify && s.AppName != workload.NameLineage {
+			t.Fatalf("snapshot app %q not in the timeline", s.AppName)
+		}
+	}
+}
+
+// TestSnapshotInvariants: every snapshot must carry coherent cluster
+// views — the sysfs-equivalent surface the agent quantizes.
+func TestSnapshotInvariants(t *testing.T) {
+	p := &probe{controlUS: 100_000}
+	runProbe(t, p, 5)
+	for _, s := range p.snaps {
+		if len(s.Clusters) == 0 {
+			t.Fatal("snapshot without clusters")
+		}
+		for _, c := range s.Clusters {
+			if c.NumOPPs <= 0 || len(c.OPPKHz) != c.NumOPPs {
+				t.Fatalf("%s: OPP table inconsistent (%d vs %d)", c.Name, len(c.OPPKHz), c.NumOPPs)
+			}
+			if c.CurIdx < 0 || c.CurIdx >= c.NumOPPs {
+				t.Fatalf("%s: CurIdx %d out of range", c.Name, c.CurIdx)
+			}
+			if c.FreqKHz != c.OPPKHz[c.CurIdx] {
+				t.Fatalf("%s: FreqKHz %d != OPP[%d] %d", c.Name, c.FreqKHz, c.CurIdx, c.OPPKHz[c.CurIdx])
+			}
+			if c.CurIdx > c.CapIdx || c.CurIdx < c.FloorIdx {
+				t.Fatalf("%s: CurIdx %d outside [floor %d, cap %d]", c.Name, c.CurIdx, c.FloorIdx, c.CapIdx)
+			}
+		}
+	}
+}
+
+// TestSetCapBoundsOperatingPoint: after SetCap(big, 2) every later
+// snapshot must show the big cluster at or below OPP 2 — the Next
+// agent's only actuation.
+func TestSetCapBoundsOperatingPoint(t *testing.T) {
+	const capIdx = 2
+	p := &probe{controlUS: 100_000}
+	p.script = func(step int, snap ctrl.Snapshot, act ctrl.Actuator) {
+		if step == 1 {
+			act.SetCap("big", capIdx)
+		}
+	}
+	runProbe(t, p, 6)
+	if len(p.snaps) < 3 {
+		t.Fatal("too few control steps")
+	}
+	for _, s := range p.snaps[1:] {
+		for _, c := range s.Clusters {
+			if c.Name != "big" {
+				continue
+			}
+			if c.CapIdx != capIdx {
+				t.Fatalf("big CapIdx = %d after SetCap(%d)", c.CapIdx, capIdx)
+			}
+			if c.CurIdx > capIdx {
+				t.Fatalf("big runs at OPP %d above its cap %d", c.CurIdx, capIdx)
+			}
+		}
+	}
+}
+
+// TestPinFixesFrequency: Pin must set floor = cap = idx so the governor
+// cannot move the cluster at all (the Int. QoS PM actuation).
+func TestPinFixesFrequency(t *testing.T) {
+	const pinIdx = 3
+	p := &probe{controlUS: 100_000}
+	p.script = func(step int, snap ctrl.Snapshot, act ctrl.Actuator) {
+		if step == 1 {
+			act.Pin("LITTLE", pinIdx)
+		}
+	}
+	runProbe(t, p, 6)
+	for _, s := range p.snaps[1:] {
+		for _, c := range s.Clusters {
+			if c.Name != "LITTLE" {
+				continue
+			}
+			if c.FloorIdx != pinIdx || c.CapIdx != pinIdx {
+				t.Fatalf("LITTLE floor/cap = %d/%d after Pin(%d)", c.FloorIdx, c.CapIdx, pinIdx)
+			}
+			if c.CurIdx != pinIdx {
+				t.Fatalf("LITTLE runs at OPP %d despite Pin(%d)", c.CurIdx, pinIdx)
+			}
+		}
+	}
+}
+
+// TestSetFloorRaisesOperatingPoint: a floor must keep the cluster at or
+// above the index (the input-boost shape).
+func TestSetFloorRaisesOperatingPoint(t *testing.T) {
+	const floorIdx = 4
+	p := &probe{controlUS: 100_000}
+	p.script = func(step int, snap ctrl.Snapshot, act ctrl.Actuator) {
+		if step == 1 {
+			act.SetFloor("big", floorIdx)
+		}
+	}
+	runProbe(t, p, 6)
+	for _, s := range p.snaps[1:] {
+		for _, c := range s.Clusters {
+			if c.Name != "big" {
+				continue
+			}
+			if c.FloorIdx != floorIdx {
+				t.Fatalf("big FloorIdx = %d after SetFloor(%d)", c.FloorIdx, floorIdx)
+			}
+			if c.CurIdx < floorIdx {
+				t.Fatalf("big runs at OPP %d below its floor %d", c.CurIdx, floorIdx)
+			}
+		}
+	}
+}

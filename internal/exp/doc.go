@@ -14,5 +14,11 @@
 //	Fig8  — average peak temperatures (big cluster and device) for the
 //	        same matrix.
 //
+// Beyond the figures, the package hosts the registry-driven grids:
+// ScenarioGrid (scenario × platform × scheme × learner) and
+// LearnerGrid (learner × app convergence/energy/QoS comparison), both
+// over the batch pool, plus the management-scheme registry (Schemes)
+// that every surface — grids, facade, CLIs — resolves names through.
+//
 // Runners are deterministic given their seed.
 package exp

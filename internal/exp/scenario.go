@@ -3,17 +3,19 @@ package exp
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"nextdvfs/internal/batch"
 	"nextdvfs/internal/core"
 	"nextdvfs/internal/ctrl"
-	"nextdvfs/internal/governor"
+	"nextdvfs/internal/learner"
 	"nextdvfs/internal/platform"
 	"nextdvfs/internal/scenario"
 	"nextdvfs/internal/sim"
 )
 
-// ScenarioOptions sizes a scenario × platform × scheme grid run.
+// ScenarioOptions sizes a scenario × platform × scheme × learner grid
+// run.
 type ScenarioOptions struct {
 	Seed int64
 	// Scenarios names the presets to run (nil = the whole library).
@@ -21,9 +23,16 @@ type ScenarioOptions struct {
 	// Platforms names the registry devices (nil = [note9]).
 	Platforms []string
 	// Schemes names the management stacks per cell (nil = [schedutil,
-	// next]). Known: schedutil, next, intqospm, thermalcap, performance,
-	// powersave.
+	// next]). See Schemes() for the registry.
 	Schemes []string
+	// Learners names the TD update rules swept for every agent-training
+	// scheme ("next") — nil = just the default watkins. Schemes that do
+	// not train an agent ignore the learner dimension (one cell each).
+	// See learner.Names() for the registry.
+	Learners []string
+	// Explorer names the exploration strategy agent cells train with
+	// ("" = egreedy).
+	Explorer string
 	// Parallel sizes the batch worker pool (0 = GOMAXPROCS, 1 =
 	// sequential). Cells are independent — each trains its own agent and
 	// compiles its own timeline — so results are byte-identical at any
@@ -47,34 +56,50 @@ func (o *ScenarioOptions) defaults() {
 	if len(o.Schemes) == 0 {
 		o.Schemes = []string{"schedutil", "next"}
 	}
+	if len(o.Learners) == 0 {
+		o.Learners = []string{learner.DefaultLearner}
+	}
 	if o.TrainSessions <= 0 {
 		o.TrainSessions = 6
 	}
 }
 
-// ScenarioRow is one grid cell's outcome.
+// ScenarioRow is one grid cell's outcome. Learner is empty for schemes
+// that do not train an agent.
 type ScenarioRow struct {
 	Scenario string
 	Platform string
 	Scheme   string
+	Learner  string
 	Result   sim.Result
 }
 
-// ScenarioGrid evaluates every (scenario, platform, scheme) cell of the
-// options across the batch pool and returns rows in fixed
-// scenario-major, platform-middle, scheme-minor order. All schemes of a
+// ScenarioGrid evaluates every (scenario, platform, scheme, learner)
+// cell of the options across the batch pool and returns rows in fixed
+// scenario-major, platform, scheme, learner-minor order. All cells of a
 // (scenario, platform) pair replay the byte-identical compiled
-// timeline, so their rows are directly comparable; "next" cells first
-// train a fresh agent on TrainSessions differently-seeded sessions of
-// the same scenario.
+// timeline, so their rows are directly comparable; agent cells first
+// train a fresh agent — with the cell's learner — on TrainSessions
+// differently-seeded sessions of the same scenario. The learner
+// dimension applies only to agent-training schemes: a governor cell
+// has no update rule to sweep.
 func ScenarioGrid(opts ScenarioOptions) ([]ScenarioRow, error) {
 	opts.defaults()
+	for _, l := range opts.Learners {
+		if !learner.Known(l) {
+			return nil, fmt.Errorf("exp: unknown learner %q (have: %s)", l, strings.Join(learner.Names(), ", "))
+		}
+	}
+	if !learner.KnownExplorer(opts.Explorer) {
+		return nil, fmt.Errorf("exp: unknown explorer %q (have: %s)", opts.Explorer, strings.Join(learner.ExplorerNames(), ", "))
+	}
 	type cell struct {
 		scn  scenario.Scenario
 		plat platform.Platform
 		si   int
 		pi   int
-		sch  string
+		sch  SchemeSpec
+		lrn  string // "" for schemes that do not train an agent
 	}
 	var cells []cell
 	for si, sn := range opts.Scenarios {
@@ -89,10 +114,17 @@ func ScenarioGrid(opts ScenarioOptions) ([]ScenarioRow, error) {
 				return nil, err
 			}
 			for _, sch := range opts.Schemes {
-				if !knownScheme(sch) {
-					return nil, fmt.Errorf("exp: unknown scheme %q (have: schedutil, next, intqospm, thermalcap, performance, powersave)", sch)
+				spec, err := GetScheme(sch)
+				if err != nil {
+					return nil, err
 				}
-				cells = append(cells, cell{scn: scn, plat: plat, si: si, pi: pi, sch: sch})
+				if spec.TrainsAgent {
+					for _, l := range opts.Learners {
+						cells = append(cells, cell{scn: scn, plat: plat, si: si, pi: pi, sch: spec, lrn: learner.Normalize(l)})
+					}
+				} else {
+					cells = append(cells, cell{scn: scn, plat: plat, si: si, pi: pi, sch: spec})
+				}
 			}
 		}
 	}
@@ -102,10 +134,10 @@ func ScenarioGrid(opts ScenarioOptions) ([]ScenarioRow, error) {
 	batch.Map(len(cells), opts.Parallel, func(i int) {
 		c := cells[i]
 		// Seeds derive from the (scenario, platform) pair only, so every
-		// scheme replays the identical evaluation timeline.
+		// scheme and learner replays the identical evaluation timeline.
 		base := opts.Seed + int64(c.si)*100_003 + int64(c.pi)*1_009
-		res, err := scenarioCell(c.scn, c.plat, c.sch, base, opts.TrainSessions)
-		rows[i] = ScenarioRow{Scenario: c.scn.Name, Platform: c.plat.Name, Scheme: c.sch, Result: res}
+		res, err := scenarioCell(c.scn, c.plat, c.sch, c.lrn, opts.Explorer, base, opts.TrainSessions)
+		rows[i] = ScenarioRow{Scenario: c.scn.Name, Platform: c.plat.Name, Scheme: c.sch.Name, Learner: c.lrn, Result: res}
 		errs[i] = err // cells are validated up front; this is defensive
 	})
 	for _, err := range errs {
@@ -114,14 +146,6 @@ func ScenarioGrid(opts ScenarioOptions) ([]ScenarioRow, error) {
 		}
 	}
 	return rows, nil
-}
-
-func knownScheme(s string) bool {
-	switch s {
-	case "schedutil", "next", "intqospm", "thermalcap", "performance", "powersave":
-		return true
-	}
-	return false
 }
 
 // scenarioConfig compiles the scenario at seed and assembles the
@@ -137,11 +161,13 @@ func scenarioConfig(scn scenario.Scenario, plat platform.Platform, seed int64) (
 	return cfg, nil
 }
 
-func scenarioCell(scn scenario.Scenario, plat platform.Platform, scheme string, baseSeed int64, trainSessions int) (sim.Result, error) {
+func scenarioCell(scn scenario.Scenario, plat platform.Platform, spec SchemeSpec, learnerName, explorer string, baseSeed int64, trainSessions int) (sim.Result, error) {
 	var agent *core.Agent
-	if scheme == "next" {
+	if spec.TrainsAgent {
 		cfg := DefaultAgentConfigFor(plat)
 		cfg.Seed = baseSeed
+		cfg.Learner = learnerName
+		cfg.Explorer = explorer
 		agent = core.NewAgent(cfg)
 		for i := 1; i <= trainSessions; i++ {
 			seed := baseSeed + int64(i)
@@ -163,20 +189,7 @@ func scenarioCell(scn scenario.Scenario, plat platform.Platform, scheme string, 
 	if err != nil {
 		return sim.Result{}, err
 	}
-	switch scheme {
-	case "schedutil":
-		// Platform default.
-	case "next":
-		cfg.Controller = agent
-	case "intqospm":
-		cfg.Controller = NewIntQoSOn(plat)
-	case "thermalcap":
-		cfg.Controller = governor.NewThermalCap(governor.DefaultThermalCapConfig())
-	case "performance":
-		cfg.Governor = governor.Performance{}
-	case "powersave":
-		cfg.Governor = governor.Powersave{}
-	}
+	spec.Configure(&cfg, plat, agent)
 	eng, err := sim.New(cfg)
 	if err != nil {
 		return sim.Result{}, err
@@ -208,15 +221,41 @@ func RunScenarioOn(platformName string, scn scenario.Scenario, seed int64, contr
 
 // WriteScenarioGrid prints the grid the way cmd/nextbench -scenarios
 // does — the shared printer keeps CLI output and the byte-identity
-// tests on the same bytes.
+// tests on the same bytes. The learner column appears only when the
+// grid actually swept a non-default learner, so default runs print the
+// historical layout byte-for-byte.
 func WriteScenarioGrid(w io.Writer, rows []ScenarioRow) {
-	fmt.Fprintf(w, "%-18s %-14s %-11s %9s %9s %9s %9s %8s %10s\n",
-		"scenario", "platform", "scheme", "avgP(W)", "peakP(W)", "bigPk°C", "devPk°C", "actFPS", "energy(J)")
+	withLearner := false
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-18s %-14s %-11s %9.3f %9.2f %9.1f %9.1f %8.1f %10.0f\n",
-			r.Scenario, r.Platform, r.Scheme,
-			r.Result.AvgPowerW, r.Result.PeakPowerW,
-			r.Result.PeakTempBigC, r.Result.PeakTempDevC,
-			r.Result.ActiveAvgFPS, r.Result.EnergyJ)
+		if r.Learner != "" && r.Learner != learner.DefaultLearner {
+			withLearner = true
+			break
+		}
+	}
+	if withLearner {
+		fmt.Fprintf(w, "%-18s %-14s %-11s %-14s %9s %9s %9s %9s %8s %10s\n",
+			"scenario", "platform", "scheme", "learner", "avgP(W)", "peakP(W)", "bigPk°C", "devPk°C", "actFPS", "energy(J)")
+	} else {
+		fmt.Fprintf(w, "%-18s %-14s %-11s %9s %9s %9s %9s %8s %10s\n",
+			"scenario", "platform", "scheme", "avgP(W)", "peakP(W)", "bigPk°C", "devPk°C", "actFPS", "energy(J)")
+	}
+	for _, r := range rows {
+		if withLearner {
+			lrn := r.Learner
+			if lrn == "" {
+				lrn = "-"
+			}
+			fmt.Fprintf(w, "%-18s %-14s %-11s %-14s %9.3f %9.2f %9.1f %9.1f %8.1f %10.0f\n",
+				r.Scenario, r.Platform, r.Scheme, lrn,
+				r.Result.AvgPowerW, r.Result.PeakPowerW,
+				r.Result.PeakTempBigC, r.Result.PeakTempDevC,
+				r.Result.ActiveAvgFPS, r.Result.EnergyJ)
+		} else {
+			fmt.Fprintf(w, "%-18s %-14s %-11s %9.3f %9.2f %9.1f %9.1f %8.1f %10.0f\n",
+				r.Scenario, r.Platform, r.Scheme,
+				r.Result.AvgPowerW, r.Result.PeakPowerW,
+				r.Result.PeakTempBigC, r.Result.PeakTempDevC,
+				r.Result.ActiveAvgFPS, r.Result.EnergyJ)
+		}
 	}
 }

@@ -25,6 +25,11 @@ type TrainOptions struct {
 	AgentConfig *core.AgentConfig
 	// Platform names the registry device to train on ("" = note9).
 	Platform string
+	// Learner names the TD update rule from the learner registry
+	// ("" = keep the config's, i.e. watkins by default).
+	Learner string
+	// Explorer names the exploration strategy ("" = keep the config's).
+	Explorer string
 }
 
 func (o *TrainOptions) defaults() {
@@ -61,6 +66,12 @@ func Train(makeApp func() *workload.ProfileApp, opts TrainOptions) (*core.Agent,
 	cfg := DefaultAgentConfigFor(plat)
 	if opts.AgentConfig != nil {
 		cfg = *opts.AgentConfig
+	}
+	if opts.Learner != "" {
+		cfg.Learner = opts.Learner
+	}
+	if opts.Explorer != "" {
+		cfg.Explorer = opts.Explorer
 	}
 	cfg.Seed = opts.BaseSeed
 	agent := core.NewAgent(cfg)

@@ -73,6 +73,21 @@ func (c *Client) UploadTable(device, platform, app string, t *core.QTable) (Uplo
 	if err != nil {
 		return UploadReply{}, err
 	}
+	return c.uploadBody(device, platform, data)
+}
+
+// UploadTableSet sends a device's complete learner table set (both
+// Double-Q estimators; single-table learners degrade to the plain
+// UploadTable wire format).
+func (c *Client) UploadTableSet(device, platform, app string, set *core.TableSet) (UploadReply, error) {
+	data, err := core.MarshalTableSetCompact(app, set, false)
+	if err != nil {
+		return UploadReply{}, err
+	}
+	return c.uploadBody(device, platform, data)
+}
+
+func (c *Client) uploadBody(device, platform string, data []byte) (UploadReply, error) {
 	u := fmt.Sprintf("%s/v1/table?device=%s&platform=%s",
 		c.base, url.QueryEscape(device), url.QueryEscape(platform))
 	req, err := http.NewRequest(http.MethodPut, u, bytes.NewReader(data))
@@ -102,9 +117,19 @@ func (c *Client) Merge(app, platform string) (MergeInfo, error) {
 	return info, err
 }
 
-// Policy downloads the current merged table for app×platform along with
-// its merge-round number.
+// Policy downloads the current merged primary table for app×platform
+// along with its merge-round number.
 func (c *Client) Policy(app, platform string) (*core.QTable, int64, error) {
+	set, round, err := c.PolicySet(app, platform)
+	if err != nil {
+		return nil, 0, err
+	}
+	return set.Primary(), round, nil
+}
+
+// PolicySet downloads the complete merged learner table set for
+// app×platform along with its merge-round number.
+func (c *Client) PolicySet(app, platform string) (*core.TableSet, int64, error) {
 	u := fmt.Sprintf("%s/v1/policy?app=%s&platform=%s",
 		c.base, url.QueryEscape(app), url.QueryEscape(platform))
 	resp, err := c.http.Get(u)
@@ -119,12 +144,12 @@ func (c *Client) Policy(app, platform string) (*core.QTable, int64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	_, t, _, err := core.UnmarshalTable(data)
+	_, set, _, err := core.UnmarshalTableSet(data)
 	if err != nil {
 		return nil, 0, err
 	}
 	round, _ := strconv.ParseInt(resp.Header.Get(roundHeader), 10, 64)
-	return t, round, nil
+	return set, round, nil
 }
 
 // Apps lists the server's known policies, optionally filtered to one

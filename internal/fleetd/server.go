@@ -177,11 +177,11 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) int {
 		}
 		return writeErr(w, http.StatusBadRequest, fmt.Errorf("fleetd: reading upload: %w", err))
 	}
-	app, table, _, err := core.UnmarshalTable(data)
+	app, set, _, err := core.UnmarshalTableSet(data)
 	if err != nil {
 		return writeErr(w, http.StatusBadRequest, fmt.Errorf("fleetd: bad table upload: %w", err))
 	}
-	n, err := s.store.UploadOwned(Key{App: app, Platform: platform}, device, table)
+	n, err := s.store.UploadSetOwned(Key{App: app, Platform: platform}, device, set)
 	if err != nil {
 		return writeErr(w, http.StatusBadRequest, err)
 	}
@@ -214,14 +214,16 @@ func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) int {
 	if err := k.validate(); err != nil {
 		return writeErr(w, http.StatusBadRequest, err)
 	}
-	// PolicyRef + compact marshal keeps the download path symmetric
-	// with the optimized upload path: published tables are immutable,
-	// so no defensive clone, and the wire needs no indentation.
-	table, round, ok := s.store.PolicyRef(k)
+	// PolicySetRef + compact marshal keeps the download path symmetric
+	// with the optimized upload path: published sets are immutable, so
+	// no defensive clone, and the wire needs no indentation. Multi-table
+	// policies travel whole (aux roles under "aux"), so a Double-Q fleet
+	// round-trips both estimators.
+	set, round, ok := s.store.PolicySetRef(k)
 	if !ok {
 		return writeErr(w, http.StatusNotFound, fmt.Errorf("fleetd: no merged policy for %s", k))
 	}
-	data, err := core.MarshalTableCompact(k.App, table, true)
+	data, err := core.MarshalTableSetCompact(k.App, set, true)
 	if err != nil {
 		return writeErr(w, http.StatusInternalServerError, err)
 	}

@@ -10,6 +10,7 @@ import (
 
 	"nextdvfs/internal/cloud"
 	"nextdvfs/internal/core"
+	"nextdvfs/internal/learner"
 )
 
 // Key identifies one fleet policy: an application trained on a device
@@ -87,6 +88,13 @@ const (
 	maxCounter     = int64(1) << 48
 )
 
+// sanitizeSet clamps every role table of an uploaded set.
+func sanitizeSet(set *learner.TableSet) {
+	for _, r := range set.Roles {
+		sanitizeTable(r.Table)
+	}
+}
+
 // sanitizeTable clamps an uploaded table's counters and Q-values into
 // merge-safe ranges (see the constant block above for why each bound
 // exists).
@@ -135,12 +143,12 @@ type storeShard struct {
 }
 
 type entry struct {
-	// uploads holds the latest table per device ID (deep copies — the
-	// store never aliases caller memory).
-	uploads map[string]*core.QTable
+	// uploads holds the latest learner table set per device ID (deep
+	// copies — the store never aliases caller memory).
+	uploads map[string]*learner.TableSet
 	// merged is the current served policy, nil until the first merge
 	// round (or snapshot restore); round counts merge rounds.
-	merged *core.QTable
+	merged *learner.TableSet
 	round  int64
 }
 
@@ -173,19 +181,46 @@ func (s *Store) Upload(k Key, device string, t *core.QTable) (devices int, err e
 	return s.UploadOwned(k, device, t)
 }
 
-// UploadOwned is Upload without the defensive copy: the caller promises
-// it holds no other reference to t (the HTTP handler qualifies — each
-// request unmarshals a fresh table — and skipping the clone is worth
-// ~15% on the check-in hot path).
+// UploadOwned is UploadSetOwned for a plain single-table upload (the
+// watkins wire format).
 func (s *Store) UploadOwned(k Key, device string, t *core.QTable) (devices int, err error) {
+	if t == nil {
+		return 0, fmt.Errorf("fleetd: %s: nil table from %q", k, device)
+	}
+	return s.UploadSetOwned(k, device, learner.SingleTableSet(t))
+}
+
+// UploadSet records a device's complete learner table set, deep-copied.
+func (s *Store) UploadSet(k Key, device string, set *learner.TableSet) (devices int, err error) {
+	if set != nil {
+		set = set.Clone()
+	}
+	return s.UploadSetOwned(k, device, set)
+}
+
+// UploadSetOwned is UploadSet without the defensive copy: the caller
+// promises it holds no other reference to the set (the HTTP handler
+// qualifies — each request unmarshals a fresh set — and skipping the
+// clone is worth ~15% on the check-in hot path). Every upload for a key
+// must come from the same learner (same registry name and role layout):
+// tables merge role-by-role, and averaging a Double-Q estimator into a
+// single-table policy would silently corrupt both.
+func (s *Store) UploadSetOwned(k Key, device string, set *learner.TableSet) (devices int, err error) {
 	if err := k.validate(); err != nil {
 		return 0, err
 	}
 	if !safeName(device) {
 		return 0, fmt.Errorf("fleetd: %s: bad device ID %q (want a single [a-zA-Z0-9._-] segment)", k, device)
 	}
-	if t == nil {
-		return 0, fmt.Errorf("fleetd: %s: nil table from %q", k, device)
+	if set == nil || set.Primary() == nil {
+		return 0, fmt.Errorf("fleetd: %s: empty table set from %q", k, device)
+	}
+	// Registry validation before anything is stored: a hostile first
+	// upload with a made-up learner name (or bogus role names) would
+	// otherwise pin an unmatchable layout onto the key and lock out
+	// every legitimate device.
+	if err := learner.ValidateSet(set); err != nil {
+		return 0, fmt.Errorf("fleetd: %s: upload from %q: %w", k, device, err)
 	}
 	sh := s.shardFor(k)
 	sh.mu.Lock()
@@ -195,30 +230,45 @@ func (s *Store) UploadOwned(k Key, device string, t *core.QTable) (devices int, 
 		if len(sh.entries) >= maxKeysPerShard {
 			return 0, fmt.Errorf("fleetd: %s: policy-key limit reached (%d per shard)", k, maxKeysPerShard)
 		}
-		e = &entry{uploads: make(map[string]*core.QTable)}
+		e = &entry{uploads: make(map[string]*learner.TableSet)}
 		sh.entries[k] = e
 	}
-	if want := e.actions(); want > 0 && t.Actions != want {
-		return 0, fmt.Errorf("fleetd: %s: upload from %q has %d actions, fleet has %d", k, device, t.Actions, want)
+	if want := e.actions(); want > 0 && set.Primary().Actions != want {
+		return 0, fmt.Errorf("fleetd: %s: upload from %q has %d actions, fleet has %d", k, device, set.Primary().Actions, want)
+	}
+	// ValidateSet already pinned the role layout to the learner name,
+	// so cross-upload consistency reduces to the name itself.
+	if ref := e.anySet(); ref != nil && learner.Normalize(ref.Learner) != learner.Normalize(set.Learner) {
+		return 0, fmt.Errorf("fleetd: %s: upload from %q: learner %q does not match the fleet's %q",
+			k, device, learner.Normalize(set.Learner), learner.Normalize(ref.Learner))
 	}
 	if _, seen := e.uploads[device]; !seen && len(e.uploads) >= maxDevicesPerKey {
 		return 0, fmt.Errorf("fleetd: %s: device limit reached (%d)", k, maxDevicesPerKey)
 	}
-	sanitizeTable(t)
-	e.uploads[device] = t
+	sanitizeSet(set)
+	e.uploads[device] = set
 	return len(e.uploads), nil
 }
 
 // actions returns the entry's established action-space size (0 if the
 // entry is still empty). Callers hold the shard lock.
 func (e *entry) actions() int {
-	for _, t := range e.uploads {
-		return t.Actions
+	for _, set := range e.uploads {
+		return set.Primary().Actions
 	}
 	if e.merged != nil {
-		return e.merged.Actions
+		return e.merged.Primary().Actions
 	}
 	return 0
+}
+
+// anySet returns any established set of the entry (an upload, else the
+// merged policy) for learner-layout validation. Callers hold the lock.
+func (e *entry) anySet() *learner.TableSet {
+	for _, set := range e.uploads {
+		return set
+	}
+	return e.merged
 }
 
 // MergeInfo summarizes one federated merge round.
@@ -254,11 +304,11 @@ func (s *Store) Merge(k Key) (MergeInfo, error) {
 		devices = append(devices, d)
 	}
 	sort.Strings(devices)
-	tables := make([]*core.QTable, len(devices))
+	sets := make([]*learner.TableSet, len(devices))
 	for i, d := range devices {
-		tables[i] = e.uploads[d]
+		sets[i] = e.uploads[d]
 	}
-	merged, err := cloud.MergeTables(tables)
+	merged, err := cloud.MergeTableSets(sets)
 	if err != nil {
 		return MergeInfo{}, fmt.Errorf("fleetd: %s: %w", k, err)
 	}
@@ -266,18 +316,18 @@ func (s *Store) Merge(k Key) (MergeInfo, error) {
 	e.round++
 	return MergeInfo{
 		App: k.App, Platform: k.Platform,
-		Round: e.round, Devices: len(tables), States: merged.States(),
+		Round: e.round, Devices: len(sets), States: merged.Primary().States(),
 	}, nil
 }
 
-// Policy returns a deep copy of the key's current merged table and its
-// round number, or ok=false if no merge round has run yet.
+// Policy returns a deep copy of the key's current merged primary table
+// and its round number, or ok=false if no merge round has run yet.
 func (s *Store) Policy(k Key) (t *core.QTable, round int64, ok bool) {
-	t, round, ok = s.PolicyRef(k)
-	if ok {
-		t = t.Clone()
+	set, round, ok := s.PolicySetRef(k)
+	if !ok {
+		return nil, 0, false
 	}
-	return t, round, ok
+	return set.Primary().Clone(), round, true
 }
 
 // PolicyRef is Policy without the deep copy. Published merged tables
@@ -286,6 +336,25 @@ func (s *Store) Policy(k Key) (t *core.QTable, round int64, ok bool) {
 // download path, snapshotting) may share the reference; callers that
 // intend to mutate must use Policy.
 func (s *Store) PolicyRef(k Key) (t *core.QTable, round int64, ok bool) {
+	set, round, ok := s.PolicySetRef(k)
+	if !ok {
+		return nil, 0, false
+	}
+	return set.Primary(), round, true
+}
+
+// PolicySet returns a deep copy of the key's merged learner table set.
+func (s *Store) PolicySet(k Key) (set *learner.TableSet, round int64, ok bool) {
+	set, round, ok = s.PolicySetRef(k)
+	if ok {
+		set = set.Clone()
+	}
+	return set, round, ok
+}
+
+// PolicySetRef is PolicySet without the deep copy (same immutability
+// contract as PolicyRef).
+func (s *Store) PolicySetRef(k Key) (set *learner.TableSet, round int64, ok bool) {
 	sh := s.shardFor(k)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
@@ -317,7 +386,7 @@ func (s *Store) Infos(platform string) []KeyInfo {
 			}
 			info := KeyInfo{Key: k, Devices: len(e.uploads), Round: e.round}
 			if e.merged != nil {
-				info.States = e.merged.States()
+				info.States = e.merged.Primary().States()
 			}
 			infos = append(infos, info)
 		}
@@ -350,17 +419,17 @@ func (s *Store) Stats() (keys, merged, uploads int) {
 	return keys, merged, uploads
 }
 
-// SnapshotKey persists the key's merged table (if any) under
+// SnapshotKey persists the key's merged table set (if any) under
 // dir/<platform>/<app>.qtable.json through core.Store, whose atomic
 // temp-file + rename write guarantees concurrent snapshots never leave
 // a torn file.
 func (s *Store) SnapshotKey(dir string, k Key) error {
-	t, _, ok := s.PolicyRef(k) // Save only reads; immutable published table
+	set, _, ok := s.PolicySetRef(k) // SaveSet only reads; immutable published set
 	if !ok {
 		return nil
 	}
 	st := core.Store{Dir: filepath.Join(dir, k.Platform)}
-	return st.Save(k.App, t, true)
+	return st.SaveSet(k.App, set, true)
 }
 
 // Snapshot persists every merged table and returns how many were
@@ -409,7 +478,7 @@ func (s *Store) Restore(dir string) (int, error) {
 			if err != nil {
 				return n, err
 			}
-			app, t, _, err := core.UnmarshalTable(data)
+			app, set, _, err := core.UnmarshalTableSet(data)
 			if err != nil {
 				return n, fmt.Errorf("fleetd: restoring %s/%s: %w", p.Name(), f.Name(), err)
 			}
@@ -425,8 +494,8 @@ func (s *Store) Restore(dir string) (int, error) {
 			sh := s.shardFor(k)
 			sh.mu.Lock()
 			sh.entries[k] = &entry{
-				uploads: make(map[string]*core.QTable),
-				merged:  t,
+				uploads: make(map[string]*learner.TableSet),
+				merged:  set,
 				round:   1,
 			}
 			sh.mu.Unlock()

@@ -18,6 +18,7 @@ import (
 	"io"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"nextdvfs/internal/core"
 	"nextdvfs/internal/exp"
 	"nextdvfs/internal/fleetd"
+	"nextdvfs/internal/learner"
 	"nextdvfs/internal/platform"
 	"nextdvfs/internal/scenario"
 	"nextdvfs/internal/session"
@@ -55,6 +57,12 @@ type Options struct {
 	// learned under different usage, the Section IV-C premise the
 	// homogeneous fleet never exercised.
 	Scenarios []string
+	// Learner names the TD update rule every device trains with
+	// ("" = watkins, the paper's rule). Multi-table learners (doubleq)
+	// upload and merge every estimator role-by-role.
+	Learner string
+	// Explorer names the exploration strategy ("" = egreedy).
+	Explorer string
 }
 
 func (o *Options) defaults() {
@@ -164,6 +172,12 @@ func Run(baseURL string, opts Options) (Report, error) {
 		if _, err := scenario.Get(sn); err != nil {
 			return Report{}, fmt.Errorf("fleetsim: %w", err)
 		}
+	}
+	if !learner.Known(opts.Learner) {
+		return Report{}, fmt.Errorf("fleetsim: unknown learner %q (have: %s)", opts.Learner, strings.Join(learner.Names(), ", "))
+	}
+	if !learner.KnownExplorer(opts.Explorer) {
+		return Report{}, fmt.Errorf("fleetsim: unknown explorer %q (have: %s)", opts.Explorer, strings.Join(learner.ExplorerNames(), ", "))
 	}
 	plat, err := platform.Get(opts.Platform)
 	if err != nil {
@@ -276,6 +290,8 @@ func trainDevice(res *DeviceResult, plat platform.Platform, opts Options, i int)
 	devSeed := opts.Seed + int64(i+1)*7919
 	cfg := exp.DefaultAgentConfigFor(plat)
 	cfg.Seed = devSeed
+	cfg.Learner = opts.Learner
+	cfg.Explorer = opts.Explorer
 	agent := core.NewAgent(cfg)
 	for s := 1; s <= opts.Sessions; s++ {
 		seed := devSeed + int64(s)
@@ -311,6 +327,8 @@ func trainScenarioDevice(res *DeviceResult, plat platform.Platform, opts Options
 	}
 	cfg := exp.DefaultAgentConfigFor(plat)
 	cfg.Seed = devSeed
+	cfg.Learner = opts.Learner
+	cfg.Explorer = opts.Explorer
 	agent := core.NewAgent(cfg)
 	for s := 1; s <= opts.Sessions; s++ {
 		seed := devSeed + int64(s)
@@ -350,17 +368,18 @@ func driveDevice(res *DeviceResult, client *fleetd.Client, agent *core.Agent, op
 	requests.Add(1)
 
 	apps := []string{opts.App}
-	tables := map[string]*core.QTable{opts.App: res.Uploaded}
 	if len(res.Tables) > 0 {
 		apps = apps[:0]
 		for app := range res.Tables {
 			apps = append(apps, app)
 		}
 		sort.Strings(apps)
-		tables = res.Tables
 	}
 	for _, app := range apps {
-		if _, err := client.UploadTable(res.Device, opts.Platform, app, tables[app]); err != nil {
+		// The upload carries the agent's complete learner state (both
+		// Double-Q estimators for a doubleq fleet; the plain single-table
+		// wire format otherwise).
+		if _, err := client.UploadTableSet(res.Device, opts.Platform, app, agent.SnapshotFor(app)); err != nil {
 			res.Err = err.Error()
 			return
 		}
@@ -370,14 +389,14 @@ func driveDevice(res *DeviceResult, client *fleetd.Client, agent *core.Agent, op
 			return
 		}
 		requests.Add(1)
-		policy, round, err := client.Policy(app, opts.Platform)
+		policy, round, err := client.PolicySet(app, opts.Platform)
 		if err != nil {
 			res.Err = err.Error()
 			return
 		}
 		requests.Add(1)
-		agent.InstallTable(app, policy, true)
+		agent.InstallTableSet(app, policy, true)
 		res.PolicyRound = round
-		res.PolicyStates = policy.States()
+		res.PolicyStates = policy.Primary().States()
 	}
 }

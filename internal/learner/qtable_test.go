@@ -1,4 +1,4 @@
-package core
+package learner
 
 import (
 	"math"
@@ -101,7 +101,7 @@ func TestQValuesBoundedByRewardOverOneMinusGamma(t *testing.T) {
 }
 
 func TestPolicyEpsilonDecay(t *testing.T) {
-	p := Policy{Epsilon: 1.0, EpsilonMin: 0.1, Decay: 0.5}
+	p := EpsilonGreedy{Epsilon: 1.0, EpsilonMin: 0.1, Decay: 0.5}
 	q := NewQTable(4)
 	rng := rand.New(rand.NewSource(12))
 	for i := 0; i < 20; i++ {
@@ -113,7 +113,7 @@ func TestPolicyEpsilonDecay(t *testing.T) {
 }
 
 func TestPolicyGreedyWhenEpsilonZero(t *testing.T) {
-	p := Policy{Epsilon: 0, EpsilonMin: 0}
+	p := EpsilonGreedy{Epsilon: 0, EpsilonMin: 0}
 	q := NewQTable(3)
 	s := StateKey(5)
 	q.row(s)[2] = 9
@@ -126,7 +126,7 @@ func TestPolicyGreedyWhenEpsilonZero(t *testing.T) {
 }
 
 func TestPolicyExploresAtHighEpsilon(t *testing.T) {
-	p := Policy{Epsilon: 1.0, EpsilonMin: 1.0}
+	p := EpsilonGreedy{Epsilon: 1.0, EpsilonMin: 1.0}
 	q := NewQTable(9)
 	rng := rand.New(rand.NewSource(14))
 	seen := map[int]bool{}

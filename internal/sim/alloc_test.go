@@ -3,6 +3,8 @@ package sim
 import (
 	"testing"
 
+	"nextdvfs/internal/core"
+	"nextdvfs/internal/ctrl"
 	"nextdvfs/internal/session"
 	"nextdvfs/internal/workload"
 )
@@ -12,6 +14,12 @@ import (
 // pipeline and the input-boost path; the per-phase split scales with
 // the duration so short and long runs have the same shape.
 func allocEngine(t *testing.T, secs float64) *Engine {
+	return allocEngineWith(t, secs, nil)
+}
+
+// allocEngineWith is allocEngine with an optional controller in the
+// loop (the agent-path variant of the zero-alloc pin).
+func allocEngineWith(t *testing.T, secs float64, controller ctrl.Controller) *Engine {
 	t.Helper()
 	third := session.Seconds(secs / 3)
 	tl := &session.Timeline{Scripts: []session.Script{{
@@ -22,7 +30,11 @@ func allocEngine(t *testing.T, secs float64) *Engine {
 			{Inter: workload.InterScroll, DurUS: third},
 		},
 	}}}
-	e, err := New(Note9Config(tl, 7))
+	cfg := Note9Config(tl, 7)
+	if controller != nil {
+		cfg.Controller = controller
+	}
+	e, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,5 +67,47 @@ func TestRunZeroAllocsPerTick(t *testing.T) {
 	// a regression cannot hide behind equal-but-huge run costs.
 	if aShort > 40 {
 		t.Fatalf("per-run prologue allocates %.0f times, want <= 40", aShort)
+	}
+}
+
+// TestDoubleQTrainingZeroAllocsPerTick extends the zero-alloc pin to
+// the learner-registry path: a training doubleq agent — two Q-tables,
+// interface dispatch for every selection and update — rides the tick
+// loop. Tabular RL allocates when it discovers a NEW state (a map row),
+// so the pin first saturates state discovery with warm-up runs, then
+// asserts the differential cost is per-state-discovery noise, not
+// per-tick garbage: interface dispatch, ε-greedy selection and the
+// double-estimator update must all be allocation-free on revisited
+// states.
+func TestDoubleQTrainingZeroAllocsPerTick(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed under the race detector")
+	}
+	cfg := core.DefaultAgentConfig()
+	cfg.Seed = 7
+	cfg.Learner = "doubleq"
+	agent := core.NewAgent(cfg)
+	short := allocEngineWith(t, 3, agent)
+	long := allocEngineWith(t, 12, agent)
+	// Warm-up: let the agent visit (and re-visit) the state space of
+	// both timelines so later runs mostly update existing rows.
+	for i := 0; i < 4; i++ {
+		short.Run()
+		long.Run()
+	}
+	aShort := testing.AllocsPerRun(5, func() { short.Run() })
+	aLong := testing.AllocsPerRun(5, func() { long.Run() })
+	diff := aLong - aShort
+	if diff < 0 {
+		diff = 0
+	}
+	// 9 extra simulated seconds = 9000 extra ticks and 90 extra control
+	// steps. A per-tick (or even per-control-step) allocation would cost
+	// ≥ 90 extra allocs; genuine late state discovery measures far
+	// below that.
+	if diff > 24 {
+		perTick := diff / float64((12-3)*1000)
+		t.Fatalf("doubleq training run allocates: %.1f allocs for 3 s vs %.1f for 12 s (%.4f allocs/tick)",
+			aShort, aLong, perTick)
 	}
 }

@@ -80,6 +80,8 @@ type Engine struct {
 
 	views []ctrl.ClusterView
 	opps  [][]int
+	// snapScratch is the reusable controller snapshot (see snapshot()).
+	snapScratch ctrl.Snapshot
 }
 
 // New builds an engine; the config is validated and defaulted.
@@ -573,7 +575,11 @@ func (e *Engine) decideGovernor(nowUS int64) {
 	e.cfg.Governor.Decide(nowUS, obs)
 }
 
-// snapshot builds the controller view of the platform.
+// snapshot builds the controller view of the platform. It assembles
+// into the engine's scratch snapshot rather than a local: taking the
+// address of a local for the SnapshotFault hook would make every
+// snapshot escape to the heap — one allocation per Observe/Control,
+// which the controller-path zero-alloc pin forbids.
 func (e *Engine) snapshot(nowUS int64, fps float64, app workload.App, tempBig, tempDev float64) ctrl.Snapshot {
 	for i, c := range e.cfg.Chip.Clusters {
 		e.views[i] = ctrl.ClusterView{
@@ -589,7 +595,7 @@ func (e *Engine) snapshot(nowUS int64, fps float64, app workload.App, tempBig, t
 			NormUtil: e.utilEWMA[i].Value(),
 		}
 	}
-	snap := ctrl.Snapshot{
+	e.snapScratch = ctrl.Snapshot{
 		NowUS:        nowUS,
 		FPS:          fps,
 		PowerW:       e.lastPowerW,
@@ -601,9 +607,9 @@ func (e *Engine) snapshot(nowUS int64, fps float64, app workload.App, tempBig, t
 		Clusters:     e.views,
 	}
 	if e.cfg.SnapshotFault != nil {
-		e.cfg.SnapshotFault(&snap)
+		e.cfg.SnapshotFault(&e.snapScratch)
 	}
-	return snap
+	return e.snapScratch
 }
 
 func (e *Engine) sample(nowUS int64, app workload.App, inter workload.Interaction, fps, powerW, tb, td float64) Sample {

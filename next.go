@@ -31,7 +31,7 @@ import (
 	"nextdvfs/internal/exp"
 	"nextdvfs/internal/fleetd"
 	"nextdvfs/internal/fleetsim"
-	"nextdvfs/internal/governor"
+	"nextdvfs/internal/learner"
 	"nextdvfs/internal/platform"
 	"nextdvfs/internal/scenario"
 	"nextdvfs/internal/session"
@@ -150,6 +150,13 @@ type RunOptions struct {
 	Scheme Scheme
 	// Agent supplies a (possibly trained) Next agent for SchemeNext.
 	Agent *Agent
+	// Learner names the TD update rule a fresh SchemeNext agent uses
+	// ("" = watkins, the paper's rule; see Learners()). Ignored when
+	// Agent is supplied — an existing agent keeps its own learner.
+	Learner string
+	// Explorer names the exploration strategy of a fresh SchemeNext
+	// agent ("" = egreedy; see Explorers()). Ignored when Agent is set.
+	Explorer string
 	// Seed drives the session's stochastic interaction (default 1).
 	Seed int64
 	// RecordEverySec samples the trace at this period (0 → 1 s).
@@ -195,28 +202,31 @@ func Run(opts RunOptions) (Result, error) {
 	if opts.RecordEverySec > 0 {
 		cfg.RecordIntervalUS = int64(opts.RecordEverySec * 1e6)
 	}
-	switch opts.Scheme {
-	case "", SchemeSchedutil:
-		// Platform default.
-	case SchemeNext:
-		agent := opts.Agent
+	// The scheme registry (internal/exp) resolves the management stack;
+	// its unknown-name error enumerates the registered set, so the
+	// message can never drift from reality.
+	spec, err := exp.GetScheme(string(opts.Scheme))
+	if err != nil {
+		return Result{}, fmt.Errorf("nextdvfs: %w", err)
+	}
+	var agent *core.Agent
+	if spec.TrainsAgent {
+		agent = opts.Agent
 		if agent == nil {
+			if !learner.Known(opts.Learner) {
+				return Result{}, fmt.Errorf("nextdvfs: unknown learner %q (see Learners())", opts.Learner)
+			}
+			if !learner.KnownExplorer(opts.Explorer) {
+				return Result{}, fmt.Errorf("nextdvfs: unknown explorer %q (see Explorers())", opts.Explorer)
+			}
 			c := exp.DefaultAgentConfigFor(plat)
 			c.Seed = opts.Seed
+			c.Learner = opts.Learner
+			c.Explorer = opts.Explorer
 			agent = core.NewAgent(c)
 		}
-		cfg.Controller = agent
-	case SchemeIntQoS:
-		cfg.Controller = exp.NewIntQoSOn(plat)
-	case SchemeThermalCap:
-		cfg.Controller = governor.NewThermalCap(governor.DefaultThermalCapConfig())
-	case SchemePerformance:
-		cfg.Governor = governor.Performance{}
-	case SchemePowersave:
-		cfg.Governor = governor.Powersave{}
-	default:
-		return Result{}, fmt.Errorf("nextdvfs: unknown scheme %q", opts.Scheme)
 	}
+	spec.Configure(&cfg, plat, agent)
 	eng, err := sim.New(cfg)
 	if err != nil {
 		return Result{}, err
@@ -240,6 +250,40 @@ func timelineFor(opts RunOptions) (*session.Timeline, error) {
 	}
 	return session.EvalTimeline(app, rng), nil
 }
+
+// Schemes returns the registered management-scheme names — the same
+// set Run accepts.
+func Schemes() []string { return exp.Schemes() }
+
+// Learners returns the registered TD-update-rule names: the paper's
+// "watkins" plus the extension rules (doubleq, sarsa, expected-sarsa,
+// nstep). Any of them plugs into Run/TrainAgent via the Learner
+// options.
+func Learners() []string { return learner.Names() }
+
+// LearnerInfo describes one registered learner for listings.
+type LearnerInfo struct {
+	Name        string
+	Description string
+	// Roles are the table roles the learner persists and federates,
+	// primary first ("q", or "a"/"b" for doubleq).
+	Roles []string
+}
+
+// LearnerInfos returns name/description/roles for every registered
+// learner, sorted by name.
+func LearnerInfos() []LearnerInfo {
+	infos := learner.Infos()
+	out := make([]LearnerInfo, len(infos))
+	for i, in := range infos {
+		out[i] = LearnerInfo{Name: in.Name, Description: in.Description, Roles: in.Roles}
+	}
+	return out
+}
+
+// Explorers returns the registered exploration-strategy names
+// (egreedy, softmax, ucb).
+func Explorers() []string { return learner.ExplorerNames() }
 
 // RunScenario simulates one preset usage scenario (see Scenarios) on
 // the chosen platform — shorthand for Run with RunOptions.Scenario set.
@@ -286,6 +330,11 @@ type TrainOptions struct {
 	Config *AgentConfig
 	// Platform is a preset device name from Platforms (default "note9").
 	Platform string
+	// Learner names the TD update rule ("" = watkins; see Learners()).
+	Learner string
+	// Explorer names the exploration strategy ("" = egreedy; see
+	// Explorers()).
+	Explorer string
 }
 
 // TrainAgent trains a fresh Next agent on the named preset app, exactly
@@ -298,12 +347,20 @@ func TrainAgent(app string, opts TrainOptions) (*Agent, TrainStats, error) {
 	if _, err := platform.Get(opts.Platform); err != nil {
 		return nil, TrainStats{}, fmt.Errorf("nextdvfs: %w (see Platforms())", err)
 	}
+	if !learner.Known(opts.Learner) {
+		return nil, TrainStats{}, fmt.Errorf("nextdvfs: unknown learner %q (see Learners())", opts.Learner)
+	}
+	if !learner.KnownExplorer(opts.Explorer) {
+		return nil, TrainStats{}, fmt.Errorf("nextdvfs: unknown explorer %q (see Explorers())", opts.Explorer)
+	}
 	agent, stats := exp.Train(func() *workload.ProfileApp { return workload.ByName(app) }, exp.TrainOptions{
 		MaxSessions: opts.Sessions,
 		SessionSecs: opts.SessionSeconds,
 		BaseSeed:    opts.Seed,
 		AgentConfig: opts.Config,
 		Platform:    opts.Platform,
+		Learner:     opts.Learner,
+		Explorer:    opts.Explorer,
 	})
 	return agent, stats, nil
 }
