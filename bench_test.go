@@ -316,6 +316,76 @@ func BenchmarkScenarioStep(b *testing.B) {
 	b.ReportMetric(float64(ticks)/b.Elapsed().Seconds(), "simticks/s")
 }
 
+// sweepBenchConfigs assembles the canonical k-lane lockstep sweep the
+// two benches below share: mixed-day at 1% scale, one structural seed,
+// k consecutive engine seeds.
+func sweepBenchConfigs(b *testing.B, k int) ([]sim.Config, int64) {
+	b.Helper()
+	plat := platform.MustGet(platform.DefaultName)
+	scn := scenario.Scaled(scenario.MustGet("mixed-day"), 0.01)
+	cfgs := make([]sim.Config, k)
+	var durUS int64
+	for r := 0; r < k; r++ {
+		compiled, err := scenario.Compile(scn, 42, plat.AmbientC)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := plat.Config(compiled.Timeline, int64(100+r))
+		cfg.Ambient = compiled.Ambient
+		cfg.Refresh = compiled.Refresh
+		cfgs[r] = cfg
+		durUS = compiled.Timeline.DurUS()
+	}
+	return cfgs, durUS
+}
+
+// BenchmarkScenarioSweepBatched measures the lockstep batched engine:
+// one op compiles an 8-lane mixed-day seed sweep and steps all lanes
+// through one sim.BatchEngine — shared timeline cursor, schedule
+// lookups and power/thermal constants, struct-of-arrays state. The
+// metric is AGGREGATE simulated ticks per wall-clock second (k × the
+// per-lane tick count); BENCH_scenario.json records the floor and the
+// measured multiple over BenchmarkScenarioSweepScalar, the k-scalar
+// reference below.
+func BenchmarkScenarioSweepBatched(b *testing.B) {
+	const k = 8
+	var ticks int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfgs, durUS := sweepBenchConfigs(b, k)
+		be, err := sim.NewBatch(cfgs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		be.Run()
+		ticks += int64(k) * durUS / 1000 // default 1 ms tick
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(ticks)/b.Elapsed().Seconds(), "simticks/s")
+}
+
+// BenchmarkScenarioSweepScalar runs the identical 8-lane sweep on one
+// scalar engine per lane — the reference the batched gate's multiple is
+// measured against. Same aggregate-ticks metric.
+func BenchmarkScenarioSweepScalar(b *testing.B) {
+	const k = 8
+	var ticks int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfgs, durUS := sweepBenchConfigs(b, k)
+		for r := 0; r < k; r++ {
+			eng, err := sim.New(cfgs[r])
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng.Run()
+		}
+		ticks += int64(k) * durUS / 1000
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(ticks)/b.Elapsed().Seconds(), "simticks/s")
+}
+
 // benchSink defeats dead-code elimination in the micro benches below.
 var benchSink float64
 

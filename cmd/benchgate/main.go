@@ -15,20 +15,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 
 	"nextdvfs/internal/benchgate"
 )
-
-func sortedKeys(m map[string]float64) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
-}
 
 func main() {
 	paths := flag.String("baselines", "", "comma-separated BENCH_*.json baseline files (required)")
@@ -59,22 +49,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	for _, b := range baselines {
-		m := results[b.Benchmark]
-		fmt.Printf("%s:", b.Benchmark)
-		for _, metric := range []string{"ns/op"} {
-			if v, ok := m[metric]; ok {
-				fmt.Printf(" %g %s", v, metric)
-			}
-		}
-		for _, metric := range sortedKeys(b.Floors) {
-			fmt.Printf(" | %s %g (floor %g)", metric, m[metric], b.Floors[metric])
-		}
-		for _, metric := range sortedKeys(b.Ceilings) {
-			fmt.Printf(" | %s %g (ceiling %g)", metric, m[metric], b.Ceilings[metric])
-		}
-		fmt.Println()
-	}
+	fmt.Print(benchgate.FormatMargins(benchgate.Margins(baselines, results)))
 	if len(violations) > 0 {
 		for _, v := range violations {
 			fmt.Fprintln(os.Stderr, "FAIL", v)

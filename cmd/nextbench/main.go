@@ -17,6 +17,8 @@
 //	nextbench -scenarios -schemes schedutil,powersave,next -scale 0.1
 //	nextbench -learners all                # convergence + energy/QoS by update rule
 //	nextbench -learners watkins,doubleq -explorer softmax
+//	nextbench -sweep 8                     # 8-seed lockstep sweep of mixed-day
+//	nextbench -sweep 16 -scenario doomscroll -scale 0.1
 package main
 
 import (
@@ -47,6 +49,8 @@ func main() {
 	scale := flag.Float64("scale", 0, "for -scenarios: shrink every scenario's duration by this factor (0 = full length)")
 	learners := flag.String("learners", "", "learner comparison grid: comma-separated learners or \"all\" ("+strings.Join(nextdvfs.Learners(), ", ")+")")
 	explorer := flag.String("explorer", "", "for -learners/-scenarios: exploration strategy agent cells train with ("+strings.Join(nextdvfs.Explorers(), ", ")+"; default egreedy)")
+	sweep := flag.Int("sweep", 0, "run a lockstep seed sweep: N engine seeds of one scenario batched through one engine (uses -scenario, -scale, the first -schemes entry)")
+	sweepScenario := flag.String("scenario", "mixed-day", "for -sweep: scenario preset to sweep")
 	flag.Parse()
 
 	if *listPlats {
@@ -62,6 +66,11 @@ func main() {
 
 	if *fleet > 0 {
 		runFleet(*fleet, *plat, *seed, *parallel)
+		return
+	}
+
+	if *sweep > 0 {
+		runSweep(*sweepScenario, *plat, *seed, *sweep, *schemes, *scale, *parallel, learnerList(*learners), *explorer)
 		return
 	}
 
@@ -165,6 +174,33 @@ func runScenarios(plat string, seed int64, schemes string, scale float64, parall
 		os.Exit(1)
 	}
 	exp.WriteScenarioGrid(os.Stdout, rows)
+	fmt.Println()
+}
+
+func runSweep(scen, plat string, seed int64, runs int, schemes string, scale float64, parallel int, learners []string, explorer string) {
+	scheme := strings.Split(schemes, ",")[0]
+	lrn := ""
+	if len(learners) > 0 {
+		lrn = learners[0]
+	}
+	fmt.Printf("== Seed sweep: %d lockstep runs of %s (%s) on %s ==\n", runs, scen, scheme, plat)
+	rows, err := exp.SeedSweep(exp.SeedSweepOptions{
+		Scenario:      scen,
+		Platform:      plat,
+		Scheme:        scheme,
+		Learner:       lrn,
+		Explorer:      explorer,
+		Seed:          seed,
+		Runs:          runs,
+		Parallel:      parallel,
+		DurationScale: scale,
+		Lockstep:      true,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nextbench:", err)
+		os.Exit(1)
+	}
+	exp.WriteSeedSweep(os.Stdout, rows)
 	fmt.Println()
 }
 

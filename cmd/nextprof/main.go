@@ -6,6 +6,7 @@
 //	nextprof                              # mixed-day scenario, top 15
 //	nextprof -scenario gaming-marathon -top 20
 //	nextprof -fig 7 -platform sd855       # profile the Fig. 7 matrix
+//	nextprof -sweep 8                     # profile the lockstep batched engine, k=8
 //	nextprof -benchtime 10s -cpuprofile cpu.prof -memprofile mem.prof
 //
 // The raw profiles are kept on disk (paths printed at the end) so a
@@ -34,6 +35,7 @@ func main() {
 	plat := flag.String("platform", platform.DefaultName, "platform registry name")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	scale := flag.Float64("scale", 0.01, "scenario duration scale factor (1.0 = full-length preset)")
+	sweep := flag.Int("sweep", 0, "profile the batched lockstep path: step N lanes of the scenario through one sim.BatchEngine per iteration (0 = scalar engine)")
 	benchtime := flag.Duration("benchtime", 2*time.Second, "minimum wall-clock time to keep the workload running")
 	topN := flag.Int("top", 15, "table rows per profile")
 	cpuOut := flag.String("cpuprofile", "", "CPU profile path (default: nextprof.cpu.pb.gz in the temp dir)")
@@ -47,7 +49,7 @@ func main() {
 		*memOut = filepath.Join(os.TempDir(), "nextprof.mem.pb.gz")
 	}
 
-	run, desc, err := buildWorkload(*fig, *scen, *plat, *seed, *scale)
+	run, desc, err := buildWorkload(*fig, *scen, *plat, *seed, *scale, *sweep)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nextprof:", err)
 		os.Exit(2)
@@ -115,7 +117,7 @@ func main() {
 
 // buildWorkload resolves the profiled workload: one closure per
 // iteration, plus a human description.
-func buildWorkload(fig, scen, plat string, seed int64, scale float64) (func(), string, error) {
+func buildWorkload(fig, scen, plat string, seed int64, scale float64, sweep int) (func(), string, error) {
 	if fig != "" {
 		desc := fmt.Sprintf("fig %s on %s (seed %d)", fig, plat, seed)
 		switch fig {
@@ -149,17 +151,35 @@ func buildWorkload(fig, scen, plat string, seed int64, scale float64) (func(), s
 	if err != nil {
 		return nil, "", err
 	}
-	desc := fmt.Sprintf("scenario %s (scale %g) on %s (seed %d)", scen, scale, plat, seed)
-	return func() {
+	laneConfig := func(engineSeed int64) sim.Config {
 		compiled, err := scenario.Compile(s, seed, p.AmbientC)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "nextprof:", err)
 			os.Exit(1)
 		}
-		cfg := p.Config(compiled.Timeline, seed)
+		cfg := p.Config(compiled.Timeline, engineSeed)
 		cfg.Ambient = compiled.Ambient
 		cfg.Refresh = compiled.Refresh
-		eng, err := sim.New(cfg)
+		return cfg
+	}
+	if sweep > 0 {
+		desc := fmt.Sprintf("scenario %s (scale %g) on %s, lockstep k=%d (struct seed %d)", scen, scale, plat, sweep, seed)
+		return func() {
+			cfgs := make([]sim.Config, sweep)
+			for r := range cfgs {
+				cfgs[r] = laneConfig(seed + int64(r))
+			}
+			be, err := sim.NewBatch(cfgs)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "nextprof:", err)
+				os.Exit(1)
+			}
+			be.Run()
+		}, desc, nil
+	}
+	desc := fmt.Sprintf("scenario %s (scale %g) on %s (seed %d)", scen, scale, plat, seed)
+	return func() {
+		eng, err := sim.New(laneConfig(seed))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "nextprof:", err)
 			os.Exit(1)

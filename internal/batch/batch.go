@@ -27,6 +27,16 @@ type Job struct {
 	Platform string
 	Seed     int64
 	Build    func() (sim.Config, error)
+	// LockstepKey, when non-empty, marks this job as batchable: a run of
+	// CONSECUTIVE jobs carrying the same key is executed through one
+	// sim.BatchEngine (one shared tick loop, struct-of-arrays state)
+	// instead of one scalar engine per job. Callers set the same key on
+	// jobs that share platform/scenario structure and differ only by
+	// seed or scheme — exactly what sim.NewBatch accepts. The key is an
+	// optimization hint, never a correctness risk: lanes are
+	// bit-identical to scalar runs, results still land in job order, and
+	// a mis-keyed run falls back to scalar engines.
+	LockstepKey string
 }
 
 // RunResult pairs a job's labels with its simulation outcome. Err is a
@@ -64,13 +74,87 @@ func (o Options) workers(n int) int {
 
 // Run executes every job on the pool and returns one RunResult per job,
 // in job order. A job that fails to build or validate reports its error
-// in the result instead of aborting the grid.
+// in the result instead of aborting the grid. Consecutive jobs sharing
+// a non-empty LockstepKey run as one lockstep batch per worker; all
+// other jobs get a private scalar engine as before.
 func Run(jobs []Job, opts Options) []RunResult {
 	results := make([]RunResult, len(jobs))
-	Map(len(jobs), opts.Parallel, func(i int) {
-		results[i] = runJob(i, jobs[i])
+	spans := lockstepSpans(jobs)
+	Map(len(spans), opts.Parallel, func(s int) {
+		sp := spans[s]
+		if sp.end-sp.start == 1 {
+			results[sp.start] = runJob(sp.start, jobs[sp.start])
+			return
+		}
+		runLockstep(jobs, sp.start, sp.end, results)
 	})
 	return results
+}
+
+// span is one schedulable unit: a single job, or a run of consecutive
+// jobs sharing a LockstepKey. Half-open [start, end).
+type span struct{ start, end int }
+
+// lockstepSpans partitions the job list into schedulable units. Only
+// CONSECUTIVE equal keys group — callers order their grids so batchable
+// jobs are adjacent, and interleaving distinct work never silently
+// serializes behind one worker.
+func lockstepSpans(jobs []Job) []span {
+	spans := make([]span, 0, len(jobs))
+	for i := 0; i < len(jobs); {
+		j := i + 1
+		if jobs[i].LockstepKey != "" {
+			for j < len(jobs) && jobs[j].LockstepKey == jobs[i].LockstepKey {
+				j++
+			}
+		}
+		spans = append(spans, span{start: i, end: j})
+		i = j
+	}
+	return spans
+}
+
+// runLockstep executes jobs[start:end) through one sim.BatchEngine.
+// Fallback is total, not partial: if any lane fails to build, or the
+// configs turn out not to be lockstep-compatible, every job in the span
+// runs on its own scalar engine — same results (lockstep lanes are
+// bit-identical to scalar runs), just without the shared tick loop.
+func runLockstep(jobs []Job, start, end int, results []RunResult) {
+	k := end - start
+	cfgs := make([]sim.Config, k)
+	for r := 0; r < k; r++ {
+		cfg, err := jobs[start+r].Build()
+		if err != nil {
+			for i := start; i < end; i++ {
+				results[i] = runJob(i, jobs[i])
+			}
+			return
+		}
+		cfgs[r] = cfg
+	}
+	be, err := sim.NewBatch(cfgs)
+	if err != nil {
+		// Mis-keyed span: the configs are already built (Build must
+		// return independent configs every call, and NewBatch does not
+		// consume them on error), so run them scalar.
+		for r := 0; r < k; r++ {
+			i := start + r
+			j := jobs[i]
+			results[i] = RunResult{Index: i, App: j.App, Scheme: j.Scheme, Platform: j.Platform, Seed: j.Seed}
+			eng, err := sim.New(cfgs[r])
+			if err != nil {
+				results[i].Err = err.Error()
+				continue
+			}
+			results[i].Result = eng.Run()
+		}
+		return
+	}
+	for r, res := range be.Run() {
+		i := start + r
+		j := jobs[i]
+		results[i] = RunResult{Index: i, App: j.App, Scheme: j.Scheme, Platform: j.Platform, Seed: j.Seed, Result: res}
+	}
 }
 
 func runJob(i int, j Job) RunResult {

@@ -105,6 +105,158 @@ func TestMapCoversEveryIndexOnce(t *testing.T) {
 	Map(0, 4, func(int) { t.Fatal("Map(0) must not call fn") })
 }
 
+// lockstepJobs builds a seed sweep in canonical lockstep shape: every
+// job compiles the byte-identical timeline structure (fixed structural
+// rng seed, fresh app instance per build) and varies only the engine
+// seed. key tags every job; "" leaves the sweep scalar.
+func lockstepJobs(key string) []Job {
+	var jobs []Job
+	for _, seed := range []int64{1, 2, 3, 4} {
+		seed := seed
+		jobs = append(jobs, Job{
+			App: workload.NameSpotify, Scheme: "schedutil", Platform: "note9", Seed: seed,
+			LockstepKey: key,
+			Build: func() (sim.Config, error) {
+				p := platform.MustGet("note9")
+				rng := rand.New(rand.NewSource(99))
+				tl := &session.Timeline{Scripts: []session.Script{
+					session.ForApp(workload.ByName(workload.NameSpotify), session.Seconds(20), rng),
+				}}
+				return p.Config(tl, seed), nil
+			},
+		})
+	}
+	return jobs
+}
+
+func TestLockstepSpans(t *testing.T) {
+	key := func(k string) Job { return Job{LockstepKey: k} }
+	got := lockstepSpans([]Job{key(""), key("a"), key("a"), key("b"), key(""), key(""), key("a")})
+	want := []span{{0, 1}, {1, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}}
+	if len(got) != len(want) {
+		t.Fatalf("spans = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("span %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if n := len(lockstepSpans(nil)); n != 0 {
+		t.Fatalf("empty job list produced %d spans", n)
+	}
+}
+
+// The wiring contract: a keyed sweep routes through one BatchEngine and
+// still produces byte-identical results, labels and order versus the
+// same jobs run scalar.
+func TestRunLockstepMatchesScalar(t *testing.T) {
+	scalar := Run(lockstepJobs(""), Options{Parallel: 1})
+	lockstep := Run(lockstepJobs("sweep"), Options{Parallel: 2})
+
+	a, err := json.Marshal(scalar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(lockstep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("lockstep sweep diverged from scalar sweep")
+	}
+	for i, r := range lockstep {
+		if r.Index != i || r.Err != "" {
+			t.Fatalf("result %d: index %d err %q", i, r.Index, r.Err)
+		}
+	}
+}
+
+// A mis-keyed span (configs that are not lockstep-compatible) must fall
+// back to scalar engines and still return every job's correct result.
+func TestRunLockstepFallsBackOnIncompatibleSpan(t *testing.T) {
+	mutate := func(jobs []Job) []Job {
+		orig := jobs[1].Build
+		jobs[1].Build = func() (sim.Config, error) {
+			cfg, err := orig()
+			cfg.TickUS = 2000
+			return cfg, err
+		}
+		return jobs
+	}
+	want := Run(mutate(lockstepJobs("")), Options{Parallel: 1})
+	got := Run(mutate(lockstepJobs("bad")), Options{Parallel: 1})
+	a, _ := json.Marshal(want)
+	b, _ := json.Marshal(got)
+	if !bytes.Equal(a, b) {
+		t.Fatal("fallback span diverged from scalar run")
+	}
+	for i, r := range got {
+		if r.Err != "" {
+			t.Fatalf("job %d failed in fallback: %s", i, r.Err)
+		}
+	}
+}
+
+// A build error inside a keyed span must not poison its span-mates: the
+// whole span falls back to per-job scalar runs, so healthy jobs succeed
+// and only the broken one reports its error.
+func TestRunLockstepBuildErrorFallsBack(t *testing.T) {
+	jobs := lockstepJobs("sweep")
+	jobs[2].Build = func() (sim.Config, error) { return sim.Config{}, nil } // invalid: fails sim.New
+	results := Run(jobs, Options{Parallel: 1})
+	for i, r := range results {
+		if i == 2 {
+			if r.Err == "" {
+				t.Fatal("broken job must surface an error")
+			}
+			continue
+		}
+		if r.Err != "" {
+			t.Fatalf("healthy job %d poisoned: %s", i, r.Err)
+		}
+		if r.Result.DurationS != 20 {
+			t.Fatalf("job %d duration %g", i, r.Result.DurationS)
+		}
+	}
+}
+
+// Job order must hold even when the pool is wider than the job list —
+// the worker clamp in Options.workers keeps index dispatch well-formed.
+func TestRunOrderWithMoreWorkersThanJobs(t *testing.T) {
+	jobs := gridJobs()[:3]
+	want := Run(gridJobs()[:3], Options{Parallel: 1})
+	got := Run(jobs, Options{Parallel: 32})
+	a, _ := json.Marshal(want)
+	b, _ := json.Marshal(got)
+	if !bytes.Equal(a, b) {
+		t.Fatal("workers > jobs changed results or order")
+	}
+	for i, r := range got {
+		if r.Index != i {
+			t.Fatalf("result %d carries index %d", i, r.Index)
+		}
+	}
+}
+
+func TestAggregatedEdgeCases(t *testing.T) {
+	empty := Aggregated(nil)
+	if empty.Jobs != 0 || empty.Errors != 0 {
+		t.Fatalf("nil slice: %+v", empty)
+	}
+	if empty.MeanAvgPowerW != 0 || empty.TotalEnergyJ != 0 {
+		t.Fatalf("nil slice must aggregate to zeros: %+v", empty)
+	}
+
+	allErr := Aggregated([]RunResult{{Err: "a"}, {Err: "b"}})
+	if allErr.Jobs != 2 || allErr.Errors != 2 {
+		t.Fatalf("all-error slice: %+v", allErr)
+	}
+	// No successful job ⇒ means stay zero, never NaN from 0/0.
+	if allErr.MeanAvgPowerW != 0 || allErr.MeanAvgFPS != 0 || allErr.MeanActiveFPS != 0 {
+		t.Fatalf("all-error means must be zero: %+v", allErr)
+	}
+}
+
 func TestAggregated(t *testing.T) {
 	results := []RunResult{
 		{Result: sim.Result{AvgPowerW: 2, PeakPowerW: 5, AvgFPS: 30, ActiveAvgFPS: 50, PeakTempBigC: 60, PeakTempDevC: 35, EnergyJ: 100, DurationS: 50}},

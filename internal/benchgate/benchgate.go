@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 // Baseline is one BENCH_*.json file: a benchmark plus the limits CI
@@ -203,4 +204,61 @@ func sortedKeys(m map[string]float64) []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// Margin is one enforced limit's measured headroom: how far the
+// benchmark landed on the safe side of its floor or ceiling.
+type Margin struct {
+	Benchmark string
+	Metric    string
+	// Kind is "floor" or "ceiling".
+	Kind  string
+	Limit float64
+	Got   float64
+}
+
+// Ratio is the headroom multiple: measured/limit for floors,
+// limit/measured for ceilings — above 1.0 means the limit held, and
+// larger is safer.
+func (m Margin) Ratio() float64 {
+	if m.Kind == "ceiling" {
+		return m.Limit / m.Got
+	}
+	return m.Got / m.Limit
+}
+
+// Margins pairs every enforced limit with its measured value, in
+// baseline order with metrics sorted within a baseline — the rows of
+// the measured-vs-floor table the CLI prints on success. Metrics the
+// results do not report are skipped; Check has already turned those
+// into hard errors on the enforcement path.
+func Margins(baselines []Baseline, results map[string]Metrics) []Margin {
+	var ms []Margin
+	for _, b := range baselines {
+		res := results[b.Benchmark]
+		for _, metric := range sortedKeys(b.Floors) {
+			if got, ok := res[metric]; ok {
+				ms = append(ms, Margin{b.Benchmark, metric, "floor", b.Floors[metric], got})
+			}
+		}
+		for _, metric := range sortedKeys(b.Ceilings) {
+			if got, ok := res[metric]; ok {
+				ms = append(ms, Margin{b.Benchmark, metric, "ceiling", b.Ceilings[metric], got})
+			}
+		}
+	}
+	return ms
+}
+
+// FormatMargins renders the margin rows as an aligned table.
+func FormatMargins(ms []Margin) string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "benchmark\tmetric\tmeasured\tlimit\tkind\tmargin")
+	for _, m := range ms {
+		fmt.Fprintf(w, "%s\t%s\t%g\t%g\t%s\t%.2fx\n",
+			m.Benchmark, m.Metric, m.Got, m.Limit, m.Kind, m.Ratio())
+	}
+	w.Flush()
+	return sb.String()
 }

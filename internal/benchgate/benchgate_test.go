@@ -91,7 +91,7 @@ func TestLoadRepoBaselines(t *testing.T) {
 	// Every baseline file CI enforces must stay loadable and armed.
 	want := map[string]int{
 		"BENCH_fleet.json":    1,
-		"BENCH_scenario.json": 1,
+		"BENCH_scenario.json": 3,
 		"BENCH_sim.json":      5,
 	}
 	for name, n := range want {
@@ -212,5 +212,66 @@ func TestParseBenchMalformedLine(t *testing.T) {
 	}
 	if m := res["BenchmarkGood"]; m["ns/op"] != 123 || m["widgets/s"] != 456 {
 		t.Fatalf("BenchmarkGood metrics = %v", m)
+	}
+}
+
+func TestMarginsAndFormat(t *testing.T) {
+	baselines := []Baseline{
+		{
+			Benchmark: "BenchmarkA",
+			Floors:    map[string]float64{"simticks/s": 4e6},
+			Ceilings:  map[string]float64{"ns/op": 1e7},
+		},
+		{
+			Benchmark: "BenchmarkB",
+			Floors:    map[string]float64{"checkins/s": 2000},
+		},
+	}
+	results := map[string]Metrics{
+		"BenchmarkA": {"simticks/s": 9e6, "ns/op": 2.5e6},
+		"BenchmarkB": {"checkins/s": 3000},
+	}
+	ms := Margins(baselines, results)
+	if len(ms) != 3 {
+		t.Fatalf("Margins returned %d rows, want 3: %+v", len(ms), ms)
+	}
+	// Baseline order, floors before ceilings within a baseline.
+	if ms[0].Benchmark != "BenchmarkA" || ms[0].Kind != "floor" || ms[0].Metric != "simticks/s" {
+		t.Fatalf("row 0 = %+v", ms[0])
+	}
+	if got, want := ms[0].Ratio(), 9e6/4e6; got != want {
+		t.Fatalf("floor ratio = %v, want %v", got, want)
+	}
+	if ms[1].Kind != "ceiling" {
+		t.Fatalf("row 1 = %+v", ms[1])
+	}
+	if got, want := ms[1].Ratio(), 1e7/2.5e6; got != want {
+		t.Fatalf("ceiling ratio = %v, want %v (limit/measured)", got, want)
+	}
+	if ms[2].Benchmark != "BenchmarkB" {
+		t.Fatalf("row 2 = %+v", ms[2])
+	}
+
+	out := FormatMargins(ms)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want header + 3 rows:\n%s", len(lines), out)
+	}
+	for _, want := range []string{"benchmark", "margin", "2.25x", "4.00x", "1.50x"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMarginsSkipsUnreportedMetric(t *testing.T) {
+	baselines := []Baseline{{
+		Benchmark: "BenchmarkA",
+		Floors:    map[string]float64{"simticks/s": 1, "missing/s": 1},
+	}}
+	results := map[string]Metrics{"BenchmarkA": {"simticks/s": 2}}
+	ms := Margins(baselines, results)
+	if len(ms) != 1 || ms[0].Metric != "simticks/s" {
+		t.Fatalf("Margins = %+v, want the one reported metric", ms)
 	}
 }

@@ -1,0 +1,34 @@
+// Package cpufeat detects the instruction-set extensions the batched
+// engine's vector kernels need. Detection runs once at init; other
+// architectures compile the fallback file and report no support.
+package cpufeat
+
+// cpuidex executes CPUID with the given leaf and subleaf.
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (XCR0).
+func xgetbv() (eax, edx uint32)
+
+// HasAVX2 reports whether the CPU and OS support AVX2: the AVX and
+// OSXSAVE CPUID bits, YMM state enabled in XCR0, and the AVX2 feature
+// bit itself.
+var HasAVX2 = detectAVX2()
+
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv()
+	if xcr0&6 != 6 { // XMM and YMM state saved by the OS
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	return ebx7&(1<<5) != 0
+}

@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package cpufeat
+
+// HasAVX2 is always false off amd64; the vector kernels' callers take
+// their portable Go paths.
+var HasAVX2 = false

@@ -44,6 +44,14 @@ type ScenarioOptions struct {
 	// TrainSessions is how many scenario sessions train each "next"
 	// cell's agent (0 → 6).
 	TrainSessions int
+	// Lockstep routes the evaluation runs of each (scenario, platform)
+	// pair through one sim.BatchEngine: all schemes and learners of the
+	// pair share its compiled timeline's structure, so their eval lanes
+	// step one shared tick loop instead of one engine each. Rows are
+	// byte-identical either way — the batched engine is pinned
+	// bit-identical to scalar runs — so this is purely a throughput
+	// knob.
+	Lockstep bool
 }
 
 func (o *ScenarioOptions) defaults() {
@@ -129,21 +137,36 @@ func ScenarioGrid(opts ScenarioOptions) ([]ScenarioRow, error) {
 		}
 	}
 
-	rows := make([]ScenarioRow, len(cells))
-	errs := make([]error, len(cells))
-	batch.Map(len(cells), opts.Parallel, func(i int) {
-		c := cells[i]
+	jobs := make([]batch.Job, len(cells))
+	for i, c := range cells {
+		c := c
 		// Seeds derive from the (scenario, platform) pair only, so every
 		// scheme and learner replays the identical evaluation timeline.
 		base := opts.Seed + int64(c.si)*100_003 + int64(c.pi)*1_009
-		res, err := scenarioCell(c.scn, c.plat, c.sch, c.lrn, opts.Explorer, base, opts.TrainSessions)
-		rows[i] = ScenarioRow{Scenario: c.scn.Name, Platform: c.plat.Name, Scheme: c.sch.Name, Learner: c.lrn, Result: res}
-		errs[i] = err // cells are validated up front; this is defensive
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		jobs[i] = batch.Job{
+			App:      c.scn.Name,
+			Scheme:   c.sch.Name,
+			Platform: c.plat.Name,
+			Seed:     base,
+			Build: func() (sim.Config, error) {
+				return scenarioCellConfig(c.scn, c.plat, c.sch, c.lrn, opts.Explorer, base, opts.TrainSessions)
+			},
 		}
+		if opts.Lockstep {
+			// Cells are ordered scheme/learner-minor, so every cell of a
+			// (scenario, platform) pair is consecutive and the whole pair
+			// becomes one lockstep span.
+			jobs[i].LockstepKey = fmt.Sprintf("grid|%d|%d", c.si, c.pi)
+		}
+	}
+	results := batch.Run(jobs, batch.Options{Parallel: opts.Parallel})
+	rows := make([]ScenarioRow, len(cells))
+	for i, r := range results {
+		if r.Err != "" {
+			return nil, fmt.Errorf("exp: scenario cell %s/%s/%s: %s", r.App, r.Platform, r.Scheme, r.Err)
+		}
+		c := cells[i]
+		rows[i] = ScenarioRow{Scenario: c.scn.Name, Platform: c.plat.Name, Scheme: c.sch.Name, Learner: c.lrn, Result: r.Result}
 	}
 	return rows, nil
 }
@@ -161,35 +184,59 @@ func scenarioConfig(scn scenario.Scenario, plat platform.Platform, seed int64) (
 	return cfg, nil
 }
 
-func scenarioCell(scn scenario.Scenario, plat platform.Platform, spec SchemeSpec, learnerName, explorer string, baseSeed int64, trainSessions int) (sim.Result, error) {
-	var agent *core.Agent
-	if spec.TrainsAgent {
-		cfg := DefaultAgentConfigFor(plat)
-		cfg.Seed = baseSeed
-		cfg.Learner = learnerName
-		cfg.Explorer = explorer
-		agent = core.NewAgent(cfg)
-		for i := 1; i <= trainSessions; i++ {
-			seed := baseSeed + int64(i)
-			c, err := scenarioConfig(scn, plat, seed)
-			if err != nil {
-				return sim.Result{}, err
-			}
-			c.Controller = agent
-			eng, err := sim.New(c)
-			if err != nil {
-				return sim.Result{}, err
-			}
-			eng.Run()
-		}
+// trainSchemeAgent trains a fresh agent for an agent-training scheme on
+// trainSessions differently-seeded sessions of the scenario, or returns
+// nil for schemes that do not train. Training runs stay scalar — each
+// session's timeline structure depends on its seed, so they are not
+// lockstep candidates; only the shared-structure evaluation run is.
+func trainSchemeAgent(scn scenario.Scenario, plat platform.Platform, spec SchemeSpec, learnerName, explorer string, baseSeed int64, trainSessions int) (*core.Agent, error) {
+	if !spec.TrainsAgent {
+		return nil, nil
 	}
+	cfg := DefaultAgentConfigFor(plat)
+	cfg.Seed = baseSeed
+	cfg.Learner = learnerName
+	cfg.Explorer = explorer
+	agent := core.NewAgent(cfg)
+	for i := 1; i <= trainSessions; i++ {
+		seed := baseSeed + int64(i)
+		c, err := scenarioConfig(scn, plat, seed)
+		if err != nil {
+			return nil, err
+		}
+		c.Controller = agent
+		eng, err := sim.New(c)
+		if err != nil {
+			return nil, err
+		}
+		eng.Run()
+	}
+	return agent, nil
+}
 
+// scenarioCellConfig trains the cell's agent (if its scheme needs one)
+// and returns the fully-configured evaluation config. Every call is
+// independent — fresh agent, fresh compiled timeline — which is the
+// batch.Job Build contract.
+func scenarioCellConfig(scn scenario.Scenario, plat platform.Platform, spec SchemeSpec, learnerName, explorer string, baseSeed int64, trainSessions int) (sim.Config, error) {
+	agent, err := trainSchemeAgent(scn, plat, spec, learnerName, explorer, baseSeed, trainSessions)
+	if err != nil {
+		return sim.Config{}, err
+	}
 	evalSeed := baseSeed + 500
 	cfg, err := scenarioConfig(scn, plat, evalSeed)
 	if err != nil {
-		return sim.Result{}, err
+		return sim.Config{}, err
 	}
 	spec.Configure(&cfg, plat, agent)
+	return cfg, nil
+}
+
+func scenarioCell(scn scenario.Scenario, plat platform.Platform, spec SchemeSpec, learnerName, explorer string, baseSeed int64, trainSessions int) (sim.Result, error) {
+	cfg, err := scenarioCellConfig(scn, plat, spec, learnerName, explorer, baseSeed, trainSessions)
+	if err != nil {
+		return sim.Result{}, err
+	}
 	eng, err := sim.New(cfg)
 	if err != nil {
 		return sim.Result{}, err

@@ -1,0 +1,99 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// The sweep wiring pin: Lockstep on and off must produce byte-identical
+// rows — the BatchEngine is an execution strategy, never a result
+// change — for both a bare governor scheme and an agent-training one.
+func TestSeedSweepLockstepByteIdentical(t *testing.T) {
+	for _, scheme := range []string{"schedutil", "next"} {
+		t.Run(scheme, func(t *testing.T) {
+			run := func(lockstep bool) []SeedSweepRow {
+				rows, err := SeedSweep(SeedSweepOptions{
+					Scenario:      "doomscroll",
+					Scheme:        scheme,
+					Seed:          42,
+					Runs:          4,
+					Parallel:      2,
+					DurationScale: 0.02,
+					TrainSessions: 1,
+					Lockstep:      lockstep,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rows
+			}
+			scalar, lockstep := run(false), run(true)
+			a, _ := json.Marshal(scalar)
+			b, _ := json.Marshal(lockstep)
+			if !bytes.Equal(a, b) {
+				t.Fatal("lockstep sweep rows diverged from scalar rows")
+			}
+			for i, r := range lockstep {
+				if r.Seed != 42+int64(i) {
+					t.Fatalf("row %d seed %d, want %d", i, r.Seed, 42+int64(i))
+				}
+				if r.Result.DurationS <= 0 {
+					t.Fatalf("row %d empty result", i)
+				}
+			}
+			// The sweep must actually vary: distinct engine seeds over the
+			// same structure should not collapse to one trajectory.
+			if lockstep[0].Result.EnergyJ == lockstep[1].Result.EnergyJ {
+				t.Fatal("seeds 42 and 43 produced identical energy; engine seed not applied")
+			}
+		})
+	}
+}
+
+func TestSeedSweepRejectsUnknownNames(t *testing.T) {
+	if _, err := SeedSweep(SeedSweepOptions{Scenario: "nope"}); err == nil {
+		t.Fatal("unknown scenario should error")
+	}
+	if _, err := SeedSweep(SeedSweepOptions{Platform: "nope"}); err == nil {
+		t.Fatal("unknown platform should error")
+	}
+	if _, err := SeedSweep(SeedSweepOptions{Scheme: "nope"}); err == nil {
+		t.Fatal("unknown scheme should error")
+	}
+	if _, err := SeedSweep(SeedSweepOptions{Scheme: "next", Learner: "nope"}); err == nil {
+		t.Fatal("unknown learner should error")
+	}
+}
+
+// The grid wiring pin: ScenarioGrid Lockstep batches every (scenario,
+// platform) pair's schemes through one engine, and rows — and the exact
+// bytes the CLI prints — stay identical to the scalar grid.
+func TestScenarioGridLockstepByteIdentical(t *testing.T) {
+	run := func(lockstep bool) ([]ScenarioRow, []byte) {
+		rows, err := ScenarioGrid(ScenarioOptions{
+			Seed:          42,
+			Scenarios:     []string{"doomscroll", "cold-start"},
+			Parallel:      4,
+			DurationScale: 0.02,
+			TrainSessions: 1,
+			Lockstep:      lockstep,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		WriteScenarioGrid(&buf, rows)
+		return rows, buf.Bytes()
+	}
+	scalarRows, scalarOut := run(false)
+	lockRows, lockOut := run(true)
+	a, _ := json.Marshal(scalarRows)
+	b, _ := json.Marshal(lockRows)
+	if !bytes.Equal(a, b) {
+		t.Fatal("lockstep grid rows diverged from scalar grid")
+	}
+	if !bytes.Equal(scalarOut, lockOut) {
+		t.Fatalf("printed grid differs:\n%s\n--- vs ---\n%s", scalarOut, lockOut)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"nextdvfs/internal/platform"
 	"nextdvfs/internal/scenario"
 	"nextdvfs/internal/session"
+	"nextdvfs/internal/sim"
 	"nextdvfs/internal/workload"
 )
 
@@ -63,6 +64,17 @@ type Options struct {
 	Learner string
 	// Explorer names the exploration strategy ("" = egreedy).
 	Explorer string
+	// Lockstep trains each same-scenario device cohort (the whole fleet
+	// for homogeneous runs) through one sim.BatchEngine per session
+	// round: every device is a lane with its own agent, engine seed and
+	// rng streams, while the cohort shares one tick loop and compiled
+	// session structure. This is a distinct training mode, not a
+	// transparent optimization — lockstep lanes must share session
+	// structure, so a cohort's session-s timelines compile from one
+	// shared structural seed derived from Options.Seed instead of each
+	// device's private seed. Outputs are deterministic but differ from
+	// a non-lockstep run of the same options.
+	Lockstep bool
 }
 
 func (o *Options) defaults() {
@@ -191,13 +203,22 @@ func Run(baseURL string, opts Options) (Report, error) {
 	report := Report{Options: opts, Devices: make([]DeviceResult, opts.Devices)}
 
 	// Phase 1 — simulate: every device trains its own agent on its own
-	// sessions (independent jobs, so the pool scales them).
+	// sessions (independent jobs, so the pool scales them). Lockstep
+	// mode regroups the same work into same-scenario cohorts that step
+	// one shared tick loop per session round.
 	agents := make([]*core.Agent, opts.Devices)
 	trainStart := time.Now()
-	batch.Map(opts.Devices, opts.Parallel, func(i int) {
-		report.Devices[i] = DeviceResult{Device: deviceName(i)}
-		agents[i] = trainDevice(&report.Devices[i], plat, opts, i)
-	})
+	if opts.Lockstep {
+		cohorts := lockstepCohorts(opts)
+		batch.Map(len(cohorts), opts.Parallel, func(ci int) {
+			trainCohort(report.Devices, agents, plat, opts, cohorts[ci])
+		})
+	} else {
+		batch.Map(opts.Devices, opts.Parallel, func(i int) {
+			report.Devices[i] = DeviceResult{Device: deviceName(i)}
+			agents[i] = trainDevice(&report.Devices[i], plat, opts, i)
+		})
+	}
 	report.TrainWallS = time.Since(trainStart).Seconds()
 
 	// Phase 2 — traffic: each device checks in, uploads, requests a
@@ -352,6 +373,136 @@ func trainScenarioDevice(res *DeviceResult, plat platform.Platform, opts Options
 		return nil
 	}
 	return agent
+}
+
+// lockstepCohorts partitions device indices into same-structure groups:
+// one cohort per scenario preset (the devices i sharing i mod
+// len(Scenarios)), or the whole fleet for homogeneous runs.
+func lockstepCohorts(opts Options) [][]int {
+	if len(opts.Scenarios) == 0 {
+		all := make([]int, opts.Devices)
+		for i := range all {
+			all[i] = i
+		}
+		return [][]int{all}
+	}
+	n := len(opts.Scenarios)
+	cohorts := make([][]int, 0, n)
+	for c := 0; c < n && c < opts.Devices; c++ {
+		var devs []int
+		for i := c; i < opts.Devices; i += n {
+			devs = append(devs, i)
+		}
+		cohorts = append(cohorts, devs)
+	}
+	return cohorts
+}
+
+// trainCohort runs one lockstep cohort's training: per session round,
+// every device is a lane of one BatchEngine — own agent (as the lane's
+// controller), own engine seed, shared compiled session structure from
+// the round's structural seed.
+func trainCohort(devices []DeviceResult, agents []*core.Agent, plat platform.Platform, opts Options, devs []int) {
+	var scn scenario.Scenario
+	scenarioCohort := len(opts.Scenarios) > 0
+	if scenarioCohort {
+		scn = scenario.MustGet(opts.Scenarios[devs[0]%len(opts.Scenarios)]) // validated in Run
+		if d := scn.DurS(); opts.SessionSecs > 0 && d > 0 {
+			scn = scenario.Scaled(scn, opts.SessionSecs/d)
+		}
+	}
+	laneAgents := make([]*core.Agent, len(devs))
+	for r, i := range devs {
+		devices[i] = DeviceResult{Device: deviceName(i)}
+		if scenarioCohort {
+			devices[i].Scenario = scn.Name
+		}
+		cfg := exp.DefaultAgentConfigFor(plat)
+		cfg.Seed = opts.Seed + int64(i+1)*7919
+		cfg.Learner = opts.Learner
+		cfg.Explorer = opts.Explorer
+		laneAgents[r] = core.NewAgent(cfg)
+	}
+
+	for s := 1; s <= opts.Sessions; s++ {
+		structSeed := opts.Seed + int64(s)*9973
+		cfgs := make([]sim.Config, len(devs))
+		for r, i := range devs {
+			devSeed := opts.Seed + int64(i+1)*7919
+			var cfg sim.Config
+			if scenarioCohort {
+				compiled, err := scenario.Compile(scn, structSeed, plat.AmbientC)
+				if err != nil {
+					failCohort(devices, devs, err)
+					return
+				}
+				cfg = plat.Config(compiled.Timeline, devSeed+int64(s))
+				cfg.Ambient = compiled.Ambient
+				cfg.Refresh = compiled.Refresh
+			} else {
+				rng := rand.New(rand.NewSource(structSeed))
+				tl := &session.Timeline{Scripts: []session.Script{
+					session.ForApp(workload.ByName(opts.App), session.Seconds(opts.SessionSecs), rng),
+				}}
+				cfg = plat.Config(tl, devSeed+int64(s))
+			}
+			cfg.Controller = laneAgents[r]
+			cfgs[r] = cfg
+		}
+		be, err := sim.NewBatch(cfgs)
+		if err != nil {
+			// Structural incompatibility is impossible by construction;
+			// defensively finish the round on scalar engines so training
+			// still completes.
+			for r := range cfgs {
+				eng, err := sim.New(cfgs[r])
+				if err != nil {
+					failCohort(devices, devs, err)
+					return
+				}
+				eng.Run()
+			}
+			continue
+		}
+		be.Run()
+	}
+
+	for r, i := range devs {
+		agent := laneAgents[r]
+		if scenarioCohort {
+			res := &devices[i]
+			res.Tables = make(map[string]*core.QTable)
+			for _, app := range agent.Apps() { // sorted
+				tab := agent.TableFor(app)
+				if tab == nil || tab.Table == nil || tab.Table.States() == 0 {
+					continue
+				}
+				res.Tables[app] = tab.Table.Clone()
+				res.States += tab.Table.States()
+				res.Steps += tab.Table.Steps
+			}
+			if len(res.Tables) == 0 {
+				res.Err = "scenario training produced no tables"
+				continue
+			}
+		} else {
+			tab := agent.TableFor(opts.App)
+			if tab == nil || tab.Table == nil {
+				devices[i].Err = "training produced no table"
+				continue
+			}
+			devices[i].States = tab.Table.States()
+			devices[i].Steps = tab.Table.Steps
+			devices[i].Uploaded = tab.Table.Clone()
+		}
+		agents[i] = agent
+	}
+}
+
+func failCohort(devices []DeviceResult, devs []int, err error) {
+	for _, i := range devs {
+		devices[i].Err = err.Error()
+	}
 }
 
 // driveDevice plays one device's HTTP session against the server: check

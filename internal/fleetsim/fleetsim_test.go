@@ -128,6 +128,84 @@ func TestFleetRunDeterministic(t *testing.T) {
 	}
 }
 
+// Lockstep is a distinct, deterministic training mode: two
+// identically-seeded lockstep fleets merge to byte-identical tables,
+// every device succeeds, and per-device tables still differ (each lane
+// keeps its own engine seed and rng streams inside the shared loop).
+func TestFleetLockstepDeterministic(t *testing.T) {
+	opts := Options{Devices: 5, Sessions: 2, SessionSecs: 5, Seed: 7, Parallel: 4, Lockstep: true}
+	var tables [][]byte
+	var first Report
+	for i := 0; i < 2; i++ {
+		_, url, done := startServer(t)
+		report, err := Run(url, opts)
+		done()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.Errors != 0 {
+			for _, d := range report.Devices {
+				if d.Err != "" {
+					t.Errorf("%s: %s", d.Device, d.Err)
+				}
+			}
+			t.Fatalf("run %d: %d device errors", i, report.Errors)
+		}
+		data, err := core.MarshalTable(report.Options.App, report.Merged, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables = append(tables, data)
+		if i == 0 {
+			first = report
+		}
+	}
+	if !bytes.Equal(tables[0], tables[1]) {
+		t.Fatal("same seeds, different lockstep merged tables")
+	}
+	a, _ := core.MarshalTable(first.Options.App, first.Devices[0].Uploaded, false)
+	b, _ := core.MarshalTable(first.Options.App, first.Devices[1].Uploaded, false)
+	if bytes.Equal(a, b) {
+		t.Fatal("lockstep lanes 0 and 1 trained identical tables; engine seeds not independent")
+	}
+}
+
+// A scenario fleet in lockstep mode groups devices into per-preset
+// cohorts; every cohort trains and federates successfully.
+func TestFleetLockstepScenarioCohorts(t *testing.T) {
+	_, url, done := startServer(t)
+	defer done()
+	opts := Options{
+		Devices: 6, Sessions: 1, SessionSecs: 6, Seed: 11, Parallel: 4,
+		Lockstep:  true,
+		Scenarios: []string{"doomscroll", "bursty-messaging"},
+	}
+	report, err := Run(url, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 0 {
+		for _, d := range report.Devices {
+			if d.Err != "" {
+				t.Errorf("%s: %s", d.Device, d.Err)
+			}
+		}
+		t.Fatalf("%d device errors", report.Errors)
+	}
+	if len(report.PerApp) == 0 {
+		t.Fatal("scenario fleet produced no per-app merges")
+	}
+	for i, d := range report.Devices {
+		want := opts.Scenarios[i%len(opts.Scenarios)]
+		if d.Scenario != want {
+			t.Fatalf("device %d trained %q, want %q", i, d.Scenario, want)
+		}
+		if len(d.Tables) == 0 {
+			t.Fatalf("device %d uploaded no tables", i)
+		}
+	}
+}
+
 func TestFleetRunServerMetricsSeeTraffic(t *testing.T) {
 	srv, url, done := startServer(t)
 	defer done()

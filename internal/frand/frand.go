@@ -1,0 +1,101 @@
+// Package frand is a devirtualized replay of math/rand's default
+// source: a Rand seeded with the same seed produces bit-for-bit the
+// Int63/Float64 stream of rand.New(rand.NewSource(seed)), but through
+// concrete inlinable methods instead of the Source interface dispatch
+// the standard Rand pays on every draw. The batched simulation engine
+// draws three jitter values per lane per tick, so that dispatch is a
+// measurable slice of the tick budget; the scalar engine keeps the
+// standard Rand and the two streams are pinned equal by TestMatchesStdlib.
+//
+// The trick is that the generator's future is fully determined by its
+// last 607 outputs. math/rand's source is the additive lagged Fibonacci
+// generator X(n) = X(n-607) + X(n-273) over int64, with outputs masked
+// to 63 bits. Addition carries only propagate upward, so the masked
+// stream is self-consistent: masked X(n) = (masked X(n-607) + masked
+// X(n-273)) mod 2^63. New draws 607 probe outputs from a throwaway
+// standard source and inverts the recurrence to recover the seeded
+// state — no copy of the stdlib's seeding tables, and immune to their
+// values by construction.
+package frand
+
+import "math/rand"
+
+const (
+	rngLen  = 607
+	rngTap  = 273
+	rngMask = 1<<63 - 1
+)
+
+// Rand replays the math/rand default-source stream for one seed. Not
+// safe for concurrent use, like rand.Rand with a private source.
+type Rand struct {
+	vec       [rngLen]int64 // 63-bit masked feedback register
+	tap, feed int
+}
+
+// New returns a generator whose Int63/Float64 stream is identical to
+// rand.New(rand.NewSource(seed)) from the first draw.
+func New(seed int64) *Rand {
+	probe := rand.New(rand.NewSource(seed))
+	var out [rngLen]int64
+	for i := range out {
+		out[i] = probe.Int63() // X(1) .. X(607)
+	}
+	// Invert X(n) = X(n-607) + X(n-273) (mod 2^63) to recover the
+	// pre-draw state X(-606) .. X(0). Draws 274..607 reach back into the
+	// observed outputs; draws 1..273 reach into the slice of the state
+	// recovered by the first pass.
+	pre := make([]int64, rngLen) // pre[i] holds X(i-606)
+	for m := rngTap + 1; m <= rngLen; m++ {
+		// X(m-607) = X(m) - X(m-273)
+		pre[m-1] = (out[m-1] - out[m-rngTap-1]) & rngMask
+	}
+	for m := 1; m <= rngTap; m++ {
+		// X(m-273) = pre state index (m-273)+606 = m+333
+		pre[m-1] = (out[m-1] - pre[m+333]) & rngMask
+	}
+	r := &Rand{}
+	// Lay the recovered state out in the stdlib source's post-seed slot
+	// order: its cursors start at tap=0, feed=334 and draw m consumes
+	// slot (334-m) mod 607 as the X(m-607) operand.
+	for m := 1; m <= rngLen; m++ {
+		slot := 334 - m
+		if slot < 0 {
+			slot += rngLen
+		}
+		r.vec[slot] = pre[m-1]
+	}
+	r.tap, r.feed = 0, rngLen-rngTap
+	return r
+}
+
+// Int63 returns the next value of the replayed stream: a non-negative
+// 63-bit integer, equal to the standard Rand's Int63.
+func (r *Rand) Int63() int64 {
+	t, f := r.tap-1, r.feed-1
+	if t < 0 {
+		t += rngLen
+	}
+	if f < 0 {
+		f += rngLen
+	}
+	x := (r.vec[f] + r.vec[t]) & rngMask
+	r.vec[f] = x
+	r.tap, r.feed = t, f
+	return x
+}
+
+// Float64 returns the next value in [0,1), equal to the standard
+// Rand's Float64 (including its resample-on-1.0 quirk). The standard
+// library divides by 2^63; multiplying by 2^-63 instead is the same
+// exact exponent shift (power-of-two scaling never rounds — the only
+// rounding is the shared int64→float64 conversion), so the streams stay
+// bit-identical while skipping the FP divide.
+func (r *Rand) Float64() float64 {
+	for {
+		f := float64(r.Int63()) * 0x1p-63
+		if f != 1 {
+			return f
+		}
+	}
+}

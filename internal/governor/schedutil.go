@@ -40,8 +40,22 @@ type Schedutil struct {
 	cfg SchedutilConfig
 
 	boostUntilUS int64
-	lastDownOK   map[string]int64 // per cluster: time since when a down-switch is allowed
-	savedFloors  map[string]int   // floors to restore when the boost window closes
+	// Per-cluster state lives in tiny linear-scanned slices rather than
+	// maps: a chip has a handful of clusters, so the scan beats hashing
+	// in the decision path and the backing arrays are reused across
+	// decisions (no per-boost allocation).
+	lastDownOK  []downEntry  // per cluster: time since when a down-switch is allowed
+	savedFloors []floorEntry // floors to restore when the boost window closes
+}
+
+type downEntry struct {
+	name    string
+	sinceUS int64
+}
+
+type floorEntry struct {
+	name  string
+	floor int
 }
 
 // NewSchedutil returns a schedutil governor with the given config.
@@ -52,10 +66,25 @@ func NewSchedutil(cfg SchedutilConfig) *Schedutil {
 	if cfg.IntervalUS <= 0 {
 		cfg.IntervalUS = 10_000
 	}
-	return &Schedutil{
-		cfg:        cfg,
-		lastDownOK: make(map[string]int64),
+	return &Schedutil{cfg: cfg}
+}
+
+func (s *Schedutil) downIdx(name string) int {
+	for i := range s.lastDownOK {
+		if s.lastDownOK[i].name == name {
+			return i
+		}
 	}
+	return -1
+}
+
+func (s *Schedutil) floorIdx(name string) int {
+	for i := range s.savedFloors {
+		if s.savedFloors[i].name == name {
+			return i
+		}
+	}
+	return -1
 }
 
 // Name implements Governor.
@@ -83,17 +112,16 @@ func (s *Schedutil) Decide(nowUS int64, obs []Observation) {
 		// open; restore when it closes.
 		if c.Kind == soc.KindCPU {
 			if boosting {
-				if s.savedFloors == nil {
-					s.savedFloors = make(map[string]int)
-				}
-				if _, saved := s.savedFloors[c.Name]; !saved {
-					s.savedFloors[c.Name] = c.Floor()
+				if s.floorIdx(c.Name) < 0 {
+					s.savedFloors = append(s.savedFloors, floorEntry{c.Name, c.Floor()})
 				}
 				boostIdx := int(float64(c.NumOPPs()-1) * s.cfg.BoostFloorFrac)
 				c.SetFloor(boostIdx)
-			} else if saved, ok := s.savedFloors[c.Name]; ok {
-				c.SetFloor(saved)
-				delete(s.savedFloors, c.Name)
+			} else if fi := s.floorIdx(c.Name); fi >= 0 {
+				c.SetFloor(s.savedFloors[fi].floor)
+				last := len(s.savedFloors) - 1
+				s.savedFloors[fi] = s.savedFloors[last]
+				s.savedFloors = s.savedFloors[:last]
 			}
 		}
 
@@ -104,24 +132,41 @@ func (s *Schedutil) Decide(nowUS int64, obs []Observation) {
 		if idx < c.Cur() {
 			// Down-switches are rate limited.
 			if s.cfg.DownRateLimitUS > 0 {
-				if since, ok := s.lastDownOK[c.Name]; !ok {
-					s.lastDownOK[c.Name] = nowUS
+				di := s.downIdx(c.Name)
+				if di < 0 {
+					s.lastDownOK = append(s.lastDownOK, downEntry{c.Name, nowUS})
 					continue
-				} else if nowUS-since < s.cfg.DownRateLimitUS {
+				} else if nowUS-s.lastDownOK[di].sinceUS < s.cfg.DownRateLimitUS {
 					continue
 				}
+				c.SetCur(idx)
+				s.lastDownOK[di].sinceUS = nowUS
+				continue
 			}
 			c.SetCur(idx)
-			s.lastDownOK[c.Name] = nowUS
+			s.setDown(c.Name, nowUS)
 		} else if idx > c.Cur() {
 			c.SetCur(idx)
-			delete(s.lastDownOK, c.Name)
+			s.dropDown(c.Name)
 		} else {
-			delete(s.lastDownOK, c.Name)
+			s.dropDown(c.Name)
 		}
 	}
-	if !boosting && len(s.savedFloors) == 0 {
-		s.savedFloors = nil
+}
+
+func (s *Schedutil) setDown(name string, nowUS int64) {
+	if di := s.downIdx(name); di >= 0 {
+		s.lastDownOK[di].sinceUS = nowUS
+		return
+	}
+	s.lastDownOK = append(s.lastDownOK, downEntry{name, nowUS})
+}
+
+func (s *Schedutil) dropDown(name string) {
+	if di := s.downIdx(name); di >= 0 {
+		last := len(s.lastDownOK) - 1
+		s.lastDownOK[di] = s.lastDownOK[last]
+		s.lastDownOK = s.lastDownOK[:last]
 	}
 }
 
@@ -130,6 +175,6 @@ func (s *Schedutil) Decide(nowUS int64, obs []Observation) {
 // Reset cannot restore floors it no longer remembers.
 func (s *Schedutil) Reset() {
 	s.boostUntilUS = 0
-	s.savedFloors = nil
-	s.lastDownOK = make(map[string]int64)
+	s.savedFloors = s.savedFloors[:0]
+	s.lastDownOK = s.lastDownOK[:0]
 }

@@ -58,6 +58,45 @@ func (m *Model) Table(c *soc.Cluster) *Table {
 // NumOPPs returns the number of operating points in the table.
 func (t *Table) NumOPPs() int { return len(t.dynFullW) }
 
+// Equal reports whether two tables hold exactly the same precomputed
+// constants — the per-cluster compatibility check sim.NewBatch runs
+// before sharing one table across lockstep lanes.
+func (t *Table) Equal(o *Table) bool {
+	if t == o {
+		return true
+	}
+	if len(t.dynFullW) != len(o.dynFullW) || t.leakTempCo != o.leakTempCo || t.idleW != o.idleW {
+		return false
+	}
+	for i := range t.dynFullW {
+		if t.dynFullW[i] != o.dynFullW[i] || t.leakVW[i] != o.leakVW[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Row returns the precomputed constants at OPP index idx (clamped like
+// Power): the 100 %-utilization dynamic power and the voltage leakage
+// factor. The batched engine mirrors the current OPP's row into its
+// per-lane state so the power integration loop indexes no tables; the
+// remaining Power terms come from TempCo and IdleW.
+func (t *Table) Row(idx int) (dynFullW, leakVW float64) {
+	if idx < 0 {
+		idx = 0
+	} else if idx >= len(t.dynFullW) {
+		idx = len(t.dynFullW) - 1
+	}
+	return t.dynFullW[idx], t.leakVW[idx]
+}
+
+// TempCo returns the leakage temperature coefficient applied per degree
+// away from the 25 °C reference.
+func (t *Table) TempCo() float64 { return t.leakTempCo }
+
+// IdleW returns the constant idle power term.
+func (t *Table) IdleW() float64 { return t.idleW }
+
 // Power returns the cluster's power at OPP index idx, utilization util
 // (clamped to [0,1]) and temperature tempC — bit-identical to
 // Model.PowerAt for in-range indices. Out-of-range indices are clamped

@@ -155,5 +155,11 @@ func (c *Cursor) At(nowUS int64) (app workload.App, inter workload.Interaction, 
 	}
 }
 
+// ScriptIndex returns the index of the script the cursor currently
+// points at. It is meaningful after an At call that returned ok; the
+// batched engine uses it to pick each lane's own App instance for the
+// position the shared cursor resolved.
+func (c *Cursor) ScriptIndex() int { return c.si }
+
 // Seconds converts seconds to the µs units used across the simulator.
 func Seconds(s float64) int64 { return int64(s * 1e6) }

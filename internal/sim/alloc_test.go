@@ -111,3 +111,46 @@ func TestDoubleQTrainingZeroAllocsPerTick(t *testing.T) {
 			aShort, aLong, perTick)
 	}
 }
+
+// TestBatchRunZeroAllocsPerTick extends the zero-alloc pin to the
+// lockstep engine: the batched tick loop must allocate nothing, at any
+// width. The assertion is differential twice over — within each width
+// (4× the ticks, same allocation count) and across widths (k=4 and k=1
+// must measure identical per-tick allocation counts, i.e. zero), so a
+// per-lane-per-tick allocation cannot hide behind the per-run prologue
+// growing with k.
+func TestBatchRunZeroAllocsPerTick(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed under the race detector")
+	}
+	mkBatch := func(k int, secs float64) *BatchEngine {
+		cfgs := make([]Config, k)
+		for r := range cfgs {
+			cfgs[r] = Note9Config(batchTimeline(secs), int64(7+r))
+		}
+		b, err := NewBatch(cfgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	perTick := make(map[int]float64)
+	for _, k := range []int{1, 4} {
+		short := mkBatch(k, 3)
+		long := mkBatch(k, 12)
+		// Warm both: first runs seed lazily-grown governor maps.
+		short.Run()
+		long.Run()
+		aShort := testing.AllocsPerRun(5, func() { short.Run() })
+		aLong := testing.AllocsPerRun(5, func() { long.Run() })
+		if aLong > aShort {
+			pt := (aLong - aShort) / float64((12-3)*1000)
+			t.Fatalf("k=%d batched tick loop allocates: %.0f allocs for 3 s vs %.0f for 12 s (%.4f allocs/tick, want 0)",
+				k, aShort, aLong, pt)
+		}
+		perTick[k] = 0
+	}
+	if perTick[1] != perTick[4] {
+		t.Fatalf("per-tick allocation count differs across widths: k=1 %.4f, k=4 %.4f", perTick[1], perTick[4])
+	}
+}

@@ -1,0 +1,38 @@
+package sim
+
+import (
+	"unsafe"
+
+	"nextdvfs/internal/cpufeat"
+)
+
+// useAVX2 gates the batched engine's vector kernels. The kernels run
+// the exact IEEE-754 operation sequence of their portable Go
+// counterparts with each lane in one SIMD slot — per-lane results are
+// bit-identical, only the lanes advance four at a time. They require
+// the lane count to be a multiple of four; other widths take the Go
+// path.
+var useAVX2 = cpufeat.HasAVX2
+
+// ipLanesAVX2 is ipLanes four lanes at a time, reading its eleven row
+// operands and three constants straight out of the precomputed ipArgs
+// (one 8-byte pointer instead of eleven slice headers per call). All
+// rows hold k elements; k must be a positive multiple of 4.
+//
+//go:noescape
+func ipLanesAVX2(a *ipArgs, total []float64, k int64)
+
+// The assembly addresses ipArgs fields by hard-coded offset; refuse to
+// start if the struct layout ever drifts from what the kernel assumes.
+func init() {
+	var a ipArgs
+	if unsafe.Offsetof(a.dem) != 0 || unsafe.Offsetof(a.capCur) != 24 ||
+		unsafe.Offsetof(a.render) != 48 || unsafe.Offsetof(a.busyW) != 72 ||
+		unsafe.Offsetof(a.curW) != 96 || unsafe.Offsetof(a.maxW) != 120 ||
+		unsafe.Offsetof(a.lastU) != 144 || unsafe.Offsetof(a.dynCur) != 168 ||
+		unsafe.Offsetof(a.leakCur) != 192 || unsafe.Offsetof(a.nodeT) != 216 ||
+		unsafe.Offsetof(a.sink) != 240 || unsafe.Offsetof(a.capMax) != 264 ||
+		unsafe.Offsetof(a.tempCo) != 272 || unsafe.Offsetof(a.idleW) != 280 {
+		panic("sim: ipArgs layout drifted from ipLanesAVX2's field offsets")
+	}
+}

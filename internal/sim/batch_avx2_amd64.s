@@ -1,0 +1,97 @@
+#include "textflag.h"
+
+// Float constants for the kernel: 1.0 and 25.0 (the leakage reference
+// temperature), broadcast into YMM registers at entry.
+DATA ipOne<>+0(SB)/8, $1.0
+GLOBL ipOne<>(SB), RODATA, $8
+DATA ipTwentyFive<>+0(SB)/8, $25.0
+GLOBL ipTwentyFive<>(SB), RODATA, $8
+
+// func ipLanesAVX2(a *ipArgs, total []float64, k int64)
+//
+// One cluster's power integration across k lanes, four per iteration.
+// The eleven row pointers and three broadcast constants load from the
+// ipArgs struct by fixed offset (pinned by the init check in
+// batch_avx2_amd64.go), so a call copies one pointer instead of eleven
+// slice headers.
+// Per lane this is instruction-for-instruction the IEEE sequence of
+// ipLanes: sub, max-with-zero, mul, min, three accumulating adds, div,
+// compare-mask, min-with-one, then the inlined Table.Power terms. The
+// clamp tie semantics match Go's strict comparisons: VMAXPD/VMINPD with
+// the variable as the second source return the variable on ties, which
+// is exactly `if x < 0 { x = 0 }` / `if x > 1 { x = 1 }`. Division by a
+// non-positive accumulated capacity yields Inf/NaN that the compare
+// mask immediately zeroes, matching the guarded Go division.
+TEXT ·ipLanesAVX2(SB), NOSPLIT, $0-40
+	MOVQ a+0(FP), AX
+	MOVQ 0(AX), SI    // dem
+	MOVQ 24(AX), DI   // capCur
+	MOVQ 48(AX), R8   // render
+	MOVQ 72(AX), R9   // busyW
+	MOVQ 96(AX), R10  // curW
+	MOVQ 120(AX), R11 // maxW
+	MOVQ 144(AX), R12 // lastU
+	MOVQ 168(AX), R13 // dynCur
+	MOVQ 192(AX), R14 // leakCur
+	MOVQ 216(AX), R15 // nodeT
+	MOVQ 240(AX), BX  // sink
+	MOVQ total_base+8(FP), DX
+
+	VBROADCASTSD 264(AX), Y0 // capMax
+	VBROADCASTSD 272(AX), Y1 // tempCo
+	VBROADCASTSD 280(AX), Y2 // idleW
+	MOVQ k+32(FP), AX
+	VBROADCASTSD ipOne<>(SB), Y3
+	VBROADCASTSD ipTwentyFive<>(SB), Y4
+	VXORPD Y5, Y5, Y5
+
+	XORQ CX, CX
+
+iploop:
+	VMOVUPD (DI)(CX*8), Y6     // capC
+	VMOVUPD (R8)(CX*8), Y7
+	VSUBPD  Y7, Y6, Y7         // avail = capC - render
+	VMAXPD  Y7, Y5, Y7         // if avail < 0 { avail = 0 }
+	VMOVUPD (SI)(CX*8), Y8
+	VMULPD  Y0, Y8, Y8         // bgCycles = bg * capMax
+	VMINPD  Y8, Y7, Y8         // if bgCycles > avail { bgCycles = avail }
+	VMOVUPD (R9)(CX*8), Y9
+	VADDPD  Y8, Y9, Y9         // busy = busyW + bgCycles
+	VMOVUPD Y9, (R9)(CX*8)
+	VMOVUPD (R10)(CX*8), Y10
+	VADDPD  Y6, Y10, Y10       // curCap = curW + capC
+	VMOVUPD Y10, (R10)(CX*8)
+	VMOVUPD (R11)(CX*8), Y11
+	VADDPD  Y0, Y11, Y11       // maxW += capMax
+	VMOVUPD Y11, (R11)(CX*8)
+
+	VDIVPD  Y10, Y9, Y12       // busy / curCap
+	VCMPPD  $0x1e, Y5, Y10, Y13 // curCap > 0 (GT_OQ)
+	VANDPD  Y13, Y12, Y12      // util = 0 where curCap <= 0
+	VMINPD  Y12, Y3, Y12       // if util > 1 { util = 1 }
+	VMOVUPD Y12, (R12)(CX*8)   // lastU
+
+	VMOVUPD (R13)(CX*8), Y14
+	VMULPD  Y12, Y14, Y14      // dyn = dynCur * util
+	VMOVUPD (R15)(CX*8), Y15
+	VSUBPD  Y4, Y15, Y15       // nodeT - 25
+	VMULPD  Y1, Y15, Y15       // tempCo * (nodeT - 25)
+	VADDPD  Y3, Y15, Y15       // 1 + ...
+	VMOVUPD (R14)(CX*8), Y6
+	VMULPD  Y15, Y6, Y6        // leak = leakCur * (1 + ...)
+	VMAXPD  Y6, Y5, Y6         // if leak < 0 { leak = 0 }
+	VADDPD  Y6, Y14, Y14       // w = dyn + leak
+	VADDPD  Y2, Y14, Y14       // w += idleW
+	VMOVUPD (DX)(CX*8), Y7
+	VADDPD  Y14, Y7, Y7        // total += w
+	VMOVUPD Y7, (DX)(CX*8)
+	VMOVUPD (BX)(CX*8), Y8
+	VADDPD  Y14, Y8, Y8        // sink += w
+	VMOVUPD Y8, (BX)(CX*8)
+
+	ADDQ $4, CX
+	CMPQ CX, AX
+	JL   iploop
+
+	VZEROUPPER
+	RET

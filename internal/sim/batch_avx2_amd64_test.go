@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The vector kernel must be bit-identical to the portable lane loop —
+// same IEEE operation sequence per lane, one lane per SIMD slot. The
+// states here exercise the clamp ties (render exceeding capacity,
+// zero accumulated capacity, negative leakage terms, zero background)
+// that the masked/min-max encodings must get exactly right.
+func TestIPLanesAVX2MatchesGo(t *testing.T) {
+	if !useAVX2 {
+		t.Skip("AVX2 unavailable")
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, k := range []int{4, 8, 16} {
+		for trial := 0; trial < 200; trial++ {
+			mk := func(scale float64) []float64 {
+				s := make([]float64, k)
+				for i := range s {
+					s[i] = scale * rng.Float64()
+				}
+				return s
+			}
+			dem := mk(1)
+			capCur := mk(2e6)
+			render := mk(3e6) // often exceeds capCur: avail clamp hits
+			busyW := mk(1e7)
+			curW := mk(1e7)
+			maxW := mk(1e7)
+			lastU := mk(1)
+			dynCur := mk(3)
+			leakCur := mk(0.5)
+			nodeT := mk(90)
+			sink := mk(5)
+			total := mk(5)
+			switch trial % 4 {
+			case 1: // zero accumulated capacity: the guarded division
+				for i := range curW {
+					curW[i], capCur[i] = 0, 0
+				}
+			case 2: // ties: bgCycles == avail, util == 1 paths
+				for i := range render {
+					render[i] = 0
+					dem[i] = 1
+					busyW[i], curW[i] = 0, 0
+				}
+			case 3: // strongly negative leakage temperature term
+				for i := range nodeT {
+					nodeT[i] = -60
+				}
+			}
+			capMax, tempCo, idleW := 2.2e6, 0.04, 0.12
+			if trial%3 == 0 {
+				tempCo = -0.9 // drives leak < 0: the leakage floor
+			}
+
+			type state struct{ busyW, curW, maxW, lastU, sink, total []float64 }
+			clone := func() state {
+				return state{
+					busyW: append([]float64(nil), busyW...),
+					curW:  append([]float64(nil), curW...),
+					maxW:  append([]float64(nil), maxW...),
+					lastU: append([]float64(nil), lastU...),
+					sink:  append([]float64(nil), sink...),
+					total: append([]float64(nil), total...),
+				}
+			}
+			g, v := clone(), clone()
+			ipLanes(dem, capCur, render, g.busyW, g.curW, g.maxW, g.lastU, dynCur, leakCur, nodeT, g.sink, g.total, capMax, tempCo, idleW)
+			args := ipArgs{
+				dem: dem, capCur: capCur, render: render,
+				busyW: v.busyW, curW: v.curW, maxW: v.maxW, lastU: v.lastU,
+				dynCur: dynCur, leakCur: leakCur, nodeT: nodeT, sink: v.sink,
+				capMax: capMax, tempCo: tempCo, idleW: idleW,
+			}
+			ipLanesAVX2(&args, v.total, int64(k))
+
+			cmp := func(name string, a, b []float64) {
+				for i := range a {
+					if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+						t.Fatalf("k=%d trial=%d %s[%d]: go %v (%#x) != avx2 %v (%#x)",
+							k, trial, name, i, a[i], math.Float64bits(a[i]), b[i], math.Float64bits(b[i]))
+					}
+				}
+			}
+			cmp("busyW", g.busyW, v.busyW)
+			cmp("curW", g.curW, v.curW)
+			cmp("maxW", g.maxW, v.maxW)
+			cmp("lastU", g.lastU, v.lastU)
+			cmp("sink", g.sink, v.sink)
+			cmp("total", g.total, v.total)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package sim
+
+// Off amd64 the vector kernels do not exist; useAVX2 is false and every
+// call site takes the portable Go path. The stub keeps the package
+// compiling on 386/arm64 crossbuilds.
+var useAVX2 = false
+
+func ipLanesAVX2(a *ipArgs, total []float64, k int64) {
+	panic("sim: ipLanesAVX2 unavailable on this architecture")
+}

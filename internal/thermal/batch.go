@@ -1,0 +1,206 @@
+package thermal
+
+// Batch integrates k independent copies of one RC network in lockstep —
+// the struct-of-arrays thermal state behind sim.BatchEngine. The
+// network structure (node list, heat capacities, ambient conductances,
+// sparse neighbor lists) is shared with the prototype Model; only the
+// temperatures and the dT scratch are per-lane, laid out node-major:
+// lane r of node i lives at temp[i*k+r], so the per-node inner loop
+// walks contiguous memory across lanes while the edge list and
+// coefficients are loaded once per node instead of once per lane.
+//
+// Per-lane arithmetic is the contract: for every lane, Step evaluates
+// exactly the terms Model.Step evaluates, in the same order, so a batch
+// lane is bit-identical to a scalar Model stepped with the same power
+// sequence (pinned by TestBatchMatchesScalarModel).
+type Batch struct {
+	// AmbientC is the shared ambient; sim keeps it in sync with the
+	// (validated-identical) ambient schedules of every lane.
+	AmbientC float64
+
+	k     int
+	capJK []float64
+	gAmb  []float64
+	// The sparse neighbor lists, flattened: node i owns edgeCnt[i]
+	// consecutive entries of edgeJK/edgeG (a shared cursor walks them in
+	// node order). Neighbor indices are pre-multiplied by the lane count
+	// so a temp-row lookup is one add; the flat layout is what the
+	// vector kernel walks directly.
+	edgeCnt []int64
+	edgeJK  []int64
+	edgeG   []float64
+	temp    []float64 // node-major: node i, lane r at [i*k+r]
+	dT      []float64
+}
+
+// NewBatch builds a k-lane batch over the prototype model's structure.
+// Every lane starts at the prototype's ambient.
+func NewBatch(m *Model, k int) *Batch {
+	if k <= 0 {
+		panic("thermal: batch needs at least one lane")
+	}
+	n := len(m.capJK)
+	b := &Batch{
+		AmbientC: m.AmbientC,
+		k:        k,
+		capJK:    m.capJK,
+		gAmb:     m.gAmb,
+		edgeCnt:  make([]int64, n),
+		temp:     make([]float64, n*k),
+		dT:       make([]float64, n*k),
+	}
+	for i, es := range m.nbrs {
+		b.edgeCnt[i] = int64(len(es))
+		for _, e := range es {
+			b.edgeJK = append(b.edgeJK, int64(e.j*k))
+			b.edgeG = append(b.edgeG, e.g)
+		}
+	}
+	b.Reset()
+	return b
+}
+
+// Lanes returns the lane count k.
+func (b *Batch) Lanes() int { return b.k }
+
+// NumNodes returns the node count of the shared structure.
+func (b *Batch) NumNodes() int { return len(b.capJK) }
+
+// TempC returns the temperature of node i in lane r.
+func (b *Batch) TempC(i, r int) float64 { return b.temp[i*b.k+r] }
+
+// Temps exposes the live node-major temperature storage (node i, lane r
+// at index i*Lanes()+r). Callers may read it directly in hot loops but
+// must not resize it; writes belong to Step/Reset.
+func (b *Batch) Temps() []float64 { return b.temp }
+
+// Reset returns every node of every lane to ambient.
+func (b *Batch) Reset() {
+	for i := range b.temp {
+		b.temp[i] = b.AmbientC
+	}
+}
+
+// Step advances every lane by dtSec. powerW is node-major like Temps:
+// the injection into node i of lane r at powerW[i*Lanes()+r]. Length
+// mismatches panic via bounds check, mirroring Model.Step.
+func (b *Batch) Step(dtSec float64, powerW []float64) {
+	powerW = powerW[:len(b.temp)]
+	if useAVX2 && b.k >= 4 && b.k%4 == 0 {
+		thermStepAVX2(b.temp, b.dT, powerW, b.gAmb, b.capJK, b.edgeG,
+			b.edgeJK, b.edgeCnt, int64(b.k), b.AmbientC, dtSec)
+		return
+	}
+	b.stepGo(dtSec, powerW)
+}
+
+// stepGo is the portable Step: edge-outer, lane-inner — each per-node
+// pass is a short branch-free sweep over k contiguous lanes with every
+// slice pre-cut to length k (so the bounds checks vanish), accumulating
+// the flow terms into dT in exactly Model.Step's order — ambient loss
+// first, then each neighbor edge ascending, then the capacity division.
+// thermStepAVX2 runs the identical per-lane IEEE sequence four lanes at
+// a time; TestThermStepAVX2MatchesGo pins the bit-level pairing.
+func (b *Batch) stepGo(dtSec float64, powerW []float64) {
+	k := b.k
+	temp := b.temp
+	dT := b.dT[:len(temp)]
+	amb := b.AmbientC
+	e0 := 0
+	for i, cap := range b.capJK {
+		gA := b.gAmb[i]
+		base := i * k
+		lane := temp[base:][:k:k]
+		pw := powerW[base:][:k:k]
+		out := dT[base:][:k:k]
+		for r := range out {
+			out[r] = pw[r] - gA*(lane[r]-amb)
+		}
+		for x := 0; x < int(b.edgeCnt[i]); x++ {
+			g := b.edgeG[e0+x]
+			row := temp[b.edgeJK[e0+x]:][:k:k]
+			for r := range out {
+				out[r] -= g * (lane[r] - row[r])
+			}
+		}
+		e0 += int(b.edgeCnt[i])
+		for r := range out {
+			out[r] = out[r] / cap * dtSec
+		}
+	}
+	for i := range temp {
+		temp[i] += dT[i]
+	}
+}
+
+// StructEqual reports whether two models share an identical network:
+// same nodes in the same order, same heat capacities, ambient
+// conductances, link conductances and ambient temperature. It is the
+// compatibility check sim.NewBatch runs before folding k runs onto one
+// shared structure.
+func (m *Model) StructEqual(o *Model) bool {
+	if m == o {
+		return true
+	}
+	if len(m.names) != len(o.names) || m.AmbientC != o.AmbientC {
+		return false
+	}
+	for i, name := range m.names {
+		if o.names[i] != name || o.capJK[i] != m.capJK[i] || o.gAmb[i] != m.gAmb[i] {
+			return false
+		}
+		for j := range m.g[i] {
+			if m.g[i][j] != o.g[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// BlendEqual reports whether two virtual sensors read the same blend:
+// same node indices with the same normalized weights. Models are not
+// compared — sim.NewBatch checks those separately via StructEqual.
+func (s *VirtualSensor) BlendEqual(o *VirtualSensor) bool {
+	if len(s.indices) != len(o.indices) {
+		return false
+	}
+	for i := range s.indices {
+		if s.indices[i] != o.indices[i] || s.weights[i] != o.weights[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadBatchC returns the sensor's blended temperature for lane r of a
+// batch, folding nodes in the same order (and therefore bit-identically)
+// as ReadC does over a scalar model. The batch must share the structure
+// of the sensor's model — sim.NewBatch validates this.
+func (s *VirtualSensor) ReadBatchC(b *Batch, r int) float64 {
+	var t float64
+	for x, i := range s.indices {
+		t += s.weights[x] * b.temp[i*b.k+r]
+	}
+	return t
+}
+
+// ReadAllBatchC fills dst[r] with the sensor's blended temperature for
+// every lane r — node-outer so each weighted row is one contiguous
+// sweep. Per lane the terms accumulate in the same ascending-node order
+// as ReadBatchC and ReadC, so the values are bit-identical; dst must
+// hold Lanes() elements.
+func (s *VirtualSensor) ReadAllBatchC(b *Batch, dst []float64) {
+	k := b.k
+	dst = dst[:k:k]
+	for r := range dst {
+		dst[r] = 0
+	}
+	for x, i := range s.indices {
+		w := s.weights[x]
+		row := b.temp[i*k:][:k:k]
+		for r := range dst {
+			dst[r] += w * row[r]
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package thermal
+
+import "nextdvfs/internal/cpufeat"
+
+// useAVX2 gates the vectorized batch step. The kernel computes the
+// exact IEEE-754 operation sequence of stepGo with each lane in one
+// SIMD slot — per-lane temperatures stay bit-identical to the scalar
+// Model. It requires the lane count to be a multiple of four; other
+// widths take the Go path.
+var useAVX2 = cpufeat.HasAVX2
+
+// thermStepAVX2 is stepGo four lanes at a time over the flattened
+// neighbor lists. All float slices are node-major with k lanes per
+// node; k must be a positive multiple of 4.
+//
+//go:noescape
+func thermStepAVX2(temp, dT, powerW, gAmb, capJK, edgeG []float64, edgeJK, edgeCnt []int64, k int64, amb, dtSec float64)

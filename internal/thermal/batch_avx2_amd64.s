@@ -1,0 +1,114 @@
+#include "textflag.h"
+
+// func thermStepAVX2(temp, dT, powerW, gAmb, capJK, edgeG []float64,
+//	edgeJK, edgeCnt []int64, k int64, amb, dtSec float64)
+//
+// The batched RC step, four lanes per iteration. Per lane this is the
+// IEEE sequence of stepGo: for each node, flow = pw - gA*(t-amb), then
+// flow -= g*(t - t_nbr) per neighbor in ascending order, then
+// dT = flow/cap*dtSec; finally temp += dT across all nodes. DX walks
+// the per-node lane rows of temp, DI the rows of dT, R8 the rows of
+// powerW; R11/R12 walk the flattened edge arrays in node order.
+TEXT ·thermStepAVX2(SB), NOSPLIT, $0-216
+	MOVQ temp_base+0(FP), SI
+	MOVQ dT_base+24(FP), DI
+	MOVQ powerW_base+48(FP), R8
+	MOVQ edgeG_base+120(FP), R11
+	MOVQ edgeJK_base+144(FP), R12
+	MOVQ edgeCnt_base+168(FP), R13
+	MOVQ k+192(FP), R14
+	MOVQ gAmb_len+80(FP), R15
+
+	VBROADCASTSD amb+200(FP), Y0
+	VBROADCASTSD dtSec+208(FP), Y1
+
+	MOVQ SI, DX // lane-row cursor over temp
+	XORQ BX, BX // node index
+
+nodeloop:
+	CMPQ BX, R15
+	JGE  nodesdone
+
+	// flow = pw - gA*(lane - amb)
+	MOVQ gAmb_base+72(FP), R9
+	VBROADCASTSD (R9)(BX*8), Y2
+	XORQ CX, CX
+
+pass1:
+	VMOVUPD (DX)(CX*8), Y3
+	VSUBPD  Y0, Y3, Y4  // lane - amb
+	VMULPD  Y2, Y4, Y4  // gA * (lane - amb)
+	VMOVUPD (R8)(CX*8), Y5
+	VSUBPD  Y4, Y5, Y5  // pw - gA*(lane-amb)
+	VMOVUPD Y5, (DI)(CX*8)
+	ADDQ    $4, CX
+	CMPQ    CX, R14
+	JL      pass1
+
+	// flow -= g*(lane - neighbor), neighbors in ascending stored order
+	MOVQ (R13)(BX*8), AX
+
+edgeloop:
+	TESTQ AX, AX
+	JZ    edgesdone
+	VBROADCASTSD (R11), Y2
+	MOVQ  (R12), R9
+	LEAQ  (SI)(R9*8), R9 // neighbor lane row
+	XORQ  CX, CX
+
+edgelanes:
+	VMOVUPD (DX)(CX*8), Y3
+	VMOVUPD (R9)(CX*8), Y4
+	VSUBPD  Y4, Y3, Y4  // lane - neighbor
+	VMULPD  Y2, Y4, Y4  // g * (lane - neighbor)
+	VMOVUPD (DI)(CX*8), Y5
+	VSUBPD  Y4, Y5, Y5  // flow -= ...
+	VMOVUPD Y5, (DI)(CX*8)
+	ADDQ    $4, CX
+	CMPQ    CX, R14
+	JL      edgelanes
+
+	ADDQ $8, R11
+	ADDQ $8, R12
+	DECQ AX
+	JMP  edgeloop
+
+edgesdone:
+	// dT = flow / cap * dtSec
+	MOVQ capJK_base+96(FP), R9
+	VBROADCASTSD (R9)(BX*8), Y2
+	XORQ CX, CX
+
+pass3:
+	VMOVUPD (DI)(CX*8), Y3
+	VDIVPD  Y2, Y3, Y3  // flow / cap
+	VMULPD  Y1, Y3, Y3  // * dtSec
+	VMOVUPD Y3, (DI)(CX*8)
+	ADDQ    $4, CX
+	CMPQ    CX, R14
+	JL      pass3
+
+	LEAQ (DX)(R14*8), DX
+	LEAQ (DI)(R14*8), DI
+	LEAQ (R8)(R14*8), R8
+	INCQ BX
+	JMP  nodeloop
+
+nodesdone:
+	// temp += dT over all n*k entries
+	MOVQ dT_base+24(FP), DI
+	MOVQ R15, AX
+	IMULQ R14, AX
+	XORQ CX, CX
+
+addloop:
+	VMOVUPD (SI)(CX*8), Y3
+	VMOVUPD (DI)(CX*8), Y4
+	VADDPD  Y4, Y3, Y3
+	VMOVUPD Y3, (SI)(CX*8)
+	ADDQ    $4, CX
+	CMPQ    CX, AX
+	JL      addloop
+
+	VZEROUPPER
+	RET

@@ -1,0 +1,42 @@
+package thermal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The vector step must be bit-identical to the portable one: same
+// nodes, same edge order, same IEEE sequence per lane. Two batches over
+// the same network are driven from identical randomized temperatures
+// with identical power injections — one through the kernel, one through
+// stepGo — and every temperature must match to the bit at every step.
+func TestThermStepAVX2MatchesGo(t *testing.T) {
+	if !useAVX2 {
+		t.Skip("AVX2 unavailable")
+	}
+	proto := Note9(23)
+	for _, k := range []int{4, 8, 12} {
+		va := NewBatch(proto, k)
+		gb := NewBatch(proto, k)
+		rng := rand.New(rand.NewSource(int64(k)))
+		ta, tb := va.Temps(), gb.Temps()
+		for i := range ta {
+			v := 20 + 60*rng.Float64()
+			ta[i], tb[i] = v, v
+		}
+		pw := make([]float64, len(ta))
+		for step := 0; step < 500; step++ {
+			for i := range pw {
+				pw[i] = 4 * rng.Float64()
+			}
+			va.Step(0.001, pw)
+			gb.stepGo(0.001, pw)
+			for i := range ta {
+				if math.Float64bits(ta[i]) != math.Float64bits(tb[i]) {
+					t.Fatalf("k=%d step=%d temp[%d]: avx2 %v != go %v", k, step, i, ta[i], tb[i])
+				}
+			}
+		}
+	}
+}

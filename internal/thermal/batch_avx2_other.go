@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package thermal
+
+// Off amd64 the vector kernel does not exist; useAVX2 is false and
+// Step always takes the portable Go path. The stub keeps the package
+// compiling on 386/arm64 crossbuilds.
+var useAVX2 = false
+
+func thermStepAVX2(temp, dT, powerW, gAmb, capJK, edgeG []float64, edgeJK, edgeCnt []int64, k int64, amb, dtSec float64) {
+	panic("thermal: thermStepAVX2 unavailable on this architecture")
+}

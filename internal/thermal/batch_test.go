@@ -1,0 +1,102 @@
+package thermal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBatchMatchesScalarModel pins the thermal half of the lockstep
+// bit-identity contract: every lane of a Batch, fed its own power
+// sequence, must integrate byte-identically to a scalar Model fed the
+// same sequence.
+func TestBatchMatchesScalarModel(t *testing.T) {
+	const (
+		k     = 4
+		steps = 500
+		dt    = 0.001
+	)
+	proto := Note9(25)
+	batch := NewBatch(proto, k)
+	n := proto.NumNodes()
+
+	scalars := make([]*Model, k)
+	for r := range scalars {
+		scalars[r] = Note9(25)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	scalarPow := make([][]float64, k)
+	for r := range scalarPow {
+		scalarPow[r] = make([]float64, n)
+	}
+	batchPow := make([]float64, n*k)
+	for s := 0; s < steps; s++ {
+		for r := 0; r < k; r++ {
+			for i := 0; i < n; i++ {
+				w := rng.Float64() * float64(r+1)
+				scalarPow[r][i] = w
+				batchPow[i*k+r] = w
+			}
+		}
+		batch.Step(dt, batchPow)
+		for r := 0; r < k; r++ {
+			scalars[r].Step(dt, scalarPow[r])
+		}
+	}
+	for r := 0; r < k; r++ {
+		for i := 0; i < n; i++ {
+			if got, want := batch.TempC(i, r), scalars[r].TempC(i); got != want {
+				t.Fatalf("lane %d node %d diverged: batch %v scalar %v", r, i, got, want)
+			}
+		}
+	}
+
+	// The batched virtual sensor must fold the same blend.
+	sensor := Note9DeviceSensor(proto)
+	for r := 0; r < k; r++ {
+		ref := Note9DeviceSensor(scalars[r])
+		if got, want := sensor.ReadBatchC(batch, r), ref.ReadC(); got != want {
+			t.Fatalf("lane %d sensor diverged: batch %v scalar %v", r, got, want)
+		}
+	}
+}
+
+func TestStructEqual(t *testing.T) {
+	a, b := Note9(25), Note9(25)
+	if !a.StructEqual(b) {
+		t.Fatal("identically-built models must be StructEqual")
+	}
+	if !Note9DeviceSensor(a).BlendEqual(Note9DeviceSensor(b)) {
+		t.Fatal("identically-built sensors must be BlendEqual")
+	}
+	c := Note9(30)
+	if a.StructEqual(c) {
+		t.Fatal("differing ambient must not be StructEqual")
+	}
+	d := NewModel(25, []NodeSpec{{Name: NodeBig, CapJPerK: 2, GAmbWPerK: 0.1}}, nil)
+	if a.StructEqual(d) {
+		t.Fatal("differing networks must not be StructEqual")
+	}
+}
+
+// TestBatchReset pins that Reset returns every lane to the shared
+// ambient, like Model.Reset does after an ambient-schedule run.
+func TestBatchReset(t *testing.T) {
+	b := NewBatch(Note9(21), 2)
+	pow := make([]float64, b.NumNodes()*b.Lanes())
+	for i := range pow {
+		pow[i] = 2
+	}
+	for s := 0; s < 100; s++ {
+		b.Step(0.01, pow)
+	}
+	b.AmbientC = 30
+	b.Reset()
+	for i := 0; i < b.NumNodes(); i++ {
+		for r := 0; r < b.Lanes(); r++ {
+			if b.TempC(i, r) != 30 {
+				t.Fatalf("node %d lane %d = %v after Reset, want 30", i, r, b.TempC(i, r))
+			}
+		}
+	}
+}

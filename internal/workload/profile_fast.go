@@ -1,0 +1,93 @@
+package workload
+
+import "nextdvfs/internal/frand"
+
+// TickFast is Tick with the jitter draws taken from a frand.Rand — the
+// batched engine's devirtualized per-lane path. Branches, draw order
+// and arithmetic mirror Tick exactly (same jitter clamps, same skip of
+// zero-valued channels), so a lane fed the replayed stream stays
+// bit-identical to a scalar engine fed the standard one; the pairing is
+// pinned by TestTickFastMatchesTick.
+func (a *ProfileApp) TickFast(nowUS, dtUS int64, inter Interaction, rng *frand.Rand) Demand {
+	var d Demand
+	switch inter {
+	case InterScroll, InterTouch:
+		a.pendingFrame = true
+		d.BigBg, d.LittleBg, d.GPUBg = a.p.ActiveBigBg, a.p.ActiveLittleBg, a.p.ActiveGPUBg
+	case InterPlay:
+		fps := a.p.GameFPS
+		if fps <= 0 {
+			fps = 60
+		}
+		a.cadence(nowUS, int64(1_000_000/fps))
+		d.BigBg, d.LittleBg, d.GPUBg = a.p.ActiveBigBg, a.p.ActiveLittleBg, a.p.ActiveGPUBg
+	case InterWatch:
+		fps := a.p.VideoFPS
+		if fps <= 0 {
+			fps = 30
+		}
+		a.cadence(nowUS, int64(1_000_000/fps))
+		d.BigBg, d.LittleBg, d.GPUBg = a.p.ActiveBigBg, a.p.ActiveLittleBg, a.p.ActiveGPUBg
+	case InterLoading:
+		a.pendingFrame = false
+		a.nextCadence = 0
+		d.BigBg, d.LittleBg = a.p.LoadingBigBg, a.p.LoadingLittleBg
+	default: // InterIdle, InterOff
+		a.pendingFrame = false
+		a.nextCadence = 0
+		d.BigBg, d.LittleBg, d.GPUBg = a.p.IdleBigBg, a.p.IdleLittleBg, a.p.IdleGPUBg
+	}
+	// The three background jitters, with jitterFast's body written out
+	// so the draws stay inside this one call frame: same skip of
+	// zero-valued channels, same draw order (big, little, GPU), same
+	// clamps.
+	if j := a.p.BgJitter; j > 0 {
+		if v := d.BigBg; v > 0 {
+			v *= 1 + j*(2*rng.Float64()-1)
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			d.BigBg = v
+		}
+		if v := d.LittleBg; v > 0 {
+			v *= 1 + j*(2*rng.Float64()-1)
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			d.LittleBg = v
+		}
+		if v := d.GPUBg; v > 0 {
+			v *= 1 + j*(2*rng.Float64()-1)
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			d.GPUBg = v
+		}
+	}
+	d.WantFrame = a.pendingFrame
+	return d
+}
+
+// StartFrameFast is StartFrame over a frand.Rand; same draw order (CPU
+// then GPU) and arithmetic.
+func (a *ProfileApp) StartFrameFast(inter Interaction, rng *frand.Rand) FrameJob {
+	a.pendingFrame = false
+	return FrameJob{
+		CPUWork:     jitteredFast(a.p.FrameCPUMean, a.p.FrameJitter, rng),
+		GPUWork:     jitteredFast(a.p.FrameGPUMean, a.p.FrameJitter, rng),
+		Parallelism: a.p.Parallelism,
+	}
+}
+
+func jitteredFast(mean, j float64, rng *frand.Rand) float64 {
+	if j <= 0 || rng == nil {
+		return mean
+	}
+	return mean * (1 + j*(2*rng.Float64()-1))
+}

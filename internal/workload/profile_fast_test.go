@@ -1,0 +1,44 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"nextdvfs/internal/frand"
+)
+
+// TickFast/StartFrameFast must track Tick/StartFrame draw for draw:
+// two copies of every preset app walked through every interaction with
+// paired rngs (stdlib vs replay) must emit identical demands and frame
+// jobs at every step.
+func TestTickFastMatchesTick(t *testing.T) {
+	inters := []Interaction{
+		InterIdle, InterTouch, InterScroll, InterWatch,
+		InterPlay, InterLoading, InterOff, InterScroll, InterIdle, InterPlay,
+	}
+	for _, app := range EvaluationApps() {
+		name := app.Name()
+		t.Run(name, func(t *testing.T) {
+			slow, fast := ByName(name), ByName(name)
+			srng := rand.New(rand.NewSource(7))
+			frng := frand.New(7)
+			now := int64(0)
+			for step := 0; step < 2000; step++ {
+				now += 1000
+				inter := inters[(step/97)%len(inters)]
+				ds := slow.Tick(now, 1000, inter, srng)
+				df := fast.TickFast(now, 1000, inter, frng)
+				if ds != df {
+					t.Fatalf("step %d inter %v: TickFast %+v != Tick %+v", step, inter, df, ds)
+				}
+				if ds.WantFrame && step%3 == 0 {
+					js := slow.StartFrame(inter, srng)
+					jf := fast.StartFrameFast(inter, frng)
+					if js != jf {
+						t.Fatalf("step %d: StartFrameFast %+v != StartFrame %+v", step, jf, js)
+					}
+				}
+			}
+		})
+	}
+}
