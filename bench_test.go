@@ -20,6 +20,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"nextdvfs/internal/cloud"
 	"nextdvfs/internal/core"
 	"nextdvfs/internal/ctrl"
 	"nextdvfs/internal/exp"
@@ -27,6 +28,7 @@ import (
 	"nextdvfs/internal/learner"
 	"nextdvfs/internal/platform"
 	"nextdvfs/internal/power"
+	"nextdvfs/internal/rollout"
 	"nextdvfs/internal/scenario"
 	"nextdvfs/internal/sim"
 	"nextdvfs/internal/soc"
@@ -283,6 +285,56 @@ func BenchmarkFleetCheckin(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "checkins/s")
+}
+
+// BenchmarkPolicyResolve measures the rollout manager's device-facing
+// hot path — cohort bucketing plus stable/candidate artifact selection
+// while a staged rollout is live — against 4096 registered devices.
+// Every policy download goes through Resolve, so it must stay far
+// cheaper than the HTTP serving around it; the floor is recorded in
+// BENCH_fleet.json.
+func BenchmarkPolicyResolve(b *testing.B) {
+	var now int64
+	m := rollout.New(rollout.Config{NowUS: func() int64 { now++; return now }})
+	names := make([]string, 4096)
+	for i := range names {
+		names[i] = fmt.Sprintf("dev-%08d", i)
+		m.RegisterDevice(names[i])
+	}
+	rng := rand.New(rand.NewSource(42))
+	mkSet := func() *learner.TableSet {
+		t := core.NewQTable(9)
+		for s := 0; s < 64; s++ {
+			row := make([]float64, 9)
+			for a := range row {
+				row[a] = rng.NormFloat64()
+			}
+			t.Q[core.StateKey(s)] = row
+			t.Visits[core.StateKey(s)] = rng.Intn(200) + 1
+		}
+		return learner.SingleTableSet(t)
+	}
+	// A stable and a distinct candidate, so Resolve walks the full
+	// staged-cohort split instead of the stable-only fast path.
+	for round := int64(1); round <= 2; round++ {
+		art, err := cloud.NewArtifact(mkSet(), round, len(names))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Submit("spotify@note9", art); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		art, _, ok := m.Resolve("spotify@note9", names[i%len(names)])
+		if !ok || art == nil {
+			b.Fatal("resolve returned no artifact")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "resolves/s")
 }
 
 // BenchmarkScenarioStep measures the scenario engine's hot path: one op

@@ -12,6 +12,7 @@
 //	nextbench -fig 7 -platform sd855       # same matrix on another SoC
 //	nextbench -fig 78 -parallel 8          # fan the grid across 8 workers
 //	nextbench -fleet 64                    # serving benchmark: 64-device fleet vs fleetd
+//	nextbench -fleet 16 -rollout           # staged-rollout A/B lifecycle on the fleet
 //	nextbench -platforms                   # list the registry
 //	nextbench -scenarios                   # scenario × platform × scheme grid
 //	nextbench -scenarios -schemes schedutil,powersave,next -scale 0.1
@@ -43,6 +44,7 @@ func main() {
 	plat := flag.String("platform", platform.DefaultName, "simulated device: "+strings.Join(platform.Names(), ", "))
 	parallel := flag.Int("parallel", 0, "worker-pool size for experiment grids (0 = GOMAXPROCS, 1 = sequential)")
 	fleet := flag.Int("fleet", 0, "serving benchmark: drive an in-process fleetd with N simulated devices and report throughput")
+	fleetRollout := flag.Bool("rollout", false, "for -fleet: run a staged-rollout A/B lifecycle (canary → promote/rollback) instead of plain training rounds")
 	listPlats := flag.Bool("platforms", false, "list registered platforms and exit")
 	scenarios := flag.Bool("scenarios", false, "run the scenario × platform × scheme grid instead of a figure")
 	schemes := flag.String("schemes", "schedutil,next", "for -scenarios: comma-separated schemes ("+strings.Join(nextdvfs.Schemes(), ", ")+")")
@@ -65,7 +67,7 @@ func main() {
 	}
 
 	if *fleet > 0 {
-		runFleet(*fleet, *plat, *seed, *parallel)
+		runFleet(*fleet, *plat, *seed, *parallel, *fleetRollout)
 		return
 	}
 
@@ -115,11 +117,17 @@ func main() {
 	}
 }
 
-func runFleet(devices int, plat string, seed int64, parallel int) {
-	fmt.Printf("== Serving benchmark: %d-device fleet against an in-process fleetd ==\n", devices)
-	report, err := nextdvfs.BenchFleet(fleetsim.Options{
+func runFleet(devices int, plat string, seed int64, parallel int, withRollout bool) {
+	opts := fleetsim.Options{
 		Devices: devices, Platform: plat, Seed: seed, Parallel: parallel,
-	})
+	}
+	if withRollout {
+		opts.Rollout = &fleetsim.RolloutOptions{}
+		fmt.Printf("== Staged-rollout A/B: %d-device fleet against an in-process fleetd ==\n", devices)
+	} else {
+		fmt.Printf("== Serving benchmark: %d-device fleet against an in-process fleetd ==\n", devices)
+	}
+	report, err := nextdvfs.BenchFleet(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nextbench:", err)
 		os.Exit(1)

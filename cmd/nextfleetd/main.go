@@ -14,6 +14,14 @@
 // merges and pulls), and print throughput:
 //
 //	nextfleetd -bench 64 -app spotify -platform note9 -seed 42
+//
+// Rollout mode: pass -rollout to enable the policy lifecycle in serve
+// mode (versioned artifacts, staged canary rollout, automatic
+// QoS/energy rollback), or combine -bench with -rollout to run a full
+// A/B lifecycle against the simulated fleet:
+//
+//	nextfleetd -addr 127.0.0.1:8077 -rollout
+//	nextfleetd -bench 16 -rollout -app chrome -seconds 6 -seed 1
 package main
 
 import (
@@ -40,17 +48,23 @@ func main() {
 	seed := flag.Int64("seed", 42, "base seed; device i trains from seed+(i+1)*7919")
 	parallel := flag.Int("parallel", 0, "device worker-pool size (0 = GOMAXPROCS)")
 	learnerName := flag.String("learner", "", "TD update rule every device trains with (bench mode; \"\" = watkins)")
+	rollout := flag.Bool("rollout", false, "enable the policy lifecycle: versioned artifacts, staged canary rollout, automatic rollback (serve mode), or run an A/B lifecycle (bench mode)")
+	sabotage := flag.Bool("sabotage", false, "rollout bench: corrupt the candidate generation's uploads so the canary regresses and the server rolls back")
 	flag.Parse()
 
 	if *bench > 0 {
-		runBench(*bench, *app, *plat, *sessions, *seconds, *seed, *parallel, *learnerName)
+		runBench(*bench, *app, *plat, *sessions, *seconds, *seed, *parallel, *learnerName, *rollout, *sabotage)
 		return
 	}
-	serve(*addr, *snapshot)
+	serve(*addr, *snapshot, *rollout)
 }
 
-func serve(addr, snapshot string) {
-	srv, err := nextdvfs.ServeFleet(nextdvfs.FleetServeOptions{Addr: addr, SnapshotDir: snapshot})
+func serve(addr, snapshot string, enableRollout bool) {
+	opts := nextdvfs.FleetServeOptions{Addr: addr, SnapshotDir: snapshot}
+	if enableRollout {
+		opts.Rollout = &nextdvfs.RolloutConfig{}
+	}
+	srv, err := nextdvfs.ServeFleet(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nextfleetd:", err)
 		os.Exit(1)
@@ -64,6 +78,10 @@ func serve(addr, snapshot string) {
 	fmt.Println("  POST /v1/merge     run a federated merge round")
 	fmt.Println("  GET  /v1/policy    download the merged policy")
 	fmt.Println("  GET  /v1/apps      list known policies")
+	if enableRollout {
+		fmt.Println("  GET  /v1/rollout   staged-rollout status (versions, stage, cohort reports)")
+		fmt.Println("  POST /v1/report    device QoS/energy report for the active candidate")
+	}
 	fmt.Println("  GET  /healthz      liveness")
 	fmt.Println("  GET  /metrics      request counts and merge latencies")
 
@@ -74,13 +92,19 @@ func serve(addr, snapshot string) {
 	srv.Close()
 }
 
-func runBench(devices int, app, plat string, sessions int, seconds float64, seed int64, parallel int, learnerName string) {
-	fmt.Printf("== fleet bench: %d devices × %d session(s) of %s on %s ==\n", devices, sessions, app, plat)
-	report, err := nextdvfs.BenchFleet(fleetsim.Options{
+func runBench(devices int, app, plat string, sessions int, seconds float64, seed int64, parallel int, learnerName string, withRollout, sabotage bool) {
+	opts := fleetsim.Options{
 		Devices: devices, App: app, Platform: plat,
 		Sessions: sessions, SessionSecs: seconds,
 		Seed: seed, Parallel: parallel, Learner: learnerName,
-	})
+	}
+	if withRollout {
+		opts.Rollout = &fleetsim.RolloutOptions{Sabotage: sabotage}
+		fmt.Printf("== fleet rollout A/B: %d devices × %d session(s) of %s on %s ==\n", devices, sessions, app, plat)
+	} else {
+		fmt.Printf("== fleet bench: %d devices × %d session(s) of %s on %s ==\n", devices, sessions, app, plat)
+	}
+	report, err := nextdvfs.BenchFleet(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nextfleetd:", err)
 		os.Exit(1)

@@ -1,0 +1,52 @@
+// Rollout: the policy lifecycle on top of federated training — every
+// cloud merge round becomes a versioned immutable artifact, a new
+// candidate ships to a staged canary cohort (1% → 10% → 100% of
+// devices, widened to a minimum cohort on small fleets), and the server
+// promotes or rolls it back automatically on the cohorts' measured
+// energy and QoS.
+//
+// The demo runs the lifecycle twice against an in-process fleet server:
+// first a healthy candidate (one more training generation) that the
+// evaluator promotes to stable, then a sabotaged candidate (its GPU
+// clock preference floored) whose canary cohort burns measurably more
+// energy — the energy guard rolls the fleet back to the last-good
+// version without any operator action.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"nextdvfs"
+)
+
+func main() {
+	devices := flag.Int("devices", 16, "simulated fleet size")
+	sessions := flag.Int("sessions", 1, "training sessions per device per generation")
+	seconds := flag.Float64("seconds", 6, "simulated seconds per session")
+	seed := flag.Int64("seed", 1, "base seed (device i trains from seed+(i+1)*7919)")
+	flag.Parse()
+
+	for _, sabotage := range []bool{false, true} {
+		if sabotage {
+			fmt.Println("--- degraded candidate: uploads corrupted to floor the GPU clock ---")
+		} else {
+			fmt.Println("--- healthy candidate: one more training generation ---")
+		}
+		report, err := nextdvfs.BenchFleet(nextdvfs.FleetSimOptions{
+			Devices: *devices, App: "chrome",
+			Sessions: *sessions, SessionSecs: *seconds, Seed: *seed,
+			Rollout: &nextdvfs.FleetRolloutOptions{Sabotage: sabotage},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		report.WriteSummary(os.Stdout)
+		ro := report.Rollout
+		fmt.Printf("=> stable v%d, candidate v%d: %s (fleet now on v%d)\n\n",
+			ro.StableVersion, ro.CandidateVersion, ro.Outcome, ro.FinalVersion)
+	}
+	fmt.Println("policy lifecycle complete: healthy candidates promote, regressions roll back on their own")
+}

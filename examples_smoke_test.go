@@ -26,6 +26,7 @@ func TestExamplesSmoke(t *testing.T) {
 		{"./examples/gaming", []string{"-sessions", "1", "-trainsec", "5", "-seconds", "5", "-qosfloor", "0"}, "saves"},
 		{"./examples/federated", []string{"-sessions", "1", "-trainsec", "5", "-seconds", "5"}, "merged table"},
 		{"./examples/learners", []string{"-sessions", "1", "-trainsec", "5", "-seconds", "5"}, "learner comparison complete"},
+		{"./examples/rollout", []string{"-devices", "16", "-sessions", "1", "-seconds", "6"}, "policy lifecycle complete"},
 	}
 	for _, c := range cases {
 		c := c

@@ -15,6 +15,7 @@ import (
 
 	"nextdvfs/internal/core"
 	"nextdvfs/internal/learner"
+	"nextdvfs/internal/rollout"
 )
 
 // TrainerConfig is the cloud cost model.
@@ -146,6 +147,31 @@ func MergeTableSets(sets []*learner.TableSet) (*learner.TableSet, error) {
 		merged.Roles[j] = learner.RoleTable{Role: role, Table: m}
 	}
 	return merged, nil
+}
+
+// NewArtifact wraps a merge round's output as an unversioned policy
+// artifact: the canonical content hash, the learner identity, and the
+// merge provenance (round, contributing devices, state count). The
+// rollout manager assigns Version, Parent and CreatedUS on Submit —
+// versions are a per-key lifecycle property, not a merge property.
+func NewArtifact(set *learner.TableSet, round int64, devices int) (rollout.Artifact, error) {
+	if set == nil || set.Primary() == nil {
+		return rollout.Artifact{}, fmt.Errorf("cloud: empty merge output")
+	}
+	hash, err := core.HashTableSet(set)
+	if err != nil {
+		return rollout.Artifact{}, fmt.Errorf("cloud: hashing merge output: %w", err)
+	}
+	return rollout.Artifact{
+		ArtifactMeta: core.ArtifactMeta{
+			Hash:    hash,
+			Learner: learner.Normalize(set.Learner),
+			Round:   round,
+			Devices: devices,
+			States:  set.Primary().States(),
+		},
+		Set: set,
+	}, nil
 }
 
 // Fleet is a set of devices (agents) participating in federated

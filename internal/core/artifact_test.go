@@ -1,0 +1,124 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nextdvfs/internal/learner"
+)
+
+func artifactTestSet() *TableSet {
+	t := NewQTable(3)
+	t.Q[StateKey(7)] = []float64{1, 2, 3}
+	t.Q[StateKey(9)] = []float64{-1, 0, 1}
+	t.Visits[StateKey(7)] = 4
+	t.Visits[StateKey(9)] = 2
+	t.Steps = 6
+	return learner.SingleTableSet(t)
+}
+
+func TestHashTableSetDeterministic(t *testing.T) {
+	set := artifactTestSet()
+	h1, err := HashTableSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := HashTableSet(set.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 || !strings.HasPrefix(h1, "sha256:") {
+		t.Fatalf("hash not deterministic or malformed: %q vs %q", h1, h2)
+	}
+	other := artifactTestSet()
+	other.Primary().Q[StateKey(7)][0] = 99
+	h3, _ := HashTableSet(other)
+	if h3 == h1 {
+		t.Fatal("different tables share a content hash")
+	}
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	set := artifactTestSet()
+	hash, err := HashTableSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := ArtifactMeta{
+		Version: 3, Hash: hash, Learner: learner.DefaultLearner,
+		Parent: 2, Round: 9, Devices: 4, States: 2, CreatedUS: 1234,
+	}
+	data, err := MarshalArtifact(meta, set)
+	if err != nil {
+		t.Fatalf("MarshalArtifact: %v", err)
+	}
+	got, gotSet, err := UnmarshalArtifact(data)
+	if err != nil {
+		t.Fatalf("UnmarshalArtifact: %v", err)
+	}
+	if got != meta {
+		t.Fatalf("meta round trip: %+v != %+v", got, meta)
+	}
+	a, _ := MarshalTableSetCompact("", set, true)
+	b, _ := MarshalTableSetCompact("", gotSet, true)
+	if !bytes.Equal(a, b) {
+		t.Fatal("table payload drifted through the artifact round trip")
+	}
+}
+
+func TestUnmarshalArtifactHostileInputs(t *testing.T) {
+	set := artifactTestSet()
+	hash, _ := HashTableSet(set)
+	good := ArtifactMeta{Version: 2, Hash: hash, Learner: learner.DefaultLearner, Parent: 1, States: 2}
+
+	for name, mutate := range map[string]func(*ArtifactMeta){
+		"zero-version":     func(m *ArtifactMeta) { m.Version = 0 },
+		"negative-version": func(m *ArtifactMeta) { m.Version = -1 },
+		"parent>=version":  func(m *ArtifactMeta) { m.Parent = 2 },
+		"negative-parent":  func(m *ArtifactMeta) { m.Parent = -1 },
+		"no-hash":          func(m *ArtifactMeta) { m.Hash = "" },
+		"negative-devices": func(m *ArtifactMeta) { m.Devices = -1 },
+	} {
+		m := good
+		mutate(&m)
+		if _, err := MarshalArtifact(m, set); err == nil {
+			t.Errorf("%s: MarshalArtifact accepted %+v", name, m)
+		}
+	}
+
+	// A well-formed artifact whose payload was altered after hashing.
+	data, err := MarshalArtifact(good, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := bytes.Replace(data, []byte(`"7":[1,2,3]`), []byte(`"7":[8,2,3]`), 1)
+	if bytes.Equal(tampered, data) {
+		t.Fatalf("tamper target not found in %s", data)
+	}
+	if _, _, err := UnmarshalArtifact(tampered); err == nil || !strings.Contains(err.Error(), "hash") {
+		t.Fatalf("tampered artifact = %v, want content-hash error", err)
+	}
+
+	// Lying metadata: claimed state count differs from the payload.
+	lying := good
+	lying.States = 99
+	data, err = MarshalArtifact(lying, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := UnmarshalArtifact(data); err == nil || !strings.Contains(err.Error(), "states") {
+		t.Fatalf("states-mismatch artifact = %v, want states error", err)
+	}
+
+	// Lying learner name.
+	wrongLearner := good
+	wrongLearner.Learner = "doubleq"
+	data, err = MarshalArtifact(wrongLearner, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := UnmarshalArtifact(data); err == nil || !strings.Contains(err.Error(), "learner") {
+		t.Fatalf("learner-mismatch artifact = %v, want learner error", err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"nextdvfs/internal/core"
+	"nextdvfs/internal/rollout"
 )
 
 // Client is the device-side API of the fleet policy service: what a
@@ -150,6 +151,126 @@ func (c *Client) PolicySet(app, platform string) (*core.TableSet, int64, error) 
 	}
 	round, _ := strconv.ParseInt(resp.Header.Get(roundHeader), 10, 64)
 	return set, round, nil
+}
+
+// PolicyMeta is the lifecycle metadata a version-aware policy download
+// carries: which artifact version the device got, which cohort it is
+// in, the merge round, and the ETag to echo back next time.
+type PolicyMeta struct {
+	Version int64
+	Cohort  string
+	Round   int64
+	ETag    string
+}
+
+// PolicyForDevice is the version-aware policy download: the server
+// resolves the device's cohort (canary devices get the candidate
+// artifact during a staged rollout) and honors If-None-Match — when
+// etag matches the current artifact the server answers 304 and
+// PolicyForDevice returns (nil, meta, false, nil), skipping the
+// redundant table download. Pass the ETag from the previous call ("" on
+// the first).
+func (c *Client) PolicyForDevice(device, app, platform, etag string) (*core.TableSet, PolicyMeta, bool, error) {
+	u := fmt.Sprintf("%s/v1/policy?app=%s&platform=%s&device=%s",
+		c.base, url.QueryEscape(app), url.QueryEscape(platform), url.QueryEscape(device))
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return nil, PolicyMeta{}, false, err
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, PolicyMeta{}, false, err
+	}
+	defer resp.Body.Close()
+	meta := PolicyMeta{ETag: resp.Header.Get("ETag")}
+	meta.Version, _ = strconv.ParseInt(resp.Header.Get(versionHeader), 10, 64)
+	meta.Round, _ = strconv.ParseInt(resp.Header.Get(roundHeader), 10, 64)
+	meta.Cohort = resp.Header.Get(cohortHeader)
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		return nil, meta, false, nil
+	case http.StatusOK:
+	default:
+		return nil, PolicyMeta{}, false, apiErrorOf(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, PolicyMeta{}, false, err
+	}
+	_, set, _, err := core.UnmarshalTableSet(data)
+	if err != nil {
+		return nil, PolicyMeta{}, false, err
+	}
+	return set, meta, true, nil
+}
+
+// ReportEval submits a device's measured evaluation of the policy
+// version it ran; the reply names the cohort the report counted toward.
+func (c *Client) ReportEval(app, platform string, rep rollout.EvalReport) (ReportReply, error) {
+	body, err := json.Marshal(rep)
+	if err != nil {
+		return ReportReply{}, err
+	}
+	u := fmt.Sprintf("%s/v1/report?app=%s&platform=%s",
+		c.base, url.QueryEscape(app), url.QueryEscape(platform))
+	resp, err := c.http.Post(u, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return ReportReply{}, err
+	}
+	var reply ReportReply
+	err = c.decode(resp, &reply)
+	return reply, err
+}
+
+// RolloutStatus fetches one policy's rollout state.
+func (c *Client) RolloutStatus(app, platform string) (rollout.Status, error) {
+	u := fmt.Sprintf("%s/v1/rollout?app=%s&platform=%s",
+		c.base, url.QueryEscape(app), url.QueryEscape(platform))
+	resp, err := c.http.Get(u)
+	if err != nil {
+		return rollout.Status{}, err
+	}
+	var st rollout.Status
+	err = c.decode(resp, &st)
+	return st, err
+}
+
+// RolloutStatuses lists rollout state for every policy key.
+func (c *Client) RolloutStatuses() ([]rollout.Status, error) {
+	resp, err := c.http.Get(c.base + "/v1/rollout")
+	if err != nil {
+		return nil, err
+	}
+	var sts []rollout.Status
+	err = c.decode(resp, &sts)
+	return sts, err
+}
+
+// RolloutAdvance asks the server to judge the active stage: promote,
+// advance, or automatically roll back on a QoS/energy regression.
+func (c *Client) RolloutAdvance(app, platform string) (rollout.Decision, error) {
+	return c.rolloutAction("advance", app, platform)
+}
+
+// RolloutRollback is the operator override: drop the candidate and
+// return the whole fleet to the stable artifact.
+func (c *Client) RolloutRollback(app, platform string) (rollout.Decision, error) {
+	return c.rolloutAction("rollback", app, platform)
+}
+
+func (c *Client) rolloutAction(action, app, platform string) (rollout.Decision, error) {
+	u := fmt.Sprintf("%s/v1/rollout/%s?app=%s&platform=%s",
+		c.base, action, url.QueryEscape(app), url.QueryEscape(platform))
+	resp, err := c.http.Post(u, "application/json", nil)
+	if err != nil {
+		return rollout.Decision{}, err
+	}
+	var d rollout.Decision
+	err = c.decode(resp, &d)
+	return d, err
 }
 
 // Apps lists the server's known policies, optionally filtered to one

@@ -5,14 +5,16 @@ import (
 	"io"
 	"sync/atomic"
 	"time"
+
+	"nextdvfs/internal/rollout"
 )
 
 // numLabels counts the API endpoints instrumented below.
-const numLabels = 7
+const numLabels = 9
 
 // Request labels, one per API endpoint. The metrics page iterates this
 // list so every counter appears even at zero.
-var requestLabels = [numLabels]string{"checkin", "upload", "merge", "policy", "apps", "healthz", "metrics"}
+var requestLabels = [numLabels]string{"checkin", "upload", "merge", "policy", "apps", "rollout", "report", "healthz", "metrics"}
 
 // Metrics is the server's instrumentation: per-endpoint request and
 // error counters plus a merge-latency summary, all lock-free atomics on
@@ -119,4 +121,34 @@ func (m *Metrics) write(w io.Writer, keys, merged, uploads, devices, untracked i
 	fmt.Fprintf(w, "# HELP fleetd_restored_tables Policies warm-started from a snapshot at boot.\n")
 	fmt.Fprintf(w, "# TYPE fleetd_restored_tables gauge\n")
 	fmt.Fprintf(w, "fleetd_restored_tables %d\n", m.restored.Load())
+}
+
+// writeRolloutMetrics renders the policy-lifecycle gauges. Emitted only
+// on rollout-enabled servers, so the default exposition is unchanged.
+func writeRolloutMetrics(w io.Writer, statuses []rollout.Status, rollbacksTotal int64) {
+	fmt.Fprintf(w, "# HELP fleetd_rollout_version Current policy artifact version, by policy and lifecycle state.\n")
+	fmt.Fprintf(w, "# TYPE fleetd_rollout_version gauge\n")
+	for _, st := range statuses {
+		if st.Stable != nil {
+			fmt.Fprintf(w, "fleetd_rollout_version{policy=%q,state=\"stable\"} %d\n", st.Key, st.Stable.Version)
+		}
+		if st.Candidate != nil {
+			fmt.Fprintf(w, "fleetd_rollout_version{policy=%q,state=\"candidate\"} %d\n", st.Key, st.Candidate.Version)
+		}
+	}
+	fmt.Fprintf(w, "# HELP fleetd_rollout_stage_bps Active canary stage size in basis points (0 = no active rollout); effective widens to the MinCanary floor.\n")
+	fmt.Fprintf(w, "# TYPE fleetd_rollout_stage_bps gauge\n")
+	for _, st := range statuses {
+		fmt.Fprintf(w, "fleetd_rollout_stage_bps{policy=%q,kind=\"stage\"} %d\n", st.Key, st.StageBps)
+		fmt.Fprintf(w, "fleetd_rollout_stage_bps{policy=%q,kind=\"effective\"} %d\n", st.Key, st.EffectiveBps)
+	}
+	fmt.Fprintf(w, "# HELP fleetd_rollout_cohort_reports Evaluation reports collected this stage, by policy and cohort.\n")
+	fmt.Fprintf(w, "# TYPE fleetd_rollout_cohort_reports gauge\n")
+	for _, st := range statuses {
+		fmt.Fprintf(w, "fleetd_rollout_cohort_reports{policy=%q,cohort=\"canary\"} %d\n", st.Key, st.CanaryReports)
+		fmt.Fprintf(w, "fleetd_rollout_cohort_reports{policy=%q,cohort=\"control\"} %d\n", st.Key, st.ControlReports)
+	}
+	fmt.Fprintf(w, "# HELP fleetd_rollout_rollbacks_total Automatic and operator policy rollbacks since start.\n")
+	fmt.Fprintf(w, "# TYPE fleetd_rollout_rollbacks_total counter\n")
+	fmt.Fprintf(w, "fleetd_rollout_rollbacks_total %d\n", rollbacksTotal)
 }

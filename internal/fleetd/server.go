@@ -6,15 +6,26 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"nextdvfs/internal/cloud"
 	"nextdvfs/internal/core"
+	"nextdvfs/internal/rollout"
 )
 
 // roundHeader carries the merge-round number on policy downloads.
 const roundHeader = "X-Fleet-Round"
+
+// Version-negotiation headers on policy downloads when the rollout
+// lifecycle is enabled.
+const (
+	versionHeader = "X-Fleet-Version"
+	cohortHeader  = "X-Fleet-Cohort"
+)
 
 // maxTrackedDevices bounds the distinct-device set behind the
 // fleetd_devices_seen gauge. Check-ins are unauthenticated, so an
@@ -31,6 +42,11 @@ type Config struct {
 	SnapshotDir string
 	// MaxBodyBytes bounds upload bodies (0 → 16 MiB).
 	MaxBodyBytes int64
+	// Rollout enables the policy-lifecycle subsystem: merge rounds mint
+	// versioned artifacts that reach the fleet through staged canary
+	// cohorts with automatic QoS/energy rollback. Nil disables it —
+	// policy serving then behaves exactly as before.
+	Rollout *rollout.Config
 }
 
 // Server is the fleet policy service: an http.Handler over a Store.
@@ -38,6 +54,7 @@ type Server struct {
 	cfg     Config
 	store   *Store
 	metrics *Metrics
+	rollout *rollout.Manager // nil unless Config.Rollout is set
 	mux     *http.ServeMux
 
 	devMu       sync.Mutex
@@ -64,17 +81,37 @@ func NewServer(cfg Config) (*Server, error) {
 		}
 		s.metrics.restored.Store(int64(n))
 	}
+	if cfg.Rollout != nil {
+		s.rollout = rollout.New(*cfg.Rollout)
+		if cfg.SnapshotDir != "" {
+			if _, err := s.rollout.Restore(s.rolloutDir()); err != nil {
+				return nil, err
+			}
+		}
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/checkin", s.instrument("checkin", s.handleCheckin))
 	mux.HandleFunc("PUT /v1/table", s.instrument("upload", s.handleUpload))
 	mux.HandleFunc("POST /v1/merge", s.instrument("merge", s.handleMerge))
 	mux.HandleFunc("GET /v1/policy", s.instrument("policy", s.handlePolicy))
 	mux.HandleFunc("GET /v1/apps", s.instrument("apps", s.handleApps))
+	mux.HandleFunc("GET /v1/rollout", s.instrument("rollout", s.handleRolloutStatus))
+	mux.HandleFunc("POST /v1/rollout/advance", s.instrument("rollout", s.handleRolloutAdvance))
+	mux.HandleFunc("POST /v1/rollout/rollback", s.instrument("rollout", s.handleRolloutRollback))
+	mux.HandleFunc("POST /v1/report", s.instrument("report", s.handleReport))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux = mux
 	return s, nil
 }
+
+// rolloutDir is where rollout lifecycle state snapshots live, beside
+// (not inside) the per-policy table snapshots.
+func (s *Server) rolloutDir() string { return filepath.Join(s.cfg.SnapshotDir, "rollout") }
+
+// Rollout exposes the lifecycle manager (nil when disabled) for
+// in-process callers and tests.
+func (s *Server) Rollout() *rollout.Manager { return s.rollout }
 
 // Handler returns the service's http.Handler (mountable under a parent
 // mux or served directly).
@@ -148,6 +185,11 @@ func (s *Server) handleCheckin(w http.ResponseWriter, r *http.Request) int {
 		}
 	}
 	s.devMu.Unlock()
+	if s.rollout != nil {
+		// Check-ins feed the cohort floor: the canary stage widens until
+		// it covers at least MinCanary registered devices.
+		s.rollout.RegisterDevice(req.Device)
+	}
 	reply := CheckinReply{Device: req.Device, Platform: req.Platform, Policies: []KeyInfo{}}
 	for _, info := range s.store.Infos(req.Platform) {
 		if info.Round > 0 {
@@ -191,7 +233,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) int {
 func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) int {
 	k := Key{App: r.URL.Query().Get("app"), Platform: r.URL.Query().Get("platform")}
 	start := time.Now()
-	info, err := s.store.Merge(k)
+	info, set, err := s.store.MergeSet(k)
 	// Latency covers the merge itself, captured once so the reply and
 	// the metric agree; snapshot disk I/O is deliberately excluded.
 	elapsed := time.Since(start)
@@ -200,19 +242,80 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) int {
 	}
 	info.LatencyUS = elapsed.Microseconds()
 	s.metrics.observeMerge(elapsed)
+	if s.rollout != nil {
+		// Mint (or dedup to) this round's policy artifact. The merged set
+		// is immutable once published, so the artifact shares it.
+		art, err := cloud.NewArtifact(set, info.Round, info.Devices)
+		if err != nil {
+			return writeErr(w, http.StatusInternalServerError, fmt.Errorf("fleetd: building artifact for %s: %w", k, err))
+		}
+		sub, err := s.rollout.Submit(k.String(), art)
+		if err != nil {
+			return writeErr(w, http.StatusInternalServerError, err)
+		}
+		info.Version = sub.Version
+	}
 	if s.cfg.SnapshotDir != "" {
 		if err := s.store.SnapshotKey(s.cfg.SnapshotDir, k); err != nil {
 			return writeErr(w, http.StatusInternalServerError, fmt.Errorf("fleetd: snapshotting %s: %w", k, err))
 		}
 		s.metrics.snapshotWritten()
+		if s.rollout != nil {
+			if err := s.rollout.SnapshotKey(s.rolloutDir(), k.String()); err != nil {
+				return writeErr(w, http.StatusInternalServerError, fmt.Errorf("fleetd: snapshotting rollout %s: %w", k, err))
+			}
+		}
 	}
 	return writeJSON(w, http.StatusOK, info)
+}
+
+// artifactETag derives the policy ETag a version-aware client echoes
+// back via If-None-Match: the version plus a content-hash prefix, so a
+// warm restart that renumbers nothing and a same-version different-
+// content bug both invalidate correctly.
+func artifactETag(meta core.ArtifactMeta) string {
+	h := strings.TrimPrefix(meta.Hash, "sha256:")
+	if len(h) > 12 {
+		h = h[:12]
+	}
+	return fmt.Sprintf("%q", fmt.Sprintf("v%d-%s", meta.Version, h))
 }
 
 func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) int {
 	k := Key{App: r.URL.Query().Get("app"), Platform: r.URL.Query().Get("platform")}
 	if err := k.validate(); err != nil {
 		return writeErr(w, http.StatusBadRequest, err)
+	}
+	device := r.URL.Query().Get("device")
+	if device != "" && !safeName(device) {
+		return writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("fleetd: device must be a single [a-zA-Z0-9._-] segment"))
+	}
+	if s.rollout != nil {
+		if art, cohort, ok := s.rollout.Resolve(k.String(), device); ok {
+			etag := artifactETag(art.ArtifactMeta)
+			w.Header().Set(versionHeader, strconv.FormatInt(art.Version, 10))
+			w.Header().Set(cohortHeader, cohort)
+			w.Header().Set(roundHeader, strconv.FormatInt(art.Round, 10))
+			w.Header().Set("ETag", etag)
+			// Only version-aware clients (those that identify themselves)
+			// get the skip-redundant-download path; a legacy client that
+			// happens to send If-None-Match still gets the full body.
+			if device != "" && r.Header.Get("If-None-Match") == etag {
+				w.WriteHeader(http.StatusNotModified)
+				return http.StatusNotModified
+			}
+			data, err := core.MarshalTableSetCompact(k.App, art.Set, true)
+			if err != nil {
+				return writeErr(w, http.StatusInternalServerError, err)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			w.Write(data)
+			return http.StatusOK
+		}
+		// No artifact yet for this key (e.g. lifecycle enabled over a
+		// pre-rollout snapshot dir): fall through to the legacy path.
 	}
 	// PolicySetRef + compact marshal keeps the download path symmetric
 	// with the optimized upload path: published sets are immutable, so
@@ -232,6 +335,97 @@ func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) int {
 	w.WriteHeader(http.StatusOK)
 	w.Write(data)
 	return http.StatusOK
+}
+
+// errRolloutDisabled answers lifecycle endpoints on servers running
+// without the rollout subsystem.
+var errRolloutDisabled = errors.New("fleetd: rollout lifecycle not enabled on this server")
+
+func (s *Server) handleRolloutStatus(w http.ResponseWriter, r *http.Request) int {
+	if s.rollout == nil {
+		return writeErr(w, http.StatusNotFound, errRolloutDisabled)
+	}
+	app, platform := r.URL.Query().Get("app"), r.URL.Query().Get("platform")
+	if app == "" && platform == "" {
+		return writeJSON(w, http.StatusOK, s.rollout.Statuses())
+	}
+	k := Key{App: app, Platform: platform}
+	if err := k.validate(); err != nil {
+		return writeErr(w, http.StatusBadRequest, err)
+	}
+	st, ok := s.rollout.Status(k.String())
+	if !ok {
+		return writeErr(w, http.StatusNotFound, fmt.Errorf("fleetd: no rollout state for %s", k))
+	}
+	return writeJSON(w, http.StatusOK, st)
+}
+
+// rolloutAction runs one admin lifecycle action (advance / rollback)
+// and persists the resulting state.
+func (s *Server) rolloutAction(w http.ResponseWriter, r *http.Request,
+	act func(key string) (rollout.Decision, error)) int {
+	if s.rollout == nil {
+		return writeErr(w, http.StatusNotFound, errRolloutDisabled)
+	}
+	k := Key{App: r.URL.Query().Get("app"), Platform: r.URL.Query().Get("platform")}
+	if err := k.validate(); err != nil {
+		return writeErr(w, http.StatusBadRequest, err)
+	}
+	d, err := act(k.String())
+	if err != nil {
+		// "no active rollout" / "not enough reports yet" are state
+		// conflicts, not malformed requests.
+		return writeErr(w, http.StatusConflict, err)
+	}
+	if s.cfg.SnapshotDir != "" {
+		if err := s.rollout.SnapshotKey(s.rolloutDir(), k.String()); err != nil {
+			return writeErr(w, http.StatusInternalServerError, fmt.Errorf("fleetd: snapshotting rollout %s: %w", k, err))
+		}
+	}
+	return writeJSON(w, http.StatusOK, d)
+}
+
+func (s *Server) handleRolloutAdvance(w http.ResponseWriter, r *http.Request) int {
+	return s.rolloutAction(w, r, func(key string) (rollout.Decision, error) {
+		return s.rollout.Advance(key)
+	})
+}
+
+func (s *Server) handleRolloutRollback(w http.ResponseWriter, r *http.Request) int {
+	return s.rolloutAction(w, r, func(key string) (rollout.Decision, error) {
+		return s.rollout.Rollback(key)
+	})
+}
+
+// ReportReply acknowledges an evaluation report with the cohort it
+// counted toward.
+type ReportReply struct {
+	Device  string `json:"device"`
+	Version int64  `json:"version"`
+	Cohort  string `json:"cohort"`
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) int {
+	if s.rollout == nil {
+		return writeErr(w, http.StatusNotFound, errRolloutDisabled)
+	}
+	k := Key{App: r.URL.Query().Get("app"), Platform: r.URL.Query().Get("platform")}
+	if err := k.validate(); err != nil {
+		return writeErr(w, http.StatusBadRequest, err)
+	}
+	var rep rollout.EvalReport
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&rep); err != nil {
+		return writeErr(w, http.StatusBadRequest, fmt.Errorf("fleetd: bad report body: %w", err))
+	}
+	if !safeName(rep.Device) {
+		return writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("fleetd: report needs a device as a single [a-zA-Z0-9._-] segment"))
+	}
+	cohort, err := s.rollout.Report(k.String(), rep)
+	if err != nil {
+		return writeErr(w, http.StatusConflict, err)
+	}
+	return writeJSON(w, http.StatusOK, ReportReply{Device: rep.Device, Version: rep.Version, Cohort: cohort})
 }
 
 func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) int {
@@ -270,5 +464,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) int {
 	s.devMu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.write(w, keys, merged, uploads, devices, untracked)
+	if s.rollout != nil {
+		writeRolloutMetrics(w, s.rollout.Statuses(), s.rollout.RollbacksTotal())
+	}
 	return http.StatusOK
 }

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 
 	"nextdvfs/internal/cloud"
@@ -279,6 +280,9 @@ type MergeInfo struct {
 	Devices   int    `json:"devices"`
 	States    int    `json:"states"`
 	LatencyUS int64  `json:"latency_us"`
+	// Version is the policy artifact the round minted (or deduped to)
+	// when the server runs the rollout lifecycle; 0 otherwise.
+	Version int64 `json:"version,omitempty"`
 }
 
 // Merge runs a federated merge round for the key: every device's latest
@@ -289,15 +293,26 @@ type MergeInfo struct {
 // converge to the same table a serial merge of the final upload set
 // produces.
 func (s *Store) Merge(k Key) (MergeInfo, error) {
+	info, _, err := s.MergeSet(k)
+	return info, err
+}
+
+// MergeSet is Merge returning the merged table set alongside the round
+// summary — the reference is the freshly installed, immutable
+// published set, handed back so the rollout layer can wrap the round's
+// output as a policy artifact without re-locking the shard (and
+// without racing a concurrent round for "which set did my round
+// produce").
+func (s *Store) MergeSet(k Key) (MergeInfo, *learner.TableSet, error) {
 	if err := k.validate(); err != nil {
-		return MergeInfo{}, err
+		return MergeInfo{}, nil, err
 	}
 	sh := s.shardFor(k)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	e := sh.entries[k]
 	if e == nil || len(e.uploads) == 0 {
-		return MergeInfo{}, fmt.Errorf("fleetd: %s: no device tables to merge", k)
+		return MergeInfo{}, nil, fmt.Errorf("fleetd: %s: no device tables to merge", k)
 	}
 	devices := make([]string, 0, len(e.uploads))
 	for d := range e.uploads {
@@ -310,14 +325,14 @@ func (s *Store) Merge(k Key) (MergeInfo, error) {
 	}
 	merged, err := cloud.MergeTableSets(sets)
 	if err != nil {
-		return MergeInfo{}, fmt.Errorf("fleetd: %s: %w", k, err)
+		return MergeInfo{}, nil, fmt.Errorf("fleetd: %s: %w", k, err)
 	}
 	e.merged = merged
 	e.round++
 	return MergeInfo{
 		App: k.App, Platform: k.Platform,
 		Round: e.round, Devices: len(sets), States: merged.Primary().States(),
-	}, nil
+	}, merged, nil
 }
 
 // Policy returns a deep copy of the key's current merged primary table
@@ -472,6 +487,11 @@ func (s *Store) Restore(dir string) (int, error) {
 		}
 		for _, f := range files {
 			if f.IsDir() || filepath.Ext(f.Name()) != ".json" {
+				continue
+			}
+			// Rollout lifecycle state lives under SnapshotDir/rollout/
+			// in its own format; the rollout manager restores it.
+			if strings.HasSuffix(f.Name(), ".rollout.json") {
 				continue
 			}
 			data, err := os.ReadFile(filepath.Join(dir, p.Name(), f.Name()))

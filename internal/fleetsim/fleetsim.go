@@ -75,6 +75,12 @@ type Options struct {
 	// device's private seed. Outputs are deterministic but differ from
 	// a non-lockstep run of the same options.
 	Lockstep bool
+	// Rollout, when set, switches the run into the A/B policy-lifecycle
+	// mode against a rollout-enabled server: two training generations
+	// mint a stable and a candidate artifact, then deterministic
+	// evaluation rounds feed cohort energy/QoS back until the server
+	// promotes or rolls back. Excludes Scenarios and Lockstep.
+	Rollout *RolloutOptions
 }
 
 func (o *Options) defaults() {
@@ -149,6 +155,8 @@ type Report struct {
 	Requests       int64
 	CheckinsPerSec float64
 	RequestsPerSec float64
+	// Rollout carries the A/B lifecycle outcome (nil for plain runs).
+	Rollout *RolloutReport
 }
 
 // WriteSummary prints the human-readable run report — the one printer
@@ -169,6 +177,20 @@ func (r Report) WriteSummary(w io.Writer) {
 	for _, d := range r.Devices {
 		if d.Err != "" {
 			fmt.Fprintf(w, "  %s FAILED: %s\n", d.Device, d.Err)
+		}
+	}
+	if ro := r.Rollout; ro != nil {
+		fmt.Fprintf(w, "rollout: stable v%d, candidate v%d → %s (final v%d, rollbacks %d, %d downloads skipped via ETag)\n",
+			ro.StableVersion, ro.CandidateVersion, ro.Outcome, ro.FinalVersion, ro.Rollbacks, ro.Skipped304)
+		fmt.Fprintf(w, "  %-5s %-9s %12s %12s %12s %12s\n",
+			"round", "action", "canary J", "control J", "canary fps", "control fps")
+		for _, rd := range ro.Rounds {
+			fmt.Fprintf(w, "  %-5d %-9s %12.2f %12.2f %12.2f %12.2f\n",
+				rd.Round, rd.Action, rd.Canary.AvgEnergyJ, rd.Control.AvgEnergyJ,
+				rd.Canary.AvgQoSFPS, rd.Control.AvgQoSFPS)
+			if rd.Action == "rollback" {
+				fmt.Fprintf(w, "        %s\n", rd.Reason)
+			}
 		}
 	}
 }
@@ -194,6 +216,9 @@ func Run(baseURL string, opts Options) (Report, error) {
 	plat, err := platform.Get(opts.Platform)
 	if err != nil {
 		return Report{}, fmt.Errorf("fleetsim: %w", err)
+	}
+	if opts.Rollout != nil {
+		return runRollout(baseURL, opts)
 	}
 	client := fleetd.NewClient(baseURL)
 	if _, err := client.Healthz(); err != nil {

@@ -1,0 +1,26 @@
+package rollout
+
+// CohortBasis is the resolution of cohort assignment: every device
+// hashes to a bucket in [0, CohortBasis), and a rollout stage of N
+// basis points covers exactly the buckets below N.
+const CohortBasis = 10000
+
+// Bucket maps a device ID to its rollout bucket. The hash is FNV-64a
+// written out in explicit uint64 arithmetic: no map iteration, no
+// floating point, no `int`-width dependence — so a device lands in the
+// same cohort on 386, amd64 and arm64, across process restarts, and
+// across server replacements. That stability is what makes a canary
+// cohort a consistent population rather than a fresh random sample per
+// process; the golden-assignment test pins the exact values.
+func Bucket(device string) uint32 {
+	const (
+		offset64 uint64 = 14695981039346656037
+		prime64  uint64 = 1099511628211
+	)
+	h := offset64
+	for i := 0; i < len(device); i++ {
+		h ^= uint64(device[i])
+		h *= prime64
+	}
+	return uint32(h % CohortBasis)
+}

@@ -1,0 +1,82 @@
+package rollout
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestBucketGoldenAssignment pins the exact cohort assignment of the
+// fleetsim device-name space plus assorted edge IDs. The values were
+// computed once from the FNV-64a definition; any change here means
+// every deployed device would silently migrate cohorts, so this table
+// must never be "updated to match" a code change. The pure-uint64
+// implementation has no map iteration, floats or int-width dependence,
+// so the same values hold on 386, amd64 and arm64 — the crossbuild CI
+// jobs compile this test for 32-bit to keep that honest.
+func TestBucketGoldenAssignment(t *testing.T) {
+	golden := []struct {
+		device string
+		bucket uint32
+	}{
+		{"dev-00000000", 6483},
+		{"dev-00000001", 8272},
+		{"dev-00000002", 2905},
+		{"dev-00000003", 4694},
+		{"dev-00000004", 9327},
+		{"dev-00000005", 1116},
+		{"dev-00000006", 5749},
+		{"dev-00000007", 7538},
+		{"dev-00000008", 2171},
+		{"dev-00000009", 3960},
+		{"dev-00000010", 2138},
+		{"dev-00000011", 349},
+		{"dev-00000012", 5716},
+		{"dev-00000013", 3927},
+		{"dev-00000014", 9294},
+		{"dev-00000015", 7505},
+		{"", 6037},
+		{"a", 1996},
+		{"pixel-7a", 5118},
+		{"note9-lab-042", 2993},
+		{"dev-00000000x", 9649},
+	}
+	for _, g := range golden {
+		if got := Bucket(g.device); got != g.bucket {
+			t.Errorf("Bucket(%q) = %d, want %d (cohort membership drifted!)", g.device, got, g.bucket)
+		}
+	}
+}
+
+// TestBucketCohortMembershipStable pins which of the first 64 fleetsim
+// devices fall inside the default 10% stage — the membership the E2E
+// rollout tests rely on.
+func TestBucketCohortMembershipStable(t *testing.T) {
+	var canary []string
+	for i := 0; i < 64; i++ {
+		d := fmt.Sprintf("dev-%08d", i)
+		if Bucket(d) < 1000 {
+			canary = append(canary, d)
+		}
+	}
+	want := []string{
+		"dev-00000011", "dev-00000023", "dev-00000034",
+		"dev-00000039", "dev-00000042", "dev-00000052",
+	}
+	if len(canary) != len(want) {
+		t.Fatalf("10%% cohort of 64 devices = %v, want %v", canary, want)
+	}
+	for i := range want {
+		if canary[i] != want[i] {
+			t.Fatalf("10%% cohort of 64 devices = %v, want %v", canary, want)
+		}
+	}
+}
+
+func TestBucketRange(t *testing.T) {
+	for i := 0; i < 10000; i++ {
+		d := fmt.Sprintf("device-%d", i)
+		if b := Bucket(d); b >= CohortBasis {
+			t.Fatalf("Bucket(%q) = %d, outside [0, %d)", d, b, CohortBasis)
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"nextdvfs/internal/fleetsim"
 	"nextdvfs/internal/learner"
 	"nextdvfs/internal/platform"
+	"nextdvfs/internal/rollout"
 	"nextdvfs/internal/scenario"
 	"nextdvfs/internal/session"
 	"nextdvfs/internal/sim"
@@ -63,6 +64,12 @@ type (
 	FleetSimOptions = fleetsim.Options
 	// FleetSimReport summarizes a simulated fleet run.
 	FleetSimReport = fleetsim.Report
+	// FleetRolloutOptions switches a fleet-sim run into staged-rollout
+	// A/B mode: train two policy generations, canary the second, and
+	// let the server promote or roll back on measured QoS/energy.
+	FleetRolloutOptions = fleetsim.RolloutOptions
+	// FleetRolloutReport records a staged-rollout A/B run per round.
+	FleetRolloutReport = fleetsim.RolloutReport
 )
 
 // DefaultAgentConfig returns the paper-faithful agent configuration.
@@ -433,7 +440,18 @@ type FleetServeOptions struct {
 	// each merge round and warm-starts the server from the same
 	// directory on the next launch.
 	SnapshotDir string
+	// Rollout enables the policy lifecycle subsystem: every merge
+	// becomes a versioned immutable artifact, new policies ship through
+	// a staged canary rollout (1% → 10% → 100% of devices), and the
+	// server automatically rolls back candidates whose canary cohort
+	// regresses on reported QoS or energy. Zero value = paper defaults.
+	Rollout *RolloutConfig
 }
+
+// RolloutConfig tunes the staged-rollout lifecycle (stage ramp, minimum
+// canary cohort, QoS/energy rollback guards, version retention). The
+// zero value selects the defaults documented on the fields.
+type RolloutConfig = rollout.Config
 
 // FleetServer is a running fleet policy server (Section IV-C as a
 // network service): devices check in, upload locally trained Q-tables,
@@ -450,7 +468,7 @@ func ServeFleet(opts FleetServeOptions) (*FleetServer, error) {
 	if opts.Addr == "" {
 		opts.Addr = "127.0.0.1:8077"
 	}
-	inner, err := fleetd.NewServer(fleetd.Config{SnapshotDir: opts.SnapshotDir})
+	inner, err := fleetd.NewServer(fleetd.Config{SnapshotDir: opts.SnapshotDir, Rollout: opts.Rollout})
 	if err != nil {
 		return nil, fmt.Errorf("nextdvfs: %w", err)
 	}
@@ -481,7 +499,11 @@ func NewFleetClient(baseURL string) *FleetClient { return fleetd.NewClient(baseU
 // and reports the run — the serving benchmark behind
 // `nextbench -fleet N`.
 func BenchFleet(opts FleetSimOptions) (FleetSimReport, error) {
-	srv, err := ServeFleet(FleetServeOptions{Addr: "127.0.0.1:0"})
+	serve := FleetServeOptions{Addr: "127.0.0.1:0"}
+	if opts.Rollout != nil {
+		serve.Rollout = &RolloutConfig{}
+	}
+	srv, err := ServeFleet(serve)
 	if err != nil {
 		return FleetSimReport{}, err
 	}
