@@ -20,6 +20,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"nextdvfs/internal/aggregator"
 	"nextdvfs/internal/cloud"
 	"nextdvfs/internal/core"
 	"nextdvfs/internal/ctrl"
@@ -254,24 +255,12 @@ func BenchmarkFleetCheckin(b *testing.B) {
 	// federates a full fleet.
 	const fleetDevices = 64
 	rng := rand.New(rand.NewSource(42))
-	mkTable := func() *core.QTable {
-		t := core.NewQTable(9)
-		for s := 0; s < 64; s++ {
-			row := make([]float64, 9)
-			for a := range row {
-				row[a] = rng.NormFloat64()
-			}
-			t.Q[core.StateKey(s)] = row
-			t.Visits[core.StateKey(s)] = rng.Intn(200) + 1
-		}
-		return t
-	}
 	for d := 0; d < fleetDevices; d++ {
-		if _, err := client.UploadTable(fmt.Sprintf("dev-%03d", d), "note9", "spotify", mkTable()); err != nil {
+		if _, err := client.UploadTable(fmt.Sprintf("dev-%03d", d), "note9", "spotify", benchFleetTable(rng)); err != nil {
 			b.Fatal(err)
 		}
 	}
-	table := mkTable()
+	table := benchFleetTable(rng)
 
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -285,6 +274,127 @@ func BenchmarkFleetCheckin(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "checkins/s")
+}
+
+// benchFleetTable builds the realistic device table the fleet benches
+// upload: 64 visited states over the Note 9's 9-action space.
+func benchFleetTable(rng *rand.Rand) *core.QTable {
+	t := core.NewQTable(9)
+	for s := 0; s < 64; s++ {
+		row := make([]float64, 9)
+		for a := range row {
+			row[a] = rng.NormFloat64()
+		}
+		t.Q[core.StateKey(s)] = row
+		t.Visits[core.StateKey(s)] = rng.Intn(200) + 1
+	}
+	return t
+}
+
+// BenchmarkFleetCheckinScale charts the serving tier's scaling curve:
+// one op is the device-facing check-in cycle (table upload + merge
+// round) at fleet sizes from 64 to 10 000 devices, flat against the
+// root and through a 4-aggregator edge tier. In the two-tier topology
+// the cycle's merge is regional — O(fleet/aggregators) instead of
+// O(fleet) — which is where the ≥2× throughput at 10 000 devices comes
+// from; federation to the root is batched off the device-facing path
+// and verified (untimed) after each run by flushing every aggregator
+// and confirming the root's join covers the whole fleet. The
+// 10 000-device floors are gated in BENCH_fleet.json; the smaller
+// points document the curve.
+func BenchmarkFleetCheckinScale(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		devices int
+		aggs    int
+	}{
+		{"flat/devices=64", 64, 0},
+		{"flat/devices=1000", 1000, 0},
+		{"flat/devices=10000", 10000, 0},
+		{"aggs=4/devices=10000", 10000, 4},
+	} {
+		b.Run(bc.name, func(b *testing.B) { benchCheckinScale(b, bc.devices, bc.aggs) })
+	}
+}
+
+func benchCheckinScale(b *testing.B, devices, aggs int) {
+	root, err := fleetd.NewServer(fleetd.Config{MaxDevicesPerKey: devices + 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rootTS := httptest.NewServer(root.Handler())
+	defer rootTS.Close()
+	rootClient := fleetd.NewClient(rootTS.URL)
+
+	// Devices talk to the root directly (flat) or to their regional
+	// aggregator (device d → aggregator d mod aggs).
+	clients := []*fleetd.Client{rootClient}
+	var edges []*aggregator.Server
+	if aggs > 0 {
+		if devices%aggs != 0 {
+			b.Fatalf("devices=%d not divisible by aggs=%d; device routing would drift", devices, aggs)
+		}
+		clients = nil
+		for a := 0; a < aggs; a++ {
+			edge, err := aggregator.New(aggregator.Config{
+				ID:   fmt.Sprintf("agg-%d", a),
+				Root: rootTS.URL,
+				// No background flusher and a queue sized for the whole
+				// region: the timed loop measures the device-facing cycle,
+				// and upward federation happens in the untimed checkpoint.
+				FlushEvery:       -1,
+				QueueLimit:       devices,
+				MaxDevicesPerKey: devices,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ts := httptest.NewServer(edge.Handler())
+			defer ts.Close()
+			edges = append(edges, edge)
+			clients = append(clients, fleetd.NewClient(ts.URL))
+		}
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	for d := 0; d < devices; d++ {
+		device := fmt.Sprintf("dev-%05d", d)
+		if _, err := clients[d%len(clients)].UploadTable(device, "note9", "spotify", benchFleetTable(rng)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	table := benchFleetTable(rng)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		device := fmt.Sprintf("dev-%05d", i%devices)
+		c := clients[i%len(clients)]
+		if _, err := c.UploadTable(device, "note9", "spotify", table); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Merge("spotify", "note9"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "checkins/s")
+
+	// Untimed topology checkpoint: drain every aggregator and confirm
+	// the root's federated join sees the full fleet.
+	if aggs > 0 {
+		for _, edge := range edges {
+			if _, err := edge.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		info, err := rootClient.Merge("spotify", "note9")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if info.Devices != devices {
+			b.Fatalf("root joined %d devices, want %d", info.Devices, devices)
+		}
+	}
 }
 
 // BenchmarkPolicyResolve measures the rollout manager's device-facing

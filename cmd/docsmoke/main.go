@@ -1,0 +1,105 @@
+// Command docsmoke is the CI documentation gate: it extracts every
+// shell command shown in the repo's markdown files, validates the
+// flags those examples pass against the real CLIs (by parsing each
+// tool's -h output), and checks that every internal and cmd package
+// carries a doc comment. A README example that references a renamed
+// flag — or a new package without documentation — fails the build.
+//
+//	go run ./cmd/docsmoke                      # README.md + docs/*.md + package docs
+//	go run ./cmd/docsmoke -pkgdoc=false FILE…  # just the named markdown files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+
+	"nextdvfs/internal/docsmoke"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root (module directory holding cmd/ and internal/)")
+	pkgdoc := flag.Bool("pkgdoc", true, "also require a package doc comment on every internal/* and cmd/* package")
+	flag.Parse()
+
+	files := flag.Args()
+	if len(files) == 0 {
+		files = defaultFiles(*root)
+	}
+
+	tools, err := cmdTools(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docsmoke:", err)
+		os.Exit(2)
+	}
+
+	var cmds []docsmoke.Command
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "docsmoke:", err)
+			os.Exit(2)
+		}
+		cmds = append(cmds, docsmoke.ExtractCommands(f, data, tools)...)
+	}
+
+	problems := docsmoke.Check(cmds, func(tool string) (map[string]bool, error) {
+		// The flag package prints usage to stderr and -h exits 2; both
+		// are expected, so only an empty usage dump is an error.
+		out, _ := exec.Command("go", "run", "./cmd/"+tool, "-h").CombinedOutput()
+		flags := docsmoke.ParseHelpFlags(string(out))
+		if len(flags) <= 2 { // only the implicit h/help: no usage output
+			return nil, fmt.Errorf("could not read -h usage (output: %q)", string(out))
+		}
+		return flags, nil
+	})
+
+	failed := false
+	for _, p := range problems {
+		failed = true
+		fmt.Fprintln(os.Stderr, "docsmoke:", p)
+	}
+
+	if *pkgdoc {
+		missing, err := docsmoke.MissingPackageDocs(filepath.Join(*root, "internal"), filepath.Join(*root, "cmd"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "docsmoke:", err)
+			os.Exit(2)
+		}
+		for _, dir := range missing {
+			failed = true
+			fmt.Fprintf(os.Stderr, "docsmoke: %s: package has no doc comment\n", dir)
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("docsmoke: %d documented command(s) across %d file(s) match the CLIs\n", len(cmds), len(files))
+}
+
+// defaultFiles is README.md plus every markdown file under docs/.
+func defaultFiles(root string) []string {
+	files := []string{filepath.Join(root, "README.md")}
+	docs, _ := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	sort.Strings(docs)
+	return append(files, docs...)
+}
+
+// cmdTools lists the repo's CLI names: the subdirectories of cmd/.
+func cmdTools(root string) (map[string]bool, error) {
+	entries, err := os.ReadDir(filepath.Join(root, "cmd"))
+	if err != nil {
+		return nil, err
+	}
+	tools := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() {
+			tools[e.Name()] = true
+		}
+	}
+	return tools, nil
+}

@@ -45,6 +45,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker-pool size for experiment grids (0 = GOMAXPROCS, 1 = sequential)")
 	fleet := flag.Int("fleet", 0, "serving benchmark: drive an in-process fleetd with N simulated devices and report throughput")
 	fleetRollout := flag.Bool("rollout", false, "for -fleet: run a staged-rollout A/B lifecycle (canary → promote/rollback) instead of plain training rounds")
+	fleetAggs := flag.Int("aggregators", 0, "for -fleet: route devices through this many in-process edge aggregators (two-tier topology)")
 	listPlats := flag.Bool("platforms", false, "list registered platforms and exit")
 	scenarios := flag.Bool("scenarios", false, "run the scenario × platform × scheme grid instead of a figure")
 	schemes := flag.String("schemes", "schedutil,next", "for -scenarios: comma-separated schemes ("+strings.Join(nextdvfs.Schemes(), ", ")+")")
@@ -67,7 +68,7 @@ func main() {
 	}
 
 	if *fleet > 0 {
-		runFleet(*fleet, *plat, *seed, *parallel, *fleetRollout)
+		runFleet(*fleet, *plat, *seed, *parallel, *fleetRollout, *fleetAggs)
 		return
 	}
 
@@ -117,14 +118,18 @@ func main() {
 	}
 }
 
-func runFleet(devices int, plat string, seed int64, parallel int, withRollout bool) {
+func runFleet(devices int, plat string, seed int64, parallel int, withRollout bool, aggregators int) {
 	opts := fleetsim.Options{
 		Devices: devices, Platform: plat, Seed: seed, Parallel: parallel,
+		Aggregators: aggregators,
 	}
-	if withRollout {
+	switch {
+	case withRollout:
 		opts.Rollout = &fleetsim.RolloutOptions{}
 		fmt.Printf("== Staged-rollout A/B: %d-device fleet against an in-process fleetd ==\n", devices)
-	} else {
+	case aggregators > 0:
+		fmt.Printf("== Serving benchmark: %d-device fleet through %d aggregators against an in-process fleetd ==\n", devices, aggregators)
+	default:
 		fmt.Printf("== Serving benchmark: %d-device fleet against an in-process fleetd ==\n", devices)
 	}
 	report, err := nextdvfs.BenchFleet(opts)

@@ -22,6 +22,15 @@
 //
 //	nextfleetd -addr 127.0.0.1:8077 -rollout
 //	nextfleetd -bench 16 -rollout -app chrome -seconds 6 -seed 1
+//
+// Aggregator mode: run an edge aggregator of the two-tier topology in
+// front of a root server. Devices talk to the aggregator; it merges
+// locally, queues the raw device tables, and federates them upward in
+// batches (answering 429 + Retry-After when the queue fills). Combine
+// -bench with -aggregators to benchmark the two-tier path in-process:
+//
+//	nextfleetd -aggregator -root http://127.0.0.1:8077 -agg-id edge-west
+//	nextfleetd -bench 64 -aggregators 4
 package main
 
 import (
@@ -30,6 +39,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"nextdvfs"
 	"nextdvfs/internal/fleetsim"
@@ -50,10 +60,28 @@ func main() {
 	learnerName := flag.String("learner", "", "TD update rule every device trains with (bench mode; \"\" = watkins)")
 	rollout := flag.Bool("rollout", false, "enable the policy lifecycle: versioned artifacts, staged canary rollout, automatic rollback (serve mode), or run an A/B lifecycle (bench mode)")
 	sabotage := flag.Bool("sabotage", false, "rollout bench: corrupt the candidate generation's uploads so the canary regresses and the server rolls back")
+	aggMode := flag.Bool("aggregator", false, "serve an edge aggregator instead of the root fleet server")
+	root := flag.String("root", "", "aggregator mode: root fleet server base URL (empty = standalone edge)")
+	aggID := flag.String("agg-id", "edge", "aggregator mode: this edge's name in federation pushes")
+	queue := flag.Int("queue", 0, "aggregator mode: upward queue capacity in (policy, device) pairs (0 = 4096)")
+	flushEvery := flag.Duration("flush-every", 0, "aggregator mode: background federation cadence (0 = 500ms, negative disables)")
+	aggregators := flag.Int("aggregators", 0, "bench mode: route devices through this many in-process edge aggregators (two-tier topology)")
 	flag.Parse()
 
 	if *bench > 0 {
-		runBench(*bench, *app, *plat, *sessions, *seconds, *seed, *parallel, *learnerName, *rollout, *sabotage)
+		runBench(*bench, *app, *plat, *sessions, *seconds, *seed, *parallel, *learnerName, *rollout, *sabotage, *aggregators)
+		return
+	}
+	if *aggMode {
+		// The root owns the default port; an aggregator that wasn't given
+		// an explicit -addr binds one above so the two can share a host.
+		aggAddr := "127.0.0.1:8078"
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "addr" {
+				aggAddr = *addr
+			}
+		})
+		serveAggregator(aggAddr, *aggID, *root, *queue, *flushEvery)
 		return
 	}
 	serve(*addr, *snapshot, *rollout)
@@ -92,16 +120,53 @@ func serve(addr, snapshot string, enableRollout bool) {
 	srv.Close()
 }
 
-func runBench(devices int, app, plat string, sessions int, seconds float64, seed int64, parallel int, learnerName string, withRollout, sabotage bool) {
+func serveAggregator(addr, id, root string, queue int, flushEvery time.Duration) {
+	srv, err := nextdvfs.ServeAggregator(nextdvfs.AggregatorOptions{
+		Addr: addr, ID: id, Root: root, QueueLimit: queue, FlushEvery: flushEvery,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nextfleetd:", err)
+		os.Exit(1)
+	}
+	fmt.Println("nextfleetd aggregator", id, "serving on", srv.URL())
+	if root != "" {
+		fmt.Println("  federating to root:", root)
+	} else {
+		fmt.Println("  standalone edge: local merges only, no upward federation")
+	}
+	fmt.Println("  POST /v1/checkin   device check-in")
+	fmt.Println("  PUT  /v1/table     upload a device-trained Q-table (429 + Retry-After when the queue is full)")
+	fmt.Println("  POST /v1/merge     run a local merge round")
+	fmt.Println("  GET  /v1/policy    download a policy (proxied to the root, local fallback)")
+	fmt.Println("  GET  /v1/apps      list local policies")
+	fmt.Println("  POST /v1/flush     federate queued tables to the root now")
+	fmt.Println("  GET  /healthz      liveness and queue depth")
+	fmt.Println("  GET  /metrics      pipeline counters (pending, forwarded, rejected, fallbacks)")
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	fmt.Println("\nnextfleetd: aggregator shutting down")
+	if n, err := srv.Flush(); err == nil && n > 0 {
+		fmt.Printf("  drained %d queued tables to the root\n", n)
+	}
+	srv.Close()
+}
+
+func runBench(devices int, app, plat string, sessions int, seconds float64, seed int64, parallel int, learnerName string, withRollout, sabotage bool, aggregators int) {
 	opts := fleetsim.Options{
 		Devices: devices, App: app, Platform: plat,
 		Sessions: sessions, SessionSecs: seconds,
 		Seed: seed, Parallel: parallel, Learner: learnerName,
+		Aggregators: aggregators,
 	}
-	if withRollout {
+	switch {
+	case withRollout:
 		opts.Rollout = &fleetsim.RolloutOptions{Sabotage: sabotage}
 		fmt.Printf("== fleet rollout A/B: %d devices × %d session(s) of %s on %s ==\n", devices, sessions, app, plat)
-	} else {
+	case aggregators > 0:
+		fmt.Printf("== fleet bench: %d devices → %d aggregators × %d session(s) of %s on %s ==\n", devices, aggregators, sessions, app, plat)
+	default:
 		fmt.Printf("== fleet bench: %d devices × %d session(s) of %s on %s ==\n", devices, sessions, app, plat)
 	}
 	report, err := nextdvfs.BenchFleet(opts)

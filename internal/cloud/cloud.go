@@ -12,6 +12,7 @@ package cloud
 
 import (
 	"fmt"
+	"sort"
 
 	"nextdvfs/internal/core"
 	"nextdvfs/internal/learner"
@@ -147,6 +148,36 @@ func MergeTableSets(sets []*learner.TableSet) (*learner.TableSet, error) {
 		merged.Roles[j] = learner.RoleTable{Role: role, Table: m}
 	}
 	return merged, nil
+}
+
+// JoinDevices is the federated-join phase of a merge epoch: it merges
+// the latest per-device table sets in sorted-device-ID order and
+// returns the merged set alongside that order. Sorting here — rather
+// than at each call site — makes the floating-point association order
+// of the weighted average a property of the device set alone. That is
+// the byte-identity contract the hierarchical fleet leans on: edge
+// aggregators forward raw per-device tables (never partial averages,
+// which would reassociate the float sums), so a root join over the
+// union of any number of aggregator regions is bit-identical to a
+// flat single-tier merge of the same uploads.
+func JoinDevices(uploads map[string]*learner.TableSet) (*learner.TableSet, []string, error) {
+	if len(uploads) == 0 {
+		return nil, nil, fmt.Errorf("cloud: nothing to join")
+	}
+	devices := make([]string, 0, len(uploads))
+	for d := range uploads {
+		devices = append(devices, d)
+	}
+	sort.Strings(devices)
+	sets := make([]*learner.TableSet, len(devices))
+	for i, d := range devices {
+		sets[i] = uploads[d]
+	}
+	merged, err := MergeTableSets(sets)
+	if err != nil {
+		return nil, nil, err
+	}
+	return merged, devices, nil
 }
 
 // NewArtifact wraps a merge round's output as an unversioned policy

@@ -1,0 +1,273 @@
+// Package docsmoke keeps the documentation honest: it extracts the
+// shell commands shown in fenced code blocks of the repo's markdown
+// files and validates every flag they pass against the CLI's actual
+// flag set, so a renamed or removed flag fails CI instead of rotting
+// in a README example. It also checks that every package carries a doc
+// comment. cmd/docsmoke is the CLI the CI lint job runs.
+//
+// The library is pure (no subprocesses, no filesystem walks beyond
+// what the caller hands it); cmd/docsmoke wires it to `go run -h` and
+// the repo layout.
+package docsmoke
+
+import (
+	"bufio"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Command is one CLI invocation found in a fenced code block.
+type Command struct {
+	// File and Line locate the invocation for error reports (Line is
+	// 1-based in the source markdown).
+	File string
+	Line int
+	// Tool is the command's base name ("nextfleetd"), normalized from
+	// either a bare invocation or a `go run ./cmd/<tool>` form.
+	Tool string
+	// Flags are the flag names the invocation passes, without leading
+	// dashes or "=value" suffixes, in order of appearance.
+	Flags []string
+}
+
+// fenceRE matches a code-fence line and captures the info string.
+var fenceRE = regexp.MustCompile("^\\s*```\\s*([A-Za-z0-9_+-]*)")
+
+// shellLangs are the fence info strings treated as shell examples.
+var shellLangs = map[string]bool{"": true, "sh": true, "shell": true, "bash": true, "console": true, "text": true}
+
+// ExtractCommands scans markdown for fenced shell blocks and returns
+// every invocation of one of the named tools. Lines are split on pipes
+// so each stage of a pipeline is validated; `$ ` prompts and trailing
+// backslash continuations are handled; lines inside non-shell fences
+// (go, json, …) are ignored.
+func ExtractCommands(file string, markdown []byte, tools map[string]bool) []Command {
+	var out []Command
+	inFence := false
+	shell := false
+	var cont strings.Builder
+	contLine := 0
+	sc := bufio.NewScanner(strings.NewReader(string(markdown)))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if m := fenceRE.FindStringSubmatch(text); m != nil && strings.Contains(text, "```") {
+			if inFence {
+				inFence = false
+				continue
+			}
+			inFence = true
+			shell = shellLangs[strings.ToLower(m[1])]
+			cont.Reset()
+			continue
+		}
+		if !inFence || !shell {
+			continue
+		}
+		t := strings.TrimSpace(text)
+		t = strings.TrimPrefix(t, "$ ")
+		if t == "" || strings.HasPrefix(t, "#") {
+			continue
+		}
+		if cont.Len() == 0 {
+			contLine = line
+		}
+		if strings.HasSuffix(t, "\\") {
+			cont.WriteString(strings.TrimSuffix(t, "\\"))
+			cont.WriteString(" ")
+			continue
+		}
+		cont.WriteString(t)
+		out = append(out, parseLine(file, contLine, cont.String(), tools)...)
+		cont.Reset()
+	}
+	return out
+}
+
+// parseLine splits one shell line into pipeline stages and returns the
+// stages that invoke a known tool.
+func parseLine(file string, line int, text string, tools map[string]bool) []Command {
+	var out []Command
+	for _, stage := range strings.Split(text, "|") {
+		fields := strings.Fields(stage)
+		tool, args, ok := resolveTool(fields, tools)
+		if !ok {
+			continue
+		}
+		out = append(out, Command{File: file, Line: line, Tool: tool, Flags: flagNames(args)})
+	}
+	return out
+}
+
+// resolveTool recognizes `nextfleetd …`, `./nextfleetd …` and
+// `go run ./cmd/nextfleetd …` (with an optional module path prefix)
+// against the known tool set.
+func resolveTool(fields []string, tools map[string]bool) (string, []string, bool) {
+	if len(fields) == 0 {
+		return "", nil, false
+	}
+	if fields[0] == "go" && len(fields) >= 3 && fields[1] == "run" {
+		base := filepath.Base(strings.TrimSuffix(fields[2], "/"))
+		if tools[base] {
+			return base, fields[3:], true
+		}
+		return "", nil, false
+	}
+	base := filepath.Base(fields[0])
+	if tools[base] {
+		return base, fields[1:], true
+	}
+	return "", nil, false
+}
+
+// flagNames pulls the flag names out of an argument list: tokens that
+// start with "-" followed by a letter, stripped of dashes and any
+// "=value" suffix. A bare "--" ends flag parsing, shell metacharacters
+// end the stage.
+func flagNames(args []string) []string {
+	var out []string
+	for _, a := range args {
+		if a == "--" || a == "&&" || a == ";" || a == ">" || a == ">>" || a == "<" {
+			break
+		}
+		if len(a) < 2 || a[0] != '-' {
+			continue
+		}
+		name := strings.TrimLeft(a, "-")
+		if name == "" || !isLetter(name[0]) {
+			continue // negative number or bare dashes, not a flag
+		}
+		if i := strings.IndexByte(name, '='); i >= 0 {
+			name = name[:i]
+		}
+		out = append(out, name)
+	}
+	return out
+}
+
+func isLetter(b byte) bool {
+	return ('a' <= b && b <= 'z') || ('A' <= b && b <= 'Z')
+}
+
+// helpFlagRE matches one flag definition line of `flag` package -h
+// output: two leading spaces, a dash, the name.
+var helpFlagRE = regexp.MustCompile(`(?m)^\s+-([A-Za-z][A-Za-z0-9._-]*)`)
+
+// ParseHelpFlags extracts the defined flag names from a CLI's -h/usage
+// output (the standard library flag package's format). "h" and "help"
+// are always accepted — the flag package handles them implicitly.
+func ParseHelpFlags(help string) map[string]bool {
+	flags := map[string]bool{"h": true, "help": true}
+	for _, m := range helpFlagRE.FindAllStringSubmatch(help, -1) {
+		flags[m[1]] = true
+	}
+	return flags
+}
+
+// Problem is one documented invocation that no longer matches the CLI.
+type Problem struct {
+	Command Command
+	Flag    string // the unknown flag ("" when the tool itself failed)
+	Detail  string
+}
+
+func (p Problem) String() string {
+	if p.Flag != "" {
+		return fmt.Sprintf("%s:%d: %s has no flag -%s (documented invocation drifted)", p.Command.File, p.Command.Line, p.Command.Tool, p.Flag)
+	}
+	return fmt.Sprintf("%s:%d: %s: %s", p.Command.File, p.Command.Line, p.Command.Tool, p.Detail)
+}
+
+// Check validates every command's flags against the tool's flag set,
+// loading each tool's flags once via flagsFor (typically an exec of
+// `go run ./cmd/<tool> -h`).
+func Check(cmds []Command, flagsFor func(tool string) (map[string]bool, error)) []Problem {
+	var problems []Problem
+	cache := make(map[string]map[string]bool)
+	failed := make(map[string]error)
+	for _, c := range cmds {
+		flags, ok := cache[c.Tool]
+		if !ok {
+			if err, bad := failed[c.Tool]; bad {
+				problems = append(problems, Problem{Command: c, Detail: err.Error()})
+				continue
+			}
+			var err error
+			flags, err = flagsFor(c.Tool)
+			if err != nil {
+				failed[c.Tool] = err
+				problems = append(problems, Problem{Command: c, Detail: err.Error()})
+				continue
+			}
+			cache[c.Tool] = flags
+		}
+		for _, f := range c.Flags {
+			if !flags[f] {
+				problems = append(problems, Problem{Command: c, Flag: f})
+			}
+		}
+	}
+	return problems
+}
+
+// MissingPackageDocs walks the given directories (each holding Go
+// packages one level deep, like internal/ or cmd/) and reports every
+// package whose files carry no package doc comment. Test-only
+// packages are skipped.
+func MissingPackageDocs(roots ...string) ([]string, error) {
+	var missing []string
+	for _, root := range roots {
+		entries, err := os.ReadDir(root)
+		if err != nil {
+			return nil, fmt.Errorf("docsmoke: %w", err)
+		}
+		for _, e := range entries {
+			if !e.IsDir() {
+				continue
+			}
+			dir := filepath.Join(root, e.Name())
+			documented, hasGo, err := packageDocumented(dir)
+			if err != nil {
+				return nil, err
+			}
+			if hasGo && !documented {
+				missing = append(missing, dir)
+			}
+		}
+	}
+	sort.Strings(missing)
+	return missing, nil
+}
+
+// packageDocumented parses the non-test Go files of one directory and
+// reports whether any carries a package doc comment.
+func packageDocumented(dir string) (documented, hasGo bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, false, fmt.Errorf("docsmoke: %w", err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		hasGo = true
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return false, true, fmt.Errorf("docsmoke: %w", err)
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true, true, nil
+		}
+	}
+	return false, hasGo, nil
+}

@@ -1,0 +1,145 @@
+package docsmoke
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var testTools = map[string]bool{"nextfleetd": true, "nextbench": true, "benchgate": true}
+
+func TestExtractCommandsFromFencedBlocks(t *testing.T) {
+	md := []byte("# Title\n" +
+		"Run the server:\n" +
+		"```sh\n" +
+		"$ nextfleetd -addr 127.0.0.1:8077 -snapshot /tmp/s\n" +
+		"nextbench -fleet 64 -rollout\n" +
+		"# a comment line\n" +
+		"```\n" +
+		"```go\n" +
+		"x := nextfleetd() // not a shell block\n" +
+		"```\n" +
+		"```\n" +
+		"go run ./cmd/nextfleetd -bench 16 -aggregators 4\n" +
+		"```\n")
+	cmds := ExtractCommands("doc.md", md, testTools)
+	if len(cmds) != 3 {
+		t.Fatalf("extracted %d commands, want 3: %+v", len(cmds), cmds)
+	}
+	if cmds[0].Tool != "nextfleetd" || strings.Join(cmds[0].Flags, ",") != "addr,snapshot" {
+		t.Fatalf("first command wrong: %+v", cmds[0])
+	}
+	if cmds[0].Line != 4 {
+		t.Fatalf("first command line = %d, want 4", cmds[0].Line)
+	}
+	if cmds[1].Tool != "nextbench" || strings.Join(cmds[1].Flags, ",") != "fleet,rollout" {
+		t.Fatalf("second command wrong: %+v", cmds[1])
+	}
+	if cmds[2].Tool != "nextfleetd" || strings.Join(cmds[2].Flags, ",") != "bench,aggregators" {
+		t.Fatalf("go-run command wrong: %+v", cmds[2])
+	}
+}
+
+func TestExtractCommandsPipelineAndContinuation(t *testing.T) {
+	md := []byte("```sh\n" +
+		"go test -run NONE -bench X . | \\\n" +
+		"    go run ./cmd/benchgate -baselines BENCH_fleet.json\n" +
+		"```\n")
+	cmds := ExtractCommands("ci.md", md, testTools)
+	if len(cmds) != 1 {
+		t.Fatalf("extracted %d commands, want 1 (go test is not a tool): %+v", len(cmds), cmds)
+	}
+	if cmds[0].Tool != "benchgate" || strings.Join(cmds[0].Flags, ",") != "baselines" {
+		t.Fatalf("pipeline command wrong: %+v", cmds[0])
+	}
+}
+
+func TestFlagNamesSkipsNegativeNumbersAndValues(t *testing.T) {
+	got := flagNames([]string{"-seed", "-1", "-scale=0.5", "--rollout", "arg", "--", "-notaflag"})
+	want := "seed,scale,rollout"
+	if strings.Join(got, ",") != want {
+		t.Fatalf("flagNames = %v, want %s", got, want)
+	}
+}
+
+func TestParseHelpFlags(t *testing.T) {
+	help := "Usage of nextfleetd:\n" +
+		"  -addr string\n" +
+		"    \tlisten address (default \"127.0.0.1:8077\")\n" +
+		"  -bench int\n" +
+		"    \tbench mode\n" +
+		"  -flush-every duration\n" +
+		"    \tcadence\n"
+	flags := ParseHelpFlags(help)
+	for _, f := range []string{"addr", "bench", "flush-every", "h", "help"} {
+		if !flags[f] {
+			t.Fatalf("missing flag %q in %v", f, flags)
+		}
+	}
+	if flags["string"] || flags["int"] {
+		t.Fatalf("type words misread as flags: %v", flags)
+	}
+}
+
+func TestCheckFlagsDriftIsReported(t *testing.T) {
+	cmds := []Command{
+		{File: "README.md", Line: 10, Tool: "nextfleetd", Flags: []string{"addr", "gone"}},
+		{File: "README.md", Line: 12, Tool: "nextbench", Flags: []string{"fleet"}},
+	}
+	problems := Check(cmds, func(tool string) (map[string]bool, error) {
+		return map[string]bool{"addr": true, "fleet": true}, nil
+	})
+	if len(problems) != 1 {
+		t.Fatalf("got %d problems, want 1: %v", len(problems), problems)
+	}
+	if problems[0].Flag != "gone" || !strings.Contains(problems[0].String(), "README.md:10") {
+		t.Fatalf("wrong problem: %v", problems[0])
+	}
+}
+
+func TestMissingPackageDocs(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, content string) {
+		p := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("internal/good/good.go", "// Package good is documented.\npackage good\n")
+	write("internal/bad/bad.go", "package bad\n")
+	write("internal/testonly/x_test.go", "package testonly\n")
+	missing, err := MissingPackageDocs(filepath.Join(root, "internal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 1 || filepath.Base(missing[0]) != "bad" {
+		t.Fatalf("missing = %v, want just the bad package", missing)
+	}
+}
+
+// The real repository must pass its own gate: every internal and cmd
+// package documented, and the committed markdown free of flag drift
+// (flag sets faked from the real CLI sources would duplicate them, so
+// this test only checks extraction runs cleanly over the live files —
+// the full end-to-end check is cmd/docsmoke in CI).
+func TestRepoMarkdownExtractsWithoutPanic(t *testing.T) {
+	repoRoot := filepath.Join("..", "..")
+	missing, err := MissingPackageDocs(filepath.Join(repoRoot, "internal"), filepath.Join(repoRoot, "cmd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) > 0 {
+		t.Fatalf("packages without doc comments: %v", missing)
+	}
+	for _, f := range []string{"README.md", filepath.Join("docs", "architecture.md"), filepath.Join("docs", "operations.md")} {
+		data, err := os.ReadFile(filepath.Join(repoRoot, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ExtractCommands(f, data, map[string]bool{"nextfleetd": true, "nextbench": true, "benchgate": true, "docsmoke": true, "nextsim": true, "nexttrain": true, "nextprof": true})
+	}
+}

@@ -32,14 +32,33 @@ func NewClient(base string) *Client {
 	}
 }
 
+// RetryAfterError is the typed backpressure signal of the aggregator
+// tier: an edge whose upward queue is full answers 429 with a
+// Retry-After header, and the client surfaces both so devices can
+// delay and re-upload instead of treating the rejection as fatal.
+// Detect it with errors.As.
+type RetryAfterError struct {
+	// Seconds is the server's suggested delay before retrying.
+	Seconds float64
+	Err     error
+}
+
+func (e *RetryAfterError) Error() string { return e.Err.Error() }
+func (e *RetryAfterError) Unwrap() error { return e.Err }
+
 // apiErrorOf turns a non-2xx response into a descriptive error.
 func apiErrorOf(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	var e apiError
+	err := fmt.Errorf("fleetd: server said %s", resp.Status)
 	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return fmt.Errorf("fleetd: server said %s: %s", resp.Status, e.Error)
+		err = fmt.Errorf("fleetd: server said %s: %s", resp.Status, e.Error)
 	}
-	return fmt.Errorf("fleetd: server said %s", resp.Status)
+	if resp.StatusCode == http.StatusTooManyRequests {
+		secs, _ := strconv.ParseFloat(resp.Header.Get("Retry-After"), 64)
+		return &RetryAfterError{Seconds: secs, Err: err}
+	}
+	return err
 }
 
 func (c *Client) decode(resp *http.Response, v any) error {

@@ -3,6 +3,8 @@ package fleetd
 import (
 	"fmt"
 	"io"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -10,11 +12,16 @@ import (
 )
 
 // numLabels counts the API endpoints instrumented below.
-const numLabels = 9
+const numLabels = 10
 
 // Request labels, one per API endpoint. The metrics page iterates this
 // list so every counter appears even at zero.
-var requestLabels = [numLabels]string{"checkin", "upload", "merge", "policy", "apps", "rollout", "report", "healthz", "metrics"}
+var requestLabels = [numLabels]string{"checkin", "upload", "merge", "federate", "policy", "apps", "rollout", "report", "healthz", "metrics"}
+
+// mergeRingSize is the window behind the merge-latency quantiles: the
+// last 256 rounds, enough to smooth a burst without letting ancient
+// rounds dominate after a traffic shift.
+const mergeRingSize = 256
 
 // Metrics is the server's instrumentation: per-endpoint request and
 // error counters plus a merge-latency summary, all lock-free atomics on
@@ -27,6 +34,14 @@ type Metrics struct {
 	mergeCount atomic.Int64
 	mergeSumUS atomic.Int64
 	mergeMaxUS atomic.Int64
+
+	// mergeRing holds recent merge latencies for the exposition's named
+	// quantiles. A plain mutex is fine here: merge rounds are orders of
+	// magnitude rarer than check-ins, so this never sits on the serving
+	// hot path.
+	mergeMu    sync.Mutex
+	mergeRing  [mergeRingSize]int64
+	mergeRingN int64
 
 	snapshots atomic.Int64
 	restored  atomic.Int64
@@ -55,12 +70,38 @@ func (m *Metrics) observeMerge(d time.Duration) {
 	us := d.Microseconds()
 	m.mergeCount.Add(1)
 	m.mergeSumUS.Add(us)
+	m.mergeMu.Lock()
+	m.mergeRing[m.mergeRingN%mergeRingSize] = us
+	m.mergeRingN++
+	m.mergeMu.Unlock()
 	for {
 		cur := m.mergeMaxUS.Load()
 		if us <= cur || m.mergeMaxUS.CompareAndSwap(cur, us) {
 			return
 		}
 	}
+}
+
+// mergeQuantiles returns the named latency quantiles (nearest-rank)
+// over the ring window, or nil before the first merge round.
+func (m *Metrics) mergeQuantiles(qs ...float64) []int64 {
+	m.mergeMu.Lock()
+	n := m.mergeRingN
+	if n > mergeRingSize {
+		n = mergeRingSize
+	}
+	window := make([]int64, n)
+	copy(window, m.mergeRing[:n])
+	m.mergeMu.Unlock()
+	if len(window) == 0 {
+		return nil
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	out := make([]int64, len(qs))
+	for i, q := range qs {
+		out[i] = window[int(q*float64(len(window)-1)+0.5)]
+	}
+	return out
 }
 
 // Requests returns the total request count across endpoints.
@@ -96,8 +137,13 @@ func (m *Metrics) write(w io.Writer, keys, merged, uploads, devices, untracked i
 	}
 
 	count, sumUS, maxUS := m.MergeLatency()
-	fmt.Fprintf(w, "# HELP fleetd_merge_latency_us Federated merge round latency in microseconds.\n")
+	fmt.Fprintf(w, "# HELP fleetd_merge_latency_us Federated merge round latency in microseconds (quantiles over the last %d rounds; count/sum/max over the server lifetime).\n", mergeRingSize)
 	fmt.Fprintf(w, "# TYPE fleetd_merge_latency_us summary\n")
+	if qs := m.mergeQuantiles(0.5, 0.9, 0.99); qs != nil {
+		fmt.Fprintf(w, "fleetd_merge_latency_us{quantile=\"0.5\"} %d\n", qs[0])
+		fmt.Fprintf(w, "fleetd_merge_latency_us{quantile=\"0.9\"} %d\n", qs[1])
+		fmt.Fprintf(w, "fleetd_merge_latency_us{quantile=\"0.99\"} %d\n", qs[2])
+	}
 	fmt.Fprintf(w, "fleetd_merge_latency_us_count %d\n", count)
 	fmt.Fprintf(w, "fleetd_merge_latency_us_sum %d\n", sumUS)
 	fmt.Fprintf(w, "fleetd_merge_latency_us_max %d\n", maxUS)

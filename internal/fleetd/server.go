@@ -42,6 +42,13 @@ type Config struct {
 	SnapshotDir string
 	// MaxBodyBytes bounds upload bodies (0 → 16 MiB).
 	MaxBodyBytes int64
+	// MaxFederateBytes bounds aggregator federation pushes, which batch
+	// many device tables per request (0 → 64 MiB).
+	MaxFederateBytes int64
+	// MaxDevicesPerKey raises the distinct-devices-per-policy cap for
+	// root servers that absorb whole aggregator regions of raw device
+	// tables (0 → the store default of 4096).
+	MaxDevicesPerKey int
 	// Rollout enables the policy-lifecycle subsystem: merge rounds mint
 	// versioned artifacts that reach the fleet through staged canary
 	// cohorts with automatic QoS/energy rollback. Nil disables it —
@@ -68,9 +75,12 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 16 << 20
 	}
+	if cfg.MaxFederateBytes <= 0 {
+		cfg.MaxFederateBytes = 64 << 20
+	}
 	s := &Server{
 		cfg:     cfg,
-		store:   NewStore(),
+		store:   NewStoreMaxDevices(cfg.MaxDevicesPerKey),
 		metrics: NewMetrics(),
 		devices: make(map[string]struct{}),
 	}
@@ -93,6 +103,7 @@ func NewServer(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/checkin", s.instrument("checkin", s.handleCheckin))
 	mux.HandleFunc("PUT /v1/table", s.instrument("upload", s.handleUpload))
 	mux.HandleFunc("POST /v1/merge", s.instrument("merge", s.handleMerge))
+	mux.HandleFunc("POST /v1/federate", s.instrument("federate", s.handleFederate))
 	mux.HandleFunc("GET /v1/policy", s.instrument("policy", s.handlePolicy))
 	mux.HandleFunc("GET /v1/apps", s.instrument("apps", s.handleApps))
 	mux.HandleFunc("GET /v1/rollout", s.instrument("rollout", s.handleRolloutStatus))
@@ -176,20 +187,7 @@ func (s *Server) handleCheckin(w http.ResponseWriter, r *http.Request) int {
 		return writeErr(w, http.StatusBadRequest,
 			fmt.Errorf("fleetd: check-in needs device and platform as single [a-zA-Z0-9._-] segments"))
 	}
-	s.devMu.Lock()
-	if _, seen := s.devices[req.Device]; !seen {
-		if len(s.devices) < maxTrackedDevices {
-			s.devices[req.Device] = struct{}{}
-		} else {
-			s.devOverflow++ // counted, not stored (lower-bound gauge)
-		}
-	}
-	s.devMu.Unlock()
-	if s.rollout != nil {
-		// Check-ins feed the cohort floor: the canary stage widens until
-		// it covers at least MinCanary registered devices.
-		s.rollout.RegisterDevice(req.Device)
-	}
+	s.noteDevice(req.Device)
 	reply := CheckinReply{Device: req.Device, Platform: req.Platform, Policies: []KeyInfo{}}
 	for _, info := range s.store.Infos(req.Platform) {
 		if info.Round > 0 {
@@ -197,6 +195,26 @@ func (s *Server) handleCheckin(w http.ResponseWriter, r *http.Request) int {
 		}
 	}
 	return writeJSON(w, http.StatusOK, reply)
+}
+
+// noteDevice records a device in the bounded distinct-device set and
+// registers it with the rollout lifecycle — the canary stage widens
+// until it covers at least MinCanary registered devices. Check-ins and
+// aggregator federation pushes share this path, so cohort floors count
+// edge devices too.
+func (s *Server) noteDevice(device string) {
+	s.devMu.Lock()
+	if _, seen := s.devices[device]; !seen {
+		if len(s.devices) < maxTrackedDevices {
+			s.devices[device] = struct{}{}
+		} else {
+			s.devOverflow++ // counted, not stored (lower-bound gauge)
+		}
+	}
+	s.devMu.Unlock()
+	if s.rollout != nil {
+		s.rollout.RegisterDevice(device)
+	}
 }
 
 // UploadReply acknowledges a table upload.

@@ -46,6 +46,11 @@ func safeName(s string) bool {
 	return true
 }
 
+// SafeName reports whether s passes the store's identifier rules (the
+// aggregator tier applies the same validation before queueing uploads
+// for upward federation).
+func SafeName(s string) bool { return safeName(s) }
+
 func (k Key) validate() error {
 	if !safeName(k.App) {
 		return fmt.Errorf("fleetd: bad app name %q (want a single [a-zA-Z0-9._-] segment)", k.App)
@@ -136,6 +141,11 @@ func sanitizeTable(t *core.QTable) {
 // upload per device plus the current merged table).
 type Store struct {
 	shards [numShards]storeShard
+	// maxDevices bounds distinct devices per key (maxDevicesPerKey by
+	// default). A root store absorbing whole aggregator regions raises
+	// it via NewStoreMaxDevices — see docs/operations.md, "Capacity
+	// limits".
+	maxDevices int
 }
 
 type storeShard struct {
@@ -145,17 +155,37 @@ type storeShard struct {
 
 type entry struct {
 	// uploads holds the latest learner table set per device ID (deep
-	// copies — the store never aliases caller memory).
+	// copies — the store never aliases caller memory). Stored sets are
+	// immutable once inserted: re-uploads replace the map entry with a
+	// fresh set, so a merge round may snapshot references and drop the
+	// shard lock while it computes.
 	uploads map[string]*learner.TableSet
 	// merged is the current served policy, nil until the first merge
 	// round (or snapshot restore); round counts merge rounds.
 	merged *learner.TableSet
 	round  int64
+	// uploadGen counts uploads; installedGen records the uploadGen the
+	// currently installed merged set was computed from. Together they
+	// let the phased merge run lock-free: a slow round whose snapshot
+	// predates the installed one never overwrites it backwards.
+	uploadGen    int64
+	installedGen int64
 }
 
-// NewStore returns an empty store.
-func NewStore() *Store {
-	s := &Store{}
+// NewStore returns an empty store with the default per-key device cap.
+func NewStore() *Store { return NewStoreMaxDevices(0) }
+
+// NewStoreMaxDevices returns an empty store accepting up to maxDevices
+// distinct devices per policy key (≤ 0 → the default cap). The root of
+// a hierarchical fleet holds the raw per-device tables of every region
+// — byte-identity with a flat merge demands raw tables, not regional
+// pre-averages — so its cap is sized to the whole fleet, while edge
+// aggregators and standalone servers keep the tighter anti-spray bound.
+func NewStoreMaxDevices(maxDevices int) *Store {
+	if maxDevices <= 0 {
+		maxDevices = maxDevicesPerKey
+	}
+	s := &Store{maxDevices: maxDevices}
 	for i := range s.shards {
 		s.shards[i].entries = make(map[Key]*entry)
 	}
@@ -243,11 +273,12 @@ func (s *Store) UploadSetOwned(k Key, device string, set *learner.TableSet) (dev
 		return 0, fmt.Errorf("fleetd: %s: upload from %q: learner %q does not match the fleet's %q",
 			k, device, learner.Normalize(set.Learner), learner.Normalize(ref.Learner))
 	}
-	if _, seen := e.uploads[device]; !seen && len(e.uploads) >= maxDevicesPerKey {
-		return 0, fmt.Errorf("fleetd: %s: device limit reached (%d)", k, maxDevicesPerKey)
+	if _, seen := e.uploads[device]; !seen && len(e.uploads) >= s.maxDevices {
+		return 0, fmt.Errorf("fleetd: %s: device limit reached (%d)", k, s.maxDevices)
 	}
 	sanitizeSet(set)
 	e.uploads[device] = set
+	e.uploadGen++
 	return len(e.uploads), nil
 }
 
@@ -303,36 +334,66 @@ func (s *Store) Merge(k Key) (MergeInfo, error) {
 // output as a policy artifact without re-locking the shard (and
 // without racing a concurrent round for "which set did my round
 // produce").
+//
+// MergeSet runs as a phased epoch — split → local-merge → join, the
+// doppel coordinator/worker decomposition — so no lock spans the whole
+// round:
+//
+//   - split: snapshot the device→set references and the upload
+//     generation they represent under a brief read lock. Stored sets
+//     are immutable once inserted, so the references stay valid after
+//     the lock drops.
+//   - local-merge: the expensive federated join (cloud.JoinDevices,
+//     sorted-device order) computes with no lock held; uploads and
+//     rounds for other keys proceed concurrently.
+//   - join: install under a brief write lock, guarded by the snapshot's
+//     generation — a slow round whose snapshot predates the installed
+//     set returns the newer installed set instead of overwriting it
+//     backwards.
 func (s *Store) MergeSet(k Key) (MergeInfo, *learner.TableSet, error) {
 	if err := k.validate(); err != nil {
 		return MergeInfo{}, nil, err
 	}
 	sh := s.shardFor(k)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
+
+	// Split.
+	sh.mu.RLock()
 	e := sh.entries[k]
-	if e == nil || len(e.uploads) == 0 {
+	var snap map[string]*learner.TableSet
+	var gen int64
+	if e != nil {
+		gen = e.uploadGen
+		snap = make(map[string]*learner.TableSet, len(e.uploads))
+		for d, set := range e.uploads {
+			snap[d] = set
+		}
+	}
+	sh.mu.RUnlock()
+	if len(snap) == 0 {
 		return MergeInfo{}, nil, fmt.Errorf("fleetd: %s: no device tables to merge", k)
 	}
-	devices := make([]string, 0, len(e.uploads))
-	for d := range e.uploads {
-		devices = append(devices, d)
-	}
-	sort.Strings(devices)
-	sets := make([]*learner.TableSet, len(devices))
-	for i, d := range devices {
-		sets[i] = e.uploads[d]
-	}
-	merged, err := cloud.MergeTableSets(sets)
+
+	// Local-merge (no lock held).
+	merged, devices, err := cloud.JoinDevices(snap)
 	if err != nil {
 		return MergeInfo{}, nil, fmt.Errorf("fleetd: %s: %w", k, err)
 	}
-	e.merged = merged
+
+	// Join.
+	sh.mu.Lock()
+	if gen >= e.installedGen {
+		e.merged = merged
+		e.installedGen = gen
+	} else {
+		merged = e.merged // a round over newer uploads already installed
+	}
 	e.round++
-	return MergeInfo{
+	info := MergeInfo{
 		App: k.App, Platform: k.Platform,
-		Round: e.round, Devices: len(sets), States: merged.Primary().States(),
-	}, merged, nil
+		Round: e.round, Devices: len(devices), States: merged.Primary().States(),
+	}
+	sh.mu.Unlock()
+	return info, merged, nil
 }
 
 // Policy returns a deep copy of the key's current merged primary table

@@ -81,6 +81,14 @@ type Options struct {
 	// evaluation rounds feed cohort energy/QoS back until the server
 	// promotes or rolls back. Excludes Scenarios and Lockstep.
 	Rollout *RolloutOptions
+	// Aggregators, when > 0, simulates the two-tier topology: that many
+	// in-process edge aggregators are stood up over the root server at
+	// baseURL, device i drives aggregator i%N (honoring Retry-After
+	// backpressure), and the final round becomes a federation epoch —
+	// aggregator-local merges, a flush of the raw device tables upward,
+	// then the root's federated join. The root's final table is
+	// byte-identical to the flat run's. Excludes Rollout.
+	Aggregators int
 }
 
 func (o *Options) defaults() {
@@ -157,6 +165,8 @@ type Report struct {
 	RequestsPerSec float64
 	// Rollout carries the A/B lifecycle outcome (nil for plain runs).
 	Rollout *RolloutReport
+	// Federation carries the two-tier epoch outcome (nil for flat runs).
+	Federation *FederationReport
 }
 
 // WriteSummary prints the human-readable run report — the one printer
@@ -168,6 +178,16 @@ func (r Report) WriteSummary(w io.Writer) {
 	fmt.Fprintf(w, "traffic:  %.3f s wall, %d requests\n", r.TrafficWallS, r.Requests)
 	fmt.Fprintf(w, "  check-in cycles/sec: %.0f\n", r.CheckinsPerSec)
 	fmt.Fprintf(w, "  requests/sec:        %.0f\n", r.RequestsPerSec)
+	if f := r.Federation; f != nil {
+		fmt.Fprintf(w, "federation: %d aggregators, %d tables joined at root, %d local merges\n",
+			f.Aggregators, f.Flushed, f.LocalMerges)
+		if f.Retries429 > 0 {
+			fmt.Fprintf(w, "  backpressure retries: %d\n", f.Retries429)
+		}
+		if len(f.Late) > 0 {
+			fmt.Fprintf(w, "  late aggregators: %s\n", strings.Join(f.Late, ", "))
+		}
+	}
 	fmt.Fprintf(w, "final merge: round %d, %d devices, %d states, %d µs\n",
 		r.Merge.Round, r.Merge.Devices, r.Merge.States, r.Merge.LatencyUS)
 	for _, am := range r.PerApp {
@@ -218,6 +238,9 @@ func Run(baseURL string, opts Options) (Report, error) {
 		return Report{}, fmt.Errorf("fleetsim: %w", err)
 	}
 	if opts.Rollout != nil {
+		if opts.Aggregators > 0 {
+			return Report{}, fmt.Errorf("fleetsim: aggregator tier excludes rollout mode")
+		}
 		return runRollout(baseURL, opts)
 	}
 	client := fleetd.NewClient(baseURL)
@@ -250,34 +273,55 @@ func Run(baseURL string, opts Options) (Report, error) {
 	// merge round and pulls whatever policy that round (or a concurrent
 	// one) produced. Merges interleave freely with uploads; the store
 	// recomputes every round from the full upload set, so interleaving
-	// affects only which intermediate round a device observes.
-	var requests atomic.Int64
+	// affects only which intermediate round a device observes. In
+	// two-tier mode each device talks to its regional aggregator instead
+	// of the root.
+	var tier *aggTier
+	if opts.Aggregators > 0 {
+		tier, err = startAggTier(baseURL, opts)
+		if err != nil {
+			return report, err
+		}
+		defer tier.close()
+	}
+	var requests, retries atomic.Int64
 	trafficStart := time.Now()
 	batch.Map(opts.Devices, opts.Parallel, func(i int) {
-		driveDevice(&report.Devices[i], client, agents[i], opts, &requests)
+		devClient := client
+		if tier != nil {
+			devClient = tier.clients[i%len(tier.clients)]
+		}
+		driveDevice(&report.Devices[i], devClient, agents[i], opts, &requests, &retries)
 	})
 	report.TrafficWallS = time.Since(trafficStart).Seconds()
 
 	// Phase 3 — the final round: with every upload in, one more merge per
 	// app is the deterministic fleet table; every device would pull it on
-	// its next check-in.
-	for _, app := range finalApps(&report, opts) {
-		info, err := client.Merge(app, opts.Platform)
-		if err != nil {
-			return report, fmt.Errorf("fleetsim: final merge of %s: %w", app, err)
+	// its next check-in. A two-tier run reaches the same table through a
+	// federation epoch instead of a direct merge.
+	if tier != nil {
+		if err := runEpochPhase(client, tier, &report, opts, &requests, &retries); err != nil {
+			return report, err
 		}
-		requests.Add(1)
-		merged, _, err := client.Policy(app, opts.Platform)
-		if err != nil {
-			return report, fmt.Errorf("fleetsim: final policy pull of %s: %w", app, err)
-		}
-		requests.Add(1)
-		if len(opts.Scenarios) > 0 {
-			report.PerApp = append(report.PerApp, AppMerge{App: app, Merge: info, Merged: merged})
-		}
-		if report.Merged == nil || app == opts.App {
-			report.Merge = info
-			report.Merged = merged
+	} else {
+		for _, app := range finalApps(&report, opts) {
+			info, err := client.Merge(app, opts.Platform)
+			if err != nil {
+				return report, fmt.Errorf("fleetsim: final merge of %s: %w", app, err)
+			}
+			requests.Add(1)
+			merged, _, err := client.Policy(app, opts.Platform)
+			if err != nil {
+				return report, fmt.Errorf("fleetsim: final policy pull of %s: %w", app, err)
+			}
+			requests.Add(1)
+			if len(opts.Scenarios) > 0 {
+				report.PerApp = append(report.PerApp, AppMerge{App: app, Merge: info, Merged: merged})
+			}
+			if report.Merged == nil || app == opts.App {
+				report.Merge = info
+				report.Merged = merged
+			}
 		}
 	}
 	report.Requests = requests.Load()
@@ -533,7 +577,7 @@ func failCohort(devices []DeviceResult, devs []int, err error) {
 // driveDevice plays one device's HTTP session against the server: check
 // in, then upload → merge → policy-pull for each app it trained (one
 // app for homogeneous fleets, every scenario app otherwise).
-func driveDevice(res *DeviceResult, client *fleetd.Client, agent *core.Agent, opts Options, requests *atomic.Int64) {
+func driveDevice(res *DeviceResult, client *fleetd.Client, agent *core.Agent, opts Options, requests, retries *atomic.Int64) {
 	if res.Err != "" || agent == nil {
 		return
 	}
@@ -555,7 +599,7 @@ func driveDevice(res *DeviceResult, client *fleetd.Client, agent *core.Agent, op
 		// The upload carries the agent's complete learner state (both
 		// Double-Q estimators for a doubleq fleet; the plain single-table
 		// wire format otherwise).
-		if _, err := client.UploadTableSet(res.Device, opts.Platform, app, agent.SnapshotFor(app)); err != nil {
+		if _, err := uploadWithBackpressure(client, res.Device, opts.Platform, app, agent.SnapshotFor(app), retries); err != nil {
 			res.Err = err.Error()
 			return
 		}

@@ -1,0 +1,156 @@
+package fleetsim
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"nextdvfs/internal/aggregator"
+	"nextdvfs/internal/core"
+	"nextdvfs/internal/fleetd"
+)
+
+// FederationReport describes the two-tier topology of an aggregator
+// run: what the final federation epoch moved and merged.
+type FederationReport struct {
+	// Aggregators is the edge-tier width.
+	Aggregators int
+	// Flushed counts device tables the root accepted during the final
+	// epoch; LocalMerges the aggregator-local rounds its split phase
+	// ran.
+	Flushed     int
+	LocalMerges int
+	// Late names aggregators that failed to flush in the final epoch
+	// (empty for in-process tiers unless the root died mid-run).
+	Late []string
+	// Retries429 counts uploads that were rejected with Retry-After
+	// backpressure and retried by the simulated devices.
+	Retries429 int64
+}
+
+// aggTier is the in-process edge tier a two-tier run spins up over the
+// root server: one aggregator.Server per region, each listening on its
+// own loopback port so devices reach their region over real HTTP.
+type aggTier struct {
+	aggs    []*aggregator.Server
+	clients []*fleetd.Client
+	srvs    []*http.Server
+}
+
+// startAggTier builds opts.Aggregators edge aggregators over the root.
+// Background flushing stays off — the federation epoch after traffic
+// drains the queues, which keeps the run's output a deterministic
+// function of the uploads rather than of flush timing.
+func startAggTier(rootURL string, opts Options) (*aggTier, error) {
+	t := &aggTier{}
+	for a := 0; a < opts.Aggregators; a++ {
+		agg, err := aggregator.New(aggregator.Config{
+			ID:         fmt.Sprintf("agg-%03d", a),
+			Root:       rootURL,
+			FlushEvery: -1,
+			// Sized so a well-behaved run never trips backpressure: the
+			// queue bounds distinct (policy, device) pairs and a scenario
+			// device uploads one table per visited app.
+			QueueLimit:       opts.Devices*16 + 64,
+			MaxDevicesPerKey: opts.Devices + 1,
+		})
+		if err != nil {
+			t.close()
+			return nil, fmt.Errorf("fleetsim: building aggregator tier: %w", err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.close()
+			return nil, fmt.Errorf("fleetsim: aggregator listener: %w", err)
+		}
+		srv := &http.Server{Handler: agg.Handler()}
+		go srv.Serve(ln)
+		t.aggs = append(t.aggs, agg)
+		t.srvs = append(t.srvs, srv)
+		t.clients = append(t.clients, fleetd.NewClient("http://"+ln.Addr().String()))
+	}
+	return t, nil
+}
+
+func (t *aggTier) close() {
+	for _, s := range t.srvs {
+		s.Close()
+	}
+}
+
+// Device-side backpressure handling: a 429 with Retry-After is a
+// delay-and-retry signal, not a failure. The sim honors the server's
+// delay but clamps it so a test-sized queue can't stall the run.
+const (
+	maxUploadRetries = 8
+	maxRetryDelay    = 200 * time.Millisecond
+)
+
+func uploadWithBackpressure(client *fleetd.Client, device, platform, app string,
+	set *core.TableSet, retries *atomic.Int64) (fleetd.UploadReply, error) {
+	for attempt := 0; ; attempt++ {
+		reply, err := client.UploadTableSet(device, platform, app, set)
+		var ra *fleetd.RetryAfterError
+		if err == nil || !errors.As(err, &ra) || attempt >= maxUploadRetries {
+			return reply, err
+		}
+		retries.Add(1)
+		delay := time.Duration(ra.Seconds * float64(time.Second))
+		if delay <= 0 || delay > maxRetryDelay {
+			delay = maxRetryDelay
+		}
+		time.Sleep(delay)
+	}
+}
+
+// runEpochPhase is phase 3 of a two-tier run: one federation epoch
+// (aggregator-local merges → flush upward → root joins), then the
+// final policies pulled from the root — the table every device would
+// get on its next check-in, pinned byte-identical to a flat merge.
+func runEpochPhase(rootClient *fleetd.Client, tier *aggTier, report *Report,
+	opts Options, requests, retries *atomic.Int64) error {
+	coord := &aggregator.Coordinator{Root: rootClient, Aggs: tier.aggs}
+	apps := finalApps(report, opts)
+	keys := make([]fleetd.Key, len(apps))
+	for i, app := range apps {
+		keys[i] = fleetd.Key{App: app, Platform: opts.Platform}
+	}
+	rep, err := coord.RunEpoch(keys)
+	if err != nil {
+		return fmt.Errorf("fleetsim: federation epoch: %w", err)
+	}
+	requests.Add(int64(len(rep.Merges)))
+	report.Federation = &FederationReport{
+		Aggregators: opts.Aggregators,
+		Flushed:     rep.Flushed,
+		LocalMerges: rep.LocalMerges,
+		Late:        rep.Late,
+		Retries429:  retries.Load(),
+	}
+	byApp := make(map[string]fleetd.MergeInfo, len(rep.Merges))
+	for _, info := range rep.Merges {
+		byApp[info.App] = info
+	}
+	for _, app := range apps {
+		info, ok := byApp[app]
+		if !ok {
+			return fmt.Errorf("fleetsim: federation epoch produced no root merge for %s", app)
+		}
+		merged, _, err := rootClient.Policy(app, opts.Platform)
+		if err != nil {
+			return fmt.Errorf("fleetsim: final policy pull of %s: %w", app, err)
+		}
+		requests.Add(1)
+		if len(opts.Scenarios) > 0 {
+			report.PerApp = append(report.PerApp, AppMerge{App: app, Merge: info, Merged: merged})
+		}
+		if report.Merged == nil || app == opts.App {
+			report.Merge = info
+			report.Merged = merged
+		}
+	}
+	return nil
+}

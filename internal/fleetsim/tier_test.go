@@ -1,0 +1,157 @@
+package fleetsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nextdvfs/internal/core"
+)
+
+// The two-tier acceptance pin: a fleet routed through an edge
+// aggregator tier must converge to the same root table, byte for byte,
+// as the identical flat run — the aggregators forward raw device
+// tables, so the root's federated join sees exactly the flat upload
+// set.
+func TestTwoTierFleetMatchesFlatRun(t *testing.T) {
+	opts := Options{Devices: 24, App: "spotify", Sessions: 2, SessionSecs: 6, Seed: 99, Parallel: 8}
+
+	_, flatURL, flatDone := startServer(t)
+	defer flatDone()
+	flat, err := Run(flatURL, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Errors != 0 {
+		t.Fatalf("flat run: %d device errors", flat.Errors)
+	}
+
+	tiered := opts
+	tiered.Aggregators = 3
+	_, rootURL, rootDone := startServer(t)
+	defer rootDone()
+	report, err := Run(rootURL, tiered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 0 {
+		for _, d := range report.Devices {
+			if d.Err != "" {
+				t.Errorf("%s: %s", d.Device, d.Err)
+			}
+		}
+		t.Fatalf("tiered run: %d device errors", report.Errors)
+	}
+
+	f := report.Federation
+	if f == nil {
+		t.Fatal("two-tier run reported no FederationReport")
+	}
+	if f.Aggregators != 3 {
+		t.Fatalf("FederationReport.Aggregators = %d, want 3", f.Aggregators)
+	}
+	if f.Flushed != opts.Devices {
+		t.Fatalf("epoch flushed %d tables, want %d", f.Flushed, opts.Devices)
+	}
+	if len(f.Late) != 0 {
+		t.Fatalf("in-process epoch had late aggregators: %v", f.Late)
+	}
+	if report.Merge.Devices != opts.Devices {
+		t.Fatalf("root joined %d devices, want %d", report.Merge.Devices, opts.Devices)
+	}
+
+	got, err := core.MarshalTable(opts.App, report.Merged, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.MarshalTable(opts.App, flat.Merged, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("two-tier federated table differs from the flat run's merge")
+	}
+	if flat.Merged.States() == 0 {
+		t.Fatal("degenerate comparison: flat merge has no states")
+	}
+}
+
+// Scenario fleets keep the byte-identity pin per app: every app's root
+// table after a two-tier run equals the flat run's.
+func TestTwoTierScenarioFleetMatchesFlatPerApp(t *testing.T) {
+	opts := Options{
+		Devices:   12,
+		Scenarios: []string{"commute", "doomscroll"},
+		Sessions:  1, SessionSecs: 6, Seed: 7, Parallel: 8,
+	}
+
+	_, flatURL, flatDone := startServer(t)
+	defer flatDone()
+	flat, err := Run(flatURL, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tiered := opts
+	tiered.Aggregators = 2
+	_, rootURL, rootDone := startServer(t)
+	defer rootDone()
+	report, err := Run(rootURL, tiered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 0 || flat.Errors != 0 {
+		t.Fatalf("device errors: tiered %d, flat %d", report.Errors, flat.Errors)
+	}
+	if len(report.PerApp) != len(flat.PerApp) {
+		t.Fatalf("tiered run merged %d apps, flat %d", len(report.PerApp), len(flat.PerApp))
+	}
+	for i, am := range report.PerApp {
+		want := flat.PerApp[i]
+		if am.App != want.App {
+			t.Fatalf("app order diverged: tiered %s, flat %s", am.App, want.App)
+		}
+		gotJSON, err := core.MarshalTable(am.App, am.Merged, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantJSON, err := core.MarshalTable(want.App, want.Merged, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotJSON, wantJSON) {
+			t.Fatalf("%s: two-tier table differs from flat run", am.App)
+		}
+	}
+}
+
+// The tier summary lines appear only for two-tier runs, so the default
+// WriteSummary output stays byte-identical for flat fleets.
+func TestWriteSummaryFederationLines(t *testing.T) {
+	var flatBuf bytes.Buffer
+	Report{}.WriteSummary(&flatBuf)
+	if strings.Contains(flatBuf.String(), "federation:") {
+		t.Fatal("flat summary mentions federation")
+	}
+
+	var buf bytes.Buffer
+	r := Report{Federation: &FederationReport{Aggregators: 4, Flushed: 64, LocalMerges: 4, Retries429: 2, Late: []string{"agg-003"}}}
+	r.WriteSummary(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"federation: 4 aggregators, 64 tables joined at root, 4 local merges",
+		"backpressure retries: 2",
+		"late aggregators: agg-003",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestAggregatorsExcludesRollout(t *testing.T) {
+	_, err := Run("http://127.0.0.1:0", Options{Aggregators: 2, Rollout: &RolloutOptions{}})
+	if err == nil || !strings.Contains(err.Error(), "excludes rollout") {
+		t.Fatalf("want rollout-exclusion error, got %v", err)
+	}
+}

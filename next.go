@@ -24,7 +24,9 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"time"
 
+	"nextdvfs/internal/aggregator"
 	"nextdvfs/internal/cloud"
 	"nextdvfs/internal/core"
 	"nextdvfs/internal/ctrl"
@@ -70,6 +72,9 @@ type (
 	FleetRolloutOptions = fleetsim.RolloutOptions
 	// FleetRolloutReport records a staged-rollout A/B run per round.
 	FleetRolloutReport = fleetsim.RolloutReport
+	// FleetFederationReport records the two-tier federation epoch of an
+	// aggregator-tier fleet-sim run (FleetSimOptions.Aggregators > 0).
+	FleetFederationReport = fleetsim.FederationReport
 )
 
 // DefaultAgentConfig returns the paper-faithful agent configuration.
@@ -446,6 +451,10 @@ type FleetServeOptions struct {
 	// server automatically rolls back candidates whose canary cohort
 	// regresses on reported QoS or energy. Zero value = paper defaults.
 	Rollout *RolloutConfig
+	// MaxDevicesPerKey bounds how many device tables one policy retains
+	// (0 → 4096). Raise it on a root that absorbs federated uploads from
+	// aggregators fronting more devices than that.
+	MaxDevicesPerKey int
 }
 
 // RolloutConfig tunes the staged-rollout lifecycle (stage ramp, minimum
@@ -468,7 +477,11 @@ func ServeFleet(opts FleetServeOptions) (*FleetServer, error) {
 	if opts.Addr == "" {
 		opts.Addr = "127.0.0.1:8077"
 	}
-	inner, err := fleetd.NewServer(fleetd.Config{SnapshotDir: opts.SnapshotDir, Rollout: opts.Rollout})
+	inner, err := fleetd.NewServer(fleetd.Config{
+		SnapshotDir:      opts.SnapshotDir,
+		Rollout:          opts.Rollout,
+		MaxDevicesPerKey: opts.MaxDevicesPerKey,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("nextdvfs: %w", err)
 	}
@@ -493,6 +506,85 @@ func (s *FleetServer) Close() error { return s.http.Close() }
 // NewFleetClient returns a client for a fleet policy server at baseURL.
 func NewFleetClient(baseURL string) *FleetClient { return fleetd.NewClient(baseURL) }
 
+// AggregatorOptions configures ServeAggregator — one edge node of the
+// two-tier fleet topology.
+type AggregatorOptions struct {
+	// Addr is the TCP listen address (default "127.0.0.1:8078";
+	// ":0" picks an ephemeral port — read it back from URL()).
+	Addr string
+	// ID names the aggregator in upstream federation pushes and its own
+	// health/metrics pages (default "edge").
+	ID string
+	// Root is the root fleet server's base URL. Empty runs the edge
+	// standalone: devices get locally merged policies and nothing
+	// federates upward.
+	Root string
+	// QueueLimit bounds the upward queue — distinct (policy, device)
+	// pairs awaiting federation (0 → 4096). A full queue answers device
+	// uploads 429 with Retry-After: explicit backpressure.
+	QueueLimit int
+	// FlushEvery is the background federation cadence (0 → 500 ms;
+	// negative disables the flusher — epochs must drain via POST
+	// /v1/flush or Flush).
+	FlushEvery time.Duration
+}
+
+// AggregatorServer is a running edge aggregator: devices check in,
+// upload tables and pull policies against it exactly as they would
+// against the root, while it merges locally and federates the raw
+// device tables upward in batches.
+type AggregatorServer struct {
+	inner *aggregator.Server
+	http  *http.Server
+	ln    net.Listener
+}
+
+// ServeAggregator starts an edge aggregator listening on opts.Addr and
+// returns immediately; the server (and its background flusher, when
+// enabled) runs until Close.
+func ServeAggregator(opts AggregatorOptions) (*AggregatorServer, error) {
+	if opts.Addr == "" {
+		opts.Addr = "127.0.0.1:8078"
+	}
+	inner, err := aggregator.New(aggregator.Config{
+		ID:         opts.ID,
+		Root:       opts.Root,
+		QueueLimit: opts.QueueLimit,
+		FlushEvery: opts.FlushEvery,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("nextdvfs: %w", err)
+	}
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("nextdvfs: %w", err)
+	}
+	inner.Start()
+	hs := &http.Server{Handler: inner.Handler()}
+	go hs.Serve(ln)
+	return &AggregatorServer{inner: inner, http: hs, ln: ln}, nil
+}
+
+// URL returns the aggregator's base URL (http://host:port).
+func (s *AggregatorServer) URL() string { return "http://" + s.ln.Addr().String() }
+
+// Addr returns the bound listen address.
+func (s *AggregatorServer) Addr() string { return s.ln.Addr().String() }
+
+// Pending reports how many device tables await upward federation.
+func (s *AggregatorServer) Pending() int { return s.inner.Pending() }
+
+// Flush synchronously federates every queued device table to the root
+// and returns how many the root accepted.
+func (s *AggregatorServer) Flush() (int, error) { return s.inner.Flush() }
+
+// Close stops the background flusher and the listener. Queued uploads
+// are not flushed — call Flush first for a clean drain.
+func (s *AggregatorServer) Close() error {
+	s.inner.Close()
+	return s.http.Close()
+}
+
 // BenchFleet spins up an in-process fleet policy server on an ephemeral
 // port, drives it with a simulated device fleet (training through the
 // sim engine, then check-in → upload → merge → policy pull per device)
@@ -502,6 +594,11 @@ func BenchFleet(opts FleetSimOptions) (FleetSimReport, error) {
 	serve := FleetServeOptions{Addr: "127.0.0.1:0"}
 	if opts.Rollout != nil {
 		serve.Rollout = &RolloutConfig{}
+	}
+	if opts.Devices > 4096 {
+		// The root must retain every device's table for the federated
+		// join, whether uploads arrive directly or through aggregators.
+		serve.MaxDevicesPerKey = opts.Devices + 1
 	}
 	srv, err := ServeFleet(serve)
 	if err != nil {
