@@ -9,6 +9,11 @@
 //
 //	go test -run NONE -bench 'FleetCheckin|ScenarioStep' -benchtime 1s . |
 //	    go run ./cmd/benchgate -baselines BENCH_fleet.json,BENCH_scenario.json
+//
+// With -summary FILE the measured-vs-floor margin table is also
+// appended to FILE as a markdown table — CI points it at
+// $GITHUB_STEP_SUMMARY so every run's headroom lands on the workflow
+// summary page.
 package main
 
 import (
@@ -22,20 +27,17 @@ import (
 
 func main() {
 	paths := flag.String("baselines", "", "comma-separated BENCH_*.json baseline files (required)")
+	summary := flag.String("summary", "", "append the margin table as markdown to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	flag.Parse()
 	if *paths == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -baselines is required")
 		os.Exit(2)
 	}
 
-	var baselines []benchgate.Baseline
-	for _, p := range strings.Split(*paths, ",") {
-		bs, err := benchgate.LoadBaselineFile(strings.TrimSpace(p))
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		baselines = append(baselines, bs...)
+	baselines, err := benchgate.LoadBaselineFiles(strings.Split(*paths, ","))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
 	results, err := benchgate.ParseBench(os.Stdin)
@@ -49,7 +51,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Print(benchgate.FormatMargins(benchgate.Margins(baselines, results)))
+	margins := benchgate.Margins(baselines, results)
+	fmt.Print(benchgate.FormatMargins(margins))
+	if *summary != "" {
+		md := "### Benchmark margins\n\n" + benchgate.FormatMarginsMarkdown(margins) + "\n"
+		f, err := os.OpenFile(*summary, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate: -summary:", err)
+			os.Exit(2)
+		}
+		if _, err := f.WriteString(md); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate: -summary:", err)
+			os.Exit(2)
+		}
+		f.Close()
+	}
 	if len(violations) > 0 {
 		for _, v := range violations {
 			fmt.Fprintln(os.Stderr, "FAIL", v)

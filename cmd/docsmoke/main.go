@@ -46,13 +46,25 @@ func main() {
 		cmds = append(cmds, docsmoke.ExtractCommands(f, data, tools)...)
 	}
 
-	problems := docsmoke.Check(cmds, func(tool string) (map[string]bool, error) {
+	problems := docsmoke.Check(cmds, func(tool, sub string) (map[string]bool, error) {
 		// The flag package prints usage to stderr and -h exits 2; both
 		// are expected, so only an empty usage dump is an error.
-		out, _ := exec.Command("go", "run", "./cmd/"+tool, "-h").CombinedOutput()
-		flags := docsmoke.ParseHelpFlags(string(out))
+		usage := func(args ...string) map[string]bool {
+			out, _ := exec.Command("go", append([]string{"run", "./cmd/" + tool}, args...)...).CombinedOutput()
+			return docsmoke.ParseHelpFlags(string(out))
+		}
+		var flags map[string]bool
+		if sub != "" {
+			// Multi-command tools (nextplan run/analyze) define per-sub
+			// flag sets; a "sub" that was really a positional argument
+			// yields no usage and falls through to the root flag set.
+			flags = usage(sub, "-h")
+		}
 		if len(flags) <= 2 { // only the implicit h/help: no usage output
-			return nil, fmt.Errorf("could not read -h usage (output: %q)", string(out))
+			flags = usage("-h")
+		}
+		if len(flags) <= 2 {
+			return nil, fmt.Errorf("could not read -h usage")
 		}
 		return flags, nil
 	})

@@ -27,6 +27,7 @@ func TestExamplesSmoke(t *testing.T) {
 		{"./examples/federated", []string{"-sessions", "1", "-trainsec", "5", "-seconds", "5"}, "merged table"},
 		{"./examples/learners", []string{"-sessions", "1", "-trainsec", "5", "-seconds", "5"}, "learner comparison complete"},
 		{"./examples/rollout", []string{"-devices", "16", "-sessions", "1", "-seconds", "6"}, "policy lifecycle complete"},
+		{"./examples/plan", []string{"-scale", "0.005"}, "capacity plan complete"},
 	}
 	for _, c := range cases {
 		c := c

@@ -87,6 +87,24 @@ func LoadBaselineFile(path string) ([]Baseline, error) {
 	return list, nil
 }
 
+// LoadBaselineFiles loads and concatenates several baseline files
+// (each either shape LoadBaselineFile accepts), preserving file order
+// — the order the margin table reports in.
+func LoadBaselineFiles(paths []string) ([]Baseline, error) {
+	var all []Baseline
+	for _, p := range paths {
+		bs, err := LoadBaselineFile(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, bs...)
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("benchgate: no baseline files given")
+	}
+	return all, nil
+}
+
 // Metrics is one benchmark's parsed values by unit ("ns/op",
 // "checkins/s", "B/op", …).
 type Metrics map[string]float64
@@ -260,5 +278,24 @@ func FormatMargins(ms []Margin) string {
 			m.Benchmark, m.Metric, m.Got, m.Limit, m.Kind, m.Ratio())
 	}
 	w.Flush()
+	return sb.String()
+}
+
+// FormatMarginsMarkdown renders the margin rows as a GitHub-flavored
+// markdown table — the block the CI bench job appends to the workflow
+// step summary. A margin below 1.0 (a broken limit) is bolded so a
+// failing run's summary leads with the regression.
+func FormatMarginsMarkdown(ms []Margin) string {
+	var sb strings.Builder
+	sb.WriteString("| benchmark | metric | measured | limit | kind | margin |\n")
+	sb.WriteString("|---|---|---:|---:|---|---:|\n")
+	for _, m := range ms {
+		ratio := fmt.Sprintf("%.2fx", m.Ratio())
+		if m.Ratio() < 1.0 {
+			ratio = "**" + ratio + " — FAIL**"
+		}
+		fmt.Fprintf(&sb, "| %s | %s | %g | %g | %s | %s |\n",
+			m.Benchmark, m.Metric, m.Got, m.Limit, m.Kind, ratio)
+	}
 	return sb.String()
 }

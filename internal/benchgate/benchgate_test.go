@@ -191,6 +191,72 @@ func TestLoadBaselineFilePaths(t *testing.T) {
 	}
 }
 
+// TestLoadBaselineFilesMixedShapes covers the multi-file loader over
+// the full shape corpus: a single-object file, an array file, and a
+// mixed list of both — concatenated in file order, with surrounding
+// whitespace in the path list tolerated (the CLI splits a
+// comma-separated flag).
+func TestLoadBaselineFilesMixedShapes(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	single := write("single.json", `{"benchmark":"BenchmarkOne","floors":{"x/s":1}}`)
+	array := write("array.json", `[
+		{"benchmark":"BenchmarkTwo","floors":{"x/s":2}},
+		{"benchmark":"BenchmarkThree","ceilings":{"ns/op":30}}
+	]`)
+
+	bs, err := LoadBaselineFiles([]string{single, " " + array})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, b := range bs {
+		names = append(names, b.Benchmark)
+	}
+	want := []string{"BenchmarkOne", "BenchmarkTwo", "BenchmarkThree"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("loaded %v, want %v in file order", names, want)
+	}
+
+	if _, err := LoadBaselineFiles(nil); err == nil {
+		t.Fatal("empty path list must error")
+	}
+	if _, err := LoadBaselineFiles([]string{single, filepath.Join(dir, "nope.json")}); err == nil {
+		t.Fatal("one missing file must fail the whole load")
+	}
+	if _, err := LoadBaselineFiles([]string{single, write("empty.json", `[]`)}); err == nil {
+		t.Fatal("an empty array file must fail the whole load")
+	}
+}
+
+func TestFormatMarginsMarkdown(t *testing.T) {
+	ms := []Margin{
+		{Benchmark: "BenchmarkA", Metric: "x/s", Kind: "floor", Limit: 100, Got: 150},
+		{Benchmark: "BenchmarkB", Metric: "ns/op", Kind: "ceiling", Limit: 10, Got: 20},
+	}
+	out := FormatMarginsMarkdown(ms)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("markdown has %d lines, want header + separator + 2 rows:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "| benchmark |") || !strings.HasPrefix(lines[1], "|---") {
+		t.Fatalf("not a markdown table:\n%s", out)
+	}
+	if !strings.Contains(out, "| 1.50x |") {
+		t.Fatalf("healthy margin row off:\n%s", out)
+	}
+	// The broken ceiling (ratio 0.5) must be bolded and flagged.
+	if !strings.Contains(out, "**0.50x — FAIL**") {
+		t.Fatalf("broken limit not highlighted:\n%s", out)
+	}
+}
+
 // TestParseBenchMalformedLine covers the parse failure paths: a bench
 // line whose metric value is not numeric must error (a truncated or
 // corrupted bench log must fail the gate loudly), while non-result

@@ -31,6 +31,12 @@ type Command struct {
 	// Tool is the command's base name ("nextfleetd"), normalized from
 	// either a bare invocation or a `go run ./cmd/<tool>` form.
 	Tool string
+	// Sub is the subcommand for multi-command tools ("run" in
+	// `nextplan run -plan …`): the first argument when it is a bare
+	// lowercase word rather than a flag. Tools whose first positional
+	// argument merely looks like a subcommand are handled by the
+	// flagsFor callback falling back to the tool's root flag set.
+	Sub string
 	// Flags are the flag names the invocation passes, without leading
 	// dashes or "=value" suffixes, in order of appearance.
 	Flags []string
@@ -102,10 +108,18 @@ func parseLine(file string, line int, text string, tools map[string]bool) []Comm
 		if !ok {
 			continue
 		}
-		out = append(out, Command{File: file, Line: line, Tool: tool, Flags: flagNames(args)})
+		sub := ""
+		if len(args) > 0 && subRE.MatchString(args[0]) {
+			sub, args = args[0], args[1:]
+		}
+		out = append(out, Command{File: file, Line: line, Tool: tool, Sub: sub, Flags: flagNames(args)})
 	}
 	return out
 }
+
+// subRE matches a plausible subcommand word: bare lowercase, so file
+// arguments ("trace.json") and placeholders ("FILE") don't qualify.
+var subRE = regexp.MustCompile(`^[a-z][a-z0-9-]*$`)
 
 // resolveTool recognizes `nextfleetd …`, `./nextfleetd …` and
 // `go run ./cmd/nextfleetd …` (with an optional module path prefix)
@@ -180,34 +194,41 @@ type Problem struct {
 }
 
 func (p Problem) String() string {
-	if p.Flag != "" {
-		return fmt.Sprintf("%s:%d: %s has no flag -%s (documented invocation drifted)", p.Command.File, p.Command.Line, p.Command.Tool, p.Flag)
+	name := p.Command.Tool
+	if p.Command.Sub != "" {
+		name += " " + p.Command.Sub
 	}
-	return fmt.Sprintf("%s:%d: %s: %s", p.Command.File, p.Command.Line, p.Command.Tool, p.Detail)
+	if p.Flag != "" {
+		return fmt.Sprintf("%s:%d: %s has no flag -%s (documented invocation drifted)", p.Command.File, p.Command.Line, name, p.Flag)
+	}
+	return fmt.Sprintf("%s:%d: %s: %s", p.Command.File, p.Command.Line, name, p.Detail)
 }
 
 // Check validates every command's flags against the tool's flag set,
-// loading each tool's flags once via flagsFor (typically an exec of
-// `go run ./cmd/<tool> -h`).
-func Check(cmds []Command, flagsFor func(tool string) (map[string]bool, error)) []Problem {
+// loading each (tool, subcommand) pair's flags once via flagsFor
+// (typically an exec of `go run ./cmd/<tool> [<sub>] -h`). For a
+// command whose Sub is really a positional argument, flagsFor is
+// expected to fall back to the tool's root flag set.
+func Check(cmds []Command, flagsFor func(tool, sub string) (map[string]bool, error)) []Problem {
 	var problems []Problem
 	cache := make(map[string]map[string]bool)
 	failed := make(map[string]error)
 	for _, c := range cmds {
-		flags, ok := cache[c.Tool]
+		key := c.Tool + "\x00" + c.Sub
+		flags, ok := cache[key]
 		if !ok {
-			if err, bad := failed[c.Tool]; bad {
+			if err, bad := failed[key]; bad {
 				problems = append(problems, Problem{Command: c, Detail: err.Error()})
 				continue
 			}
 			var err error
-			flags, err = flagsFor(c.Tool)
+			flags, err = flagsFor(c.Tool, c.Sub)
 			if err != nil {
-				failed[c.Tool] = err
+				failed[key] = err
 				problems = append(problems, Problem{Command: c, Detail: err.Error()})
 				continue
 			}
-			cache[c.Tool] = flags
+			cache[key] = flags
 		}
 		for _, f := range c.Flags {
 			if !flags[f] {

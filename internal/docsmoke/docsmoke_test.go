@@ -87,7 +87,7 @@ func TestCheckFlagsDriftIsReported(t *testing.T) {
 		{File: "README.md", Line: 10, Tool: "nextfleetd", Flags: []string{"addr", "gone"}},
 		{File: "README.md", Line: 12, Tool: "nextbench", Flags: []string{"fleet"}},
 	}
-	problems := Check(cmds, func(tool string) (map[string]bool, error) {
+	problems := Check(cmds, func(tool, sub string) (map[string]bool, error) {
 		return map[string]bool{"addr": true, "fleet": true}, nil
 	})
 	if len(problems) != 1 {
@@ -95,6 +95,52 @@ func TestCheckFlagsDriftIsReported(t *testing.T) {
 	}
 	if problems[0].Flag != "gone" || !strings.Contains(problems[0].String(), "README.md:10") {
 		t.Fatalf("wrong problem: %v", problems[0])
+	}
+}
+
+// Multi-command tools: the first bare lowercase word after the tool is
+// its subcommand, each (tool, sub) pair resolves its own flag set, and
+// a positional argument that merely looks like one is not mistaken for
+// a flag name.
+func TestSubcommandExtractionAndCheck(t *testing.T) {
+	md := []byte("```sh\n" +
+		"nextplan run -plan examples/plan/smoke.json -out results.jsonl\n" +
+		"nextplan analyze -plan examples/plan/smoke.json -results results.jsonl -json\n" +
+		"nextsim -app gaming trace.json\n" +
+		"```\n")
+	cmds := ExtractCommands("docs/x.md", md, map[string]bool{"nextplan": true, "nextsim": true})
+	if len(cmds) != 3 {
+		t.Fatalf("extracted %d commands, want 3: %+v", len(cmds), cmds)
+	}
+	if cmds[0].Sub != "run" || strings.Join(cmds[0].Flags, ",") != "plan,out" {
+		t.Fatalf("run command = %+v", cmds[0])
+	}
+	if cmds[1].Sub != "analyze" || strings.Join(cmds[1].Flags, ",") != "plan,results,json" {
+		t.Fatalf("analyze command = %+v", cmds[1])
+	}
+	if cmds[2].Tool != "nextsim" || cmds[2].Sub != "" {
+		t.Fatalf("file argument misread as subcommand: %+v", cmds[2])
+	}
+
+	asked := make(map[string]bool)
+	problems := Check(cmds, func(tool, sub string) (map[string]bool, error) {
+		asked[tool+"/"+sub] = true
+		switch sub {
+		case "run":
+			return map[string]bool{"plan": true, "out": true}, nil
+		case "analyze":
+			return map[string]bool{"plan": true, "results": true, "json": true}, nil
+		default:
+			return map[string]bool{"app": true}, nil
+		}
+	})
+	if len(problems) != 0 {
+		t.Fatalf("unexpected problems: %v", problems)
+	}
+	for _, key := range []string{"nextplan/run", "nextplan/analyze", "nextsim/"} {
+		if !asked[key] {
+			t.Fatalf("flag sets resolved per (tool, sub): asked %v, missing %s", asked, key)
+		}
 	}
 }
 

@@ -1,0 +1,60 @@
+package fleetsim
+
+import (
+	"math"
+	"testing"
+)
+
+// The capacity model must reproduce the measured calibration points of
+// BenchmarkFleetCheckinScale (recorded in BENCH_fleet.json) to within
+// 1% — if the model and the measured curve drift apart, re-fit the
+// constants rather than loosening this tolerance.
+func TestEstimateCheckinsPerSecCalibration(t *testing.T) {
+	cases := []struct {
+		devices  int
+		measured float64
+	}{
+		{64, 1265},
+		{1000, 222},
+		{10000, 13.6},
+	}
+	for _, c := range cases {
+		got := EstimateCheckinsPerSec(c.devices, 1)
+		if rel := math.Abs(got-c.measured) / c.measured; rel > 0.01 {
+			t.Errorf("EstimateCheckinsPerSec(%d, 1) = %.1f, measured %.1f (%.2f%% off)",
+				c.devices, got, c.measured, 100*rel)
+		}
+	}
+}
+
+func TestEstimateCheckinsPerSecMonotonicity(t *testing.T) {
+	// More devices per merge round → slower cycles.
+	prev := math.Inf(1)
+	for _, d := range []int{1, 16, 64, 1000, 10000, 100000} {
+		got := EstimateCheckinsPerSec(d, 1)
+		if got <= 0 || got >= prev {
+			t.Fatalf("rate(%d devices) = %g, want positive and below %g", d, got, prev)
+		}
+		prev = got
+	}
+	// Spreading merges over more uploads → faster cycles, bounded by the
+	// merge-free base cost.
+	base := 1e6 / 560.39
+	prev = 0
+	for _, m := range []int{1, 2, 8, 64} {
+		got := EstimateCheckinsPerSec(1000, m)
+		if got <= prev || got >= base {
+			t.Fatalf("rate(1000, mergeEvery=%d) = %g, want above %g and below base %g", m, got, prev, base)
+		}
+		prev = got
+	}
+}
+
+func TestEstimateCheckinsPerSecClampsDegenerateInputs(t *testing.T) {
+	if got, want := EstimateCheckinsPerSec(0, 0), EstimateCheckinsPerSec(1, 1); got != want {
+		t.Fatalf("degenerate inputs = %g, want clamped to (1,1) = %g", got, want)
+	}
+	if got := EstimateCheckinsPerSec(-5, -5); got != EstimateCheckinsPerSec(1, 1) {
+		t.Fatalf("negative inputs = %g, want clamped", got)
+	}
+}

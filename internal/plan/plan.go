@@ -1,0 +1,332 @@
+// Package plan is the SLO-driven capacity-planning workbench: a
+// declarative experiment config (an SLO plus a config grid), a run
+// stage that sweeps the grid through the batch orchestrator and
+// appends one JSONL result row per cell with full provenance, and an
+// analyze stage that re-reads the rows, evaluates every cell against
+// the SLO and names the cheapest passing configuration. The sim is
+// deterministic (same seed → byte-identical output), so the workbench
+// inherits a hard contract: the same plan file and seed produce
+// byte-identical result rows and analysis on every run, and a resumed
+// sweep (rows already on disk are skipped by config hash) converges to
+// the identical final report. cmd/nextplan is the CLI.
+package plan
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"nextdvfs/internal/exp"
+	"nextdvfs/internal/learner"
+	"nextdvfs/internal/platform"
+	"nextdvfs/internal/scenario"
+)
+
+// SLO declares the service-level objective every grid cell is judged
+// against. A zero field disables that dimension — an empty SLO passes
+// everything.
+type SLO struct {
+	// MinActiveFPS is the QoS floor: the session's active-average FPS
+	// (frames users actually saw while the workload wanted them) must
+	// reach it.
+	MinActiveFPS float64 `json:"min_active_fps,omitempty"`
+	// MaxDropRatePct is the frame-drop ceiling, in percent of all frames
+	// the session dropped.
+	MaxDropRatePct float64 `json:"max_drop_rate_pct,omitempty"`
+	// MaxBigTempC / MaxDevTempC cap the session's peak big-cluster and
+	// device-skin temperatures.
+	MaxBigTempC float64 `json:"max_big_temp_c,omitempty"`
+	MaxDevTempC float64 `json:"max_dev_temp_c,omitempty"`
+	// MaxEnergyJ is the energy budget per session (at the plan's
+	// duration scale).
+	MaxEnergyJ float64 `json:"max_energy_j,omitempty"`
+	// MinCheckinsPerSec is the fleet dimension: the modeled fleetd
+	// serving capacity (fleetsim.EstimateCheckinsPerSec for the cell's
+	// fleet size and merge cadence) must reach it.
+	MinCheckinsPerSec float64 `json:"min_checkins_per_sec,omitempty"`
+}
+
+// Enforced reports whether any dimension is armed.
+func (s SLO) Enforced() bool { return s != SLO{} }
+
+// Grid declares the configuration axes. Every empty axis defaults to
+// the live registry (platforms, scenarios, schemes, learners) or the
+// canonical fleet shape (64 devices, merge every upload), so an empty
+// grid sweeps the whole system.
+type Grid struct {
+	Platforms  []string `json:"platforms,omitempty"`
+	Scenarios  []string `json:"scenarios,omitempty"`
+	Schemes    []string `json:"schemes,omitempty"`
+	Learners   []string `json:"learners,omitempty"`
+	Fleets     []int    `json:"fleets,omitempty"`
+	MergeEvery []int    `json:"merge_every,omitempty"`
+}
+
+// Plan is one declarative experiment: what to sweep (Grid), what to
+// demand (SLO), and the knobs that size each cell's simulation.
+type Plan struct {
+	// Name labels result rows and reports.
+	Name string `json:"name"`
+	// Seed is the base seed all cell seeds derive from (0 → 1).
+	Seed int64 `json:"seed,omitempty"`
+	SLO  SLO   `json:"slo"`
+	Grid Grid  `json:"grid"`
+	// DurationScale shrinks every scenario (0 or 1 = full length);
+	// smoke plans use small factors to keep wall time bounded.
+	DurationScale float64 `json:"duration_scale,omitempty"`
+	// TrainSessions sizes agent-scheme training (0 → 6).
+	TrainSessions int `json:"train_sessions,omitempty"`
+	// Explorer names the exploration strategy agent cells train with
+	// ("" = egreedy).
+	Explorer string `json:"explorer,omitempty"`
+}
+
+// Parse decodes and validates a plan. Unknown fields are rejected — a
+// typoed axis name must fail loudly, not silently sweep the default.
+func Parse(data []byte) (*Plan, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var p Plan
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("plan: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("plan: trailing data after the plan object")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Load reads and parses a plan file.
+func Load(path string) (*Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("plan: %w", err)
+	}
+	p, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return p, nil
+}
+
+// Validate checks every axis value against its registry, rejects
+// duplicate axis values (they would expand into hash-colliding cells
+// and corrupt resume accounting) and sanity-checks the numeric knobs.
+func (p *Plan) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("plan: missing \"name\"")
+	}
+	dupe := func(axis string, names []string) error {
+		seen := make(map[string]bool, len(names))
+		for _, n := range names {
+			if seen[n] {
+				return fmt.Errorf("plan: grid %s axis repeats %q", axis, n)
+			}
+			seen[n] = true
+		}
+		return nil
+	}
+	for _, n := range p.Grid.Platforms {
+		if _, err := platform.Get(n); err != nil {
+			return fmt.Errorf("plan: grid platform: %w", err)
+		}
+	}
+	for _, n := range p.Grid.Scenarios {
+		if _, err := scenario.Get(n); err != nil {
+			return fmt.Errorf("plan: grid scenario: %w", err)
+		}
+	}
+	schemes := make([]string, 0, len(p.Grid.Schemes))
+	for _, n := range p.Grid.Schemes {
+		spec, err := exp.GetScheme(n)
+		if err != nil {
+			return fmt.Errorf("plan: grid scheme: %w", err)
+		}
+		schemes = append(schemes, spec.Name)
+	}
+	learners := make([]string, 0, len(p.Grid.Learners))
+	for _, n := range p.Grid.Learners {
+		if !learner.Known(n) {
+			return fmt.Errorf("plan: grid learner: unknown learner %q (have: %s)", n, strings.Join(learner.Names(), ", "))
+		}
+		learners = append(learners, learner.Normalize(n))
+	}
+	if err := dupe("platform", p.Grid.Platforms); err != nil {
+		return err
+	}
+	if err := dupe("scenario", p.Grid.Scenarios); err != nil {
+		return err
+	}
+	if err := dupe("scheme", schemes); err != nil {
+		return err
+	}
+	if err := dupe("learner", learners); err != nil {
+		return err
+	}
+	if !learner.KnownExplorer(p.Explorer) {
+		return fmt.Errorf("plan: unknown explorer %q (have: %s)", p.Explorer, strings.Join(learner.ExplorerNames(), ", "))
+	}
+	fleetSeen := make(map[int]bool)
+	for _, f := range p.Grid.Fleets {
+		if f < 1 {
+			return fmt.Errorf("plan: grid fleet size %d < 1", f)
+		}
+		if fleetSeen[f] {
+			return fmt.Errorf("plan: grid fleet axis repeats %d", f)
+		}
+		fleetSeen[f] = true
+	}
+	mergeSeen := make(map[int]bool)
+	for _, m := range p.Grid.MergeEvery {
+		if m < 1 {
+			return fmt.Errorf("plan: grid merge cadence %d < 1", m)
+		}
+		if mergeSeen[m] {
+			return fmt.Errorf("plan: grid merge_every axis repeats %d", m)
+		}
+		mergeSeen[m] = true
+	}
+	if p.DurationScale < 0 {
+		return fmt.Errorf("plan: negative duration_scale")
+	}
+	if p.TrainSessions < 0 {
+		return fmt.Errorf("plan: negative train_sessions")
+	}
+	if p.Seed < 0 {
+		return fmt.Errorf("plan: negative seed")
+	}
+	return nil
+}
+
+// CellConfig is one fully resolved grid cell — the unit the run stage
+// executes and the config hash covers. Learner is "" for schemes that
+// do not train an agent (the learner axis collapses for them: one cell
+// regardless of how many learners the grid sweeps).
+type CellConfig struct {
+	Scenario   string  `json:"scenario"`
+	Platform   string  `json:"platform"`
+	Scheme     string  `json:"scheme"`
+	Learner    string  `json:"learner,omitempty"`
+	Explorer   string  `json:"explorer,omitempty"`
+	Fleet      int     `json:"fleet"`
+	MergeEvery int     `json:"merge_every"`
+	Seed       int64   `json:"seed"`
+	Scale      float64 `json:"duration_scale,omitempty"`
+	Train      int     `json:"train_sessions,omitempty"`
+}
+
+// Key is the cell's human-readable identity:
+// scenario/platform/scheme/learner/f<fleet>/m<mergeEvery>.
+func (c CellConfig) Key() string {
+	lrn := c.Learner
+	if lrn == "" {
+		lrn = "-"
+	}
+	return fmt.Sprintf("%s/%s/%s/%s/f%d/m%d", c.Scenario, c.Platform, c.Scheme, lrn, c.Fleet, c.MergeEvery)
+}
+
+// Hash is the cell's config hash: sha256 over the canonical JSON of
+// everything that determines its measurements. Two runs of the same
+// plan derive identical hashes, which is what lets a resumed sweep
+// skip rows already on disk.
+func (c CellConfig) Hash() string {
+	data, err := json.Marshal(c)
+	if err != nil { // CellConfig is plain data; Marshal cannot fail
+		panic(err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// SimKey identifies the cell's simulation inputs — fleet size and
+// merge cadence shape only the serving-capacity model, so cells
+// differing only there share one simulation run.
+func (c CellConfig) SimKey() string {
+	return fmt.Sprintf("%s|%s|%s|%s|%d", c.Scenario, c.Platform, c.Scheme, c.Learner, c.Seed)
+}
+
+// cellSeed derives the cell's base seed the way ScenarioGrid does:
+// from the (scenario, platform) pair only, so every scheme and learner
+// of a pair replays the identical evaluation timeline (and their jobs
+// can share one lockstep span).
+func cellSeed(base int64, si, pi int) int64 {
+	return base + int64(si)*100_003 + int64(pi)*1_009
+}
+
+// Cells expands the grid into resolved cell configs in canonical sweep
+// order: scenario-major, then platform, scheme, learner, fleet, merge
+// cadence minor. The order is part of the determinism contract — the
+// run stage appends rows in this order.
+func (p *Plan) Cells() []CellConfig {
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	scenarios := p.Grid.Scenarios
+	if len(scenarios) == 0 {
+		scenarios = scenario.Names()
+	}
+	platforms := p.Grid.Platforms
+	if len(platforms) == 0 {
+		platforms = platform.Names()
+	}
+	schemes := p.Grid.Schemes
+	if len(schemes) == 0 {
+		schemes = exp.Schemes()
+	}
+	learners := p.Grid.Learners
+	if len(learners) == 0 {
+		learners = learner.Names()
+	}
+	fleets := p.Grid.Fleets
+	if len(fleets) == 0 {
+		fleets = []int{64}
+	}
+	merges := p.Grid.MergeEvery
+	if len(merges) == 0 {
+		merges = []int{1}
+	}
+
+	var cells []CellConfig
+	for si, sn := range scenarios {
+		for pi, pn := range platforms {
+			for _, sch := range schemes {
+				spec, _ := exp.GetScheme(sch) // validated
+				cellLearners := []string{""}
+				explorer := ""
+				if spec.TrainsAgent {
+					cellLearners = cellLearners[:0]
+					for _, l := range learners {
+						cellLearners = append(cellLearners, learner.Normalize(l))
+					}
+					explorer = p.Explorer
+				}
+				for _, lrn := range cellLearners {
+					for _, fl := range fleets {
+						for _, me := range merges {
+							cells = append(cells, CellConfig{
+								Scenario:   sn,
+								Platform:   pn,
+								Scheme:     spec.Name,
+								Learner:    lrn,
+								Explorer:   explorer,
+								Fleet:      fl,
+								MergeEvery: me,
+								Seed:       cellSeed(seed, si, pi),
+								Scale:      p.DurationScale,
+								Train:      p.TrainSessions,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells
+}

@@ -34,6 +34,7 @@ import (
 	"nextdvfs/internal/fleetd"
 	"nextdvfs/internal/fleetsim"
 	"nextdvfs/internal/learner"
+	"nextdvfs/internal/plan"
 	"nextdvfs/internal/platform"
 	"nextdvfs/internal/rollout"
 	"nextdvfs/internal/scenario"
@@ -616,3 +617,47 @@ func BenchFleet(opts FleetSimOptions) (FleetSimReport, error) {
 // plug into Run via sim configuration (advanced use; see internal/ctrl
 // for the contract the Next agent itself satisfies).
 type Controller = ctrl.Controller
+
+// Capacity-planning workbench types (see internal/plan and
+// cmd/nextplan): a Plan declares an SLO and a configuration grid,
+// RunPlan sweeps the grid into an append-only JSONL result file, and
+// AnalyzePlan judges every cell against the SLO.
+type (
+	// Plan is one declarative capacity-planning experiment.
+	Plan = plan.Plan
+	// PlanSLO is the service-level objective cells are judged against.
+	PlanSLO = plan.SLO
+	// PlanGrid declares the swept configuration axes.
+	PlanGrid = plan.Grid
+	// PlanRow is one cell's result row.
+	PlanRow = plan.Row
+	// PlanRunOptions tunes a sweep (parallelism, lockstep, fresh).
+	PlanRunOptions = plan.RunOptions
+	// PlanRunReport summarizes one sweep invocation.
+	PlanRunReport = plan.RunReport
+	// PlanAnalysis is the analyze stage's verdict.
+	PlanAnalysis = plan.Analysis
+)
+
+// LoadPlan reads and validates a plan file.
+func LoadPlan(path string) (*Plan, error) { return plan.Load(path) }
+
+// RunPlan sweeps the plan's grid, appending one result row per cell to
+// resultsPath. Completed cells (matched by config hash) are skipped,
+// so an interrupted sweep resumes where it stopped and converges to
+// the same bytes an uninterrupted sweep produces.
+func RunPlan(p *Plan, resultsPath string, opts PlanRunOptions) (PlanRunReport, error) {
+	return plan.Run(p, resultsPath, opts)
+}
+
+// AnalyzePlan re-reads a sweep's result rows and evaluates every grid
+// cell against the plan's SLO: pass/fail per cell, the cheapest
+// passing configuration (energy-first, QoS tiebreak) and per-axis
+// sensitivity.
+func AnalyzePlan(p *Plan, resultsPath string) (*PlanAnalysis, error) {
+	rows, err := plan.ReadRows(resultsPath)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Analyze(p, rows), nil
+}
