@@ -237,9 +237,12 @@ func BenchmarkAblationSARSA(b *testing.B) {
 }
 
 // BenchmarkFleetCheckin measures the fleet policy server's hot path —
-// one device check-in cycle: a Q-table upload (HTTP PUT, JSON) followed
-// by a federated merge round over the 64-device fleet the table joins.
-// The baseline is recorded in BENCH_fleet.json; the server must sustain
+// one device check-in cycle: a Q-table upload (HTTP PUT, binary NXTB
+// wire) followed by a federated merge round over the 64-device fleet
+// the table joins. Alongside throughput it reports wire_B/checkin, the
+// upload body size the negotiated codec puts on the wire (gated by a
+// ceiling in BENCH_fleet.json so the binary format cannot quietly
+// bloat). The baseline is recorded there too; the server must sustain
 // ≥1000 check-ins/sec.
 func BenchmarkFleetCheckin(b *testing.B) {
 	srv, err := fleetd.NewServer(fleetd.Config{})
@@ -249,6 +252,7 @@ func BenchmarkFleetCheckin(b *testing.B) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	client := fleetd.NewClient(ts.URL)
+	client.UseBinary = true
 
 	// A realistic device table: 64 visited states over the Note 9's
 	// 9-action space, plus 63 pre-seeded peers so every merge round
@@ -261,6 +265,10 @@ func BenchmarkFleetCheckin(b *testing.B) {
 		}
 	}
 	table := benchFleetTable(rng)
+	wire, err := core.MarshalTableBinary("spotify", table, false)
+	if err != nil {
+		b.Fatal(err)
+	}
 
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -274,6 +282,7 @@ func BenchmarkFleetCheckin(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "checkins/s")
+	b.ReportMetric(float64(len(wire)), "wire_B/checkin")
 }
 
 // benchFleetTable builds the realistic device table the fleet benches
@@ -292,9 +301,9 @@ func benchFleetTable(rng *rand.Rand) *core.QTable {
 }
 
 // BenchmarkFleetCheckinScale charts the serving tier's scaling curve:
-// one op is the device-facing check-in cycle (table upload + merge
-// round) at fleet sizes from 64 to 10 000 devices, flat against the
-// root and through a 4-aggregator edge tier. In the two-tier topology
+// one op is the device-facing check-in cycle (table upload over the
+// binary wire + merge round) at fleet sizes from 64 to 10 000 devices,
+// flat against the root and through a 4-aggregator edge tier. In the two-tier topology
 // the cycle's merge is regional — O(fleet/aggregators) instead of
 // O(fleet) — which is where the ≥2× throughput at 10 000 devices comes
 // from; federation to the root is batched off the device-facing path
@@ -325,6 +334,7 @@ func benchCheckinScale(b *testing.B, devices, aggs int) {
 	rootTS := httptest.NewServer(root.Handler())
 	defer rootTS.Close()
 	rootClient := fleetd.NewClient(rootTS.URL)
+	rootClient.UseBinary = true
 
 	// Devices talk to the root directly (flat) or to their regional
 	// aggregator (device d → aggregator d mod aggs).
@@ -352,7 +362,9 @@ func benchCheckinScale(b *testing.B, devices, aggs int) {
 			ts := httptest.NewServer(edge.Handler())
 			defer ts.Close()
 			edges = append(edges, edge)
-			clients = append(clients, fleetd.NewClient(ts.URL))
+			c := fleetd.NewClient(ts.URL)
+			c.UseBinary = true
+			clients = append(clients, c)
 		}
 	}
 

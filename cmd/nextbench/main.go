@@ -46,6 +46,9 @@ func main() {
 	fleet := flag.Int("fleet", 0, "serving benchmark: drive an in-process fleetd with N simulated devices and report throughput")
 	fleetRollout := flag.Bool("rollout", false, "for -fleet: run a staged-rollout A/B lifecycle (canary → promote/rollback) instead of plain training rounds")
 	fleetAggs := flag.Int("aggregators", 0, "for -fleet: route devices through this many in-process edge aggregators (two-tier topology)")
+	fleetBinary := flag.Bool("binary", false, "for -fleet: devices speak the binary table wire codec")
+	fleetDelta := flag.Bool("delta", false, "for -fleet: re-uploads send X-Fleet-Base-Gen deltas (pair with -epochs)")
+	fleetEpochs := flag.Int("epochs", 0, "for -fleet: repeat the check-in cycle this many times, one extra training session per device between epochs")
 	listPlats := flag.Bool("platforms", false, "list registered platforms and exit")
 	scenarios := flag.Bool("scenarios", false, "run the scenario × platform × scheme grid instead of a figure")
 	schemes := flag.String("schemes", "schedutil,next", "for -scenarios: comma-separated schemes ("+strings.Join(nextdvfs.Schemes(), ", ")+")")
@@ -68,7 +71,7 @@ func main() {
 	}
 
 	if *fleet > 0 {
-		runFleet(*fleet, *plat, *seed, *parallel, *fleetRollout, *fleetAggs)
+		runFleet(*fleet, *plat, *seed, *parallel, *fleetRollout, *fleetAggs, *fleetBinary, *fleetDelta, *fleetEpochs)
 		return
 	}
 
@@ -118,10 +121,11 @@ func main() {
 	}
 }
 
-func runFleet(devices int, plat string, seed int64, parallel int, withRollout bool, aggregators int) {
+func runFleet(devices int, plat string, seed int64, parallel int, withRollout bool, aggregators int, binary, delta bool, epochs int) {
 	opts := fleetsim.Options{
 		Devices: devices, Platform: plat, Seed: seed, Parallel: parallel,
 		Aggregators: aggregators,
+		Binary:      binary, DeltaUploads: delta, Epochs: epochs,
 	}
 	switch {
 	case withRollout:

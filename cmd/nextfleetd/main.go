@@ -66,10 +66,18 @@ func main() {
 	queue := flag.Int("queue", 0, "aggregator mode: upward queue capacity in (policy, device) pairs (0 = 4096)")
 	flushEvery := flag.Duration("flush-every", 0, "aggregator mode: background federation cadence (0 = 500ms, negative disables)")
 	aggregators := flag.Int("aggregators", 0, "bench mode: route devices through this many in-process edge aggregators (two-tier topology)")
+	binary := flag.Bool("binary", false, "bench mode: devices speak the binary table wire codec (Content-Type/Accept negotiation; merges stay byte-identical)")
+	delta := flag.Bool("delta", false, "bench mode: re-uploads send X-Fleet-Base-Gen deltas instead of full tables (requires -epochs > 1 to matter)")
+	epochs := flag.Int("epochs", 0, "bench mode: repeat the check-in cycle (upload, merge, policy pull) this many times, one extra training session per device between epochs (0/1 = single cycle)")
 	flag.Parse()
 
 	if *bench > 0 {
-		runBench(*bench, *app, *plat, *sessions, *seconds, *seed, *parallel, *learnerName, *rollout, *sabotage, *aggregators)
+		runBench(benchConfig{
+			devices: *bench, app: *app, plat: *plat, sessions: *sessions,
+			seconds: *seconds, seed: *seed, parallel: *parallel,
+			learner: *learnerName, rollout: *rollout, sabotage: *sabotage,
+			aggregators: *aggregators, binary: *binary, delta: *delta, epochs: *epochs,
+		})
 		return
 	}
 	if *aggMode {
@@ -153,21 +161,40 @@ func serveAggregator(addr, id, root string, queue int, flushEvery time.Duration)
 	srv.Close()
 }
 
-func runBench(devices int, app, plat string, sessions int, seconds float64, seed int64, parallel int, learnerName string, withRollout, sabotage bool, aggregators int) {
+// benchConfig keeps bench mode's flag plumbing in one place.
+type benchConfig struct {
+	devices, sessions, parallel, aggregators, epochs int
+	app, plat, learner                               string
+	seconds                                          float64
+	seed                                             int64
+	rollout, sabotage, binary, delta                 bool
+}
+
+func runBench(c benchConfig) {
 	opts := fleetsim.Options{
-		Devices: devices, App: app, Platform: plat,
-		Sessions: sessions, SessionSecs: seconds,
-		Seed: seed, Parallel: parallel, Learner: learnerName,
-		Aggregators: aggregators,
+		Devices: c.devices, App: c.app, Platform: c.plat,
+		Sessions: c.sessions, SessionSecs: c.seconds,
+		Seed: c.seed, Parallel: c.parallel, Learner: c.learner,
+		Aggregators: c.aggregators,
+		Binary:      c.binary, DeltaUploads: c.delta, Epochs: c.epochs,
+	}
+	wire := ""
+	if c.binary {
+		wire = ", binary wire"
+	}
+	if c.delta {
+		wire += ", delta uploads"
 	}
 	switch {
-	case withRollout:
-		opts.Rollout = &fleetsim.RolloutOptions{Sabotage: sabotage}
-		fmt.Printf("== fleet rollout A/B: %d devices × %d session(s) of %s on %s ==\n", devices, sessions, app, plat)
-	case aggregators > 0:
-		fmt.Printf("== fleet bench: %d devices → %d aggregators × %d session(s) of %s on %s ==\n", devices, aggregators, sessions, app, plat)
+	case c.rollout:
+		opts.Rollout = &fleetsim.RolloutOptions{Sabotage: c.sabotage}
+		fmt.Printf("== fleet rollout A/B: %d devices × %d session(s) of %s on %s%s ==\n", c.devices, c.sessions, c.app, c.plat, wire)
+	case c.aggregators > 0:
+		fmt.Printf("== fleet bench: %d devices → %d aggregators × %d session(s) of %s on %s%s ==\n", c.devices, c.aggregators, c.sessions, c.app, c.plat, wire)
+	case c.epochs > 1:
+		fmt.Printf("== fleet bench: %d devices × %d session(s) of %s on %s, %d check-in epochs%s ==\n", c.devices, c.sessions, c.app, c.plat, c.epochs, wire)
 	default:
-		fmt.Printf("== fleet bench: %d devices × %d session(s) of %s on %s ==\n", devices, sessions, app, plat)
+		fmt.Printf("== fleet bench: %d devices × %d session(s) of %s on %s%s ==\n", c.devices, c.sessions, c.app, c.plat, wire)
 	}
 	report, err := nextdvfs.BenchFleet(opts)
 	if err != nil {

@@ -7,6 +7,8 @@
 //	nextprof -scenario gaming-marathon -top 20
 //	nextprof -fig 7 -platform sd855       # profile the Fig. 7 matrix
 //	nextprof -sweep 8                     # profile the lockstep batched engine, k=8
+//	nextprof -fleet 256                   # profile the fleet check-in cycle, 256 devices
+//	nextprof -fleet 256 -fleet-wire json -fleet-delta=false
 //	nextprof -benchtime 10s -cpuprofile cpu.prof -memprofile mem.prof
 //
 // The raw profiles are kept on disk (paths printed at the end) so a
@@ -36,6 +38,9 @@ func main() {
 	seed := flag.Int64("seed", 42, "simulation seed")
 	scale := flag.Float64("scale", 0.01, "scenario duration scale factor (1.0 = full-length preset)")
 	sweep := flag.Int("sweep", 0, "profile the batched lockstep path: step N lanes of the scenario through one sim.BatchEngine per iteration (0 = scalar engine)")
+	fleet := flag.Int("fleet", 0, "profile the fleet check-in cycle instead: N devices re-upload a perturbed table, one merge round runs, one policy is pulled, per iteration")
+	fleetWire := flag.String("fleet-wire", "binary", "fleet wire codec: binary or json")
+	fleetDelta := flag.Bool("fleet-delta", true, "fleet uploads send X-Fleet-Base-Gen deltas (false = full tables)")
 	benchtime := flag.Duration("benchtime", 2*time.Second, "minimum wall-clock time to keep the workload running")
 	topN := flag.Int("top", 15, "table rows per profile")
 	cpuOut := flag.String("cpuprofile", "", "CPU profile path (default: nextprof.cpu.pb.gz in the temp dir)")
@@ -49,7 +54,14 @@ func main() {
 		*memOut = filepath.Join(os.TempDir(), "nextprof.mem.pb.gz")
 	}
 
-	run, desc, err := buildWorkload(*fig, *scen, *plat, *seed, *scale, *sweep)
+	var run func()
+	var desc string
+	var err error
+	if *fleet > 0 {
+		run, desc, err = buildFleetWorkload(*fleet, *fleetWire, *fleetDelta, *seed)
+	} else {
+		run, desc, err = buildWorkload(*fig, *scen, *plat, *seed, *scale, *sweep)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nextprof:", err)
 		os.Exit(2)

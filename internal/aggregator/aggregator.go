@@ -31,7 +31,6 @@ import (
 	"sync"
 	"time"
 
-	"nextdvfs/internal/core"
 	"nextdvfs/internal/fleetd"
 	"nextdvfs/internal/learner"
 )
@@ -347,7 +346,15 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) int {
 		}
 		return writeErr(w, http.StatusBadRequest, fmt.Errorf("aggregator: reading upload: %w", err))
 	}
-	app, set, _, err := core.UnmarshalTableSet(data)
+	if r.Header.Get("X-Fleet-Base-Gen") != "" {
+		// Edges don't track per-device upload generations (the queue
+		// forwards raw bodies; the root's generations are not ours to
+		// echo), so a delta upload can't be based here. 409 tells the
+		// device to fall back to a full upload, same as a stale base.
+		return writeErr(w, http.StatusConflict,
+			fmt.Errorf("aggregator %s: delta uploads are not supported at the edge tier; send the full table", s.cfg.ID))
+	}
+	app, set, _, err := fleetd.DecodeTableSet(r.Header.Get("Content-Type"), data)
 	if err != nil {
 		return writeErr(w, http.StatusBadRequest, fmt.Errorf("aggregator: bad table upload: %w", err))
 	}
@@ -413,12 +420,14 @@ func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) int {
 	if !ok {
 		return writeErr(w, http.StatusNotFound, fmt.Errorf("aggregator %s: no policy for %s at root or edge", s.cfg.ID, k))
 	}
-	data, err := core.MarshalTableSetCompact(k.App, set, true)
+	// The edge fallback honors the same Accept negotiation as the root,
+	// so a binary-mode device keeps its encoding when the root is down.
+	data, ct, err := fleetd.EncodePolicy(k.App, set, fleetd.AcceptsBinary(r))
 	if err != nil {
 		return writeErr(w, http.StatusInternalServerError, err)
 	}
 	s.metrics.proxyFallbacks.Add(1)
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", ct)
 	w.Header().Set("X-Fleet-Round", strconv.FormatInt(round, 10))
 	w.Header().Set("X-Fleet-Source", "edge")
 	w.WriteHeader(http.StatusOK)
@@ -446,6 +455,11 @@ func (s *Server) proxyPolicy(w http.ResponseWriter, r *http.Request) (status int
 	}
 	if inm := r.Header.Get("If-None-Match"); inm != "" {
 		req.Header.Set("If-None-Match", inm)
+	}
+	// Accept travels too, so the root answers in the device's
+	// negotiated encoding and the relay stays a verbatim byte copy.
+	if acc := r.Header.Get("Accept"); acc != "" {
+		req.Header.Set("Accept", acc)
 	}
 	resp, err := s.proxy.Do(req)
 	if err != nil {

@@ -408,15 +408,23 @@ func TestBackgroundFlusherDrains(t *testing.T) {
 	if _, err := client.UploadTable("dev-000", "note9", "spotify", devTable(1)); err != nil {
 		t.Fatal(err)
 	}
+	// Wait for the table to land at the root, not for Pending() to hit
+	// zero: Flush takes the batch off the queue before the federation
+	// push completes, so the queue reads empty while the push is still
+	// in flight and the root hasn't absorbed the upload yet.
 	deadline := time.Now().Add(5 * time.Second)
-	for agg.Pending() != 0 {
+	for {
+		if _, _, uploads := rootSrv.Store().Stats(); uploads == 1 {
+			break
+		}
 		if time.Now().After(deadline) {
-			t.Fatalf("background flusher never drained (pending=%d)", agg.Pending())
+			_, _, uploads := rootSrv.Store().Stats()
+			t.Fatalf("background flusher never delivered (root tables=%d, pending=%d)", uploads, agg.Pending())
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if _, _, uploads := rootSrv.Store().Stats(); uploads != 1 {
-		t.Fatalf("root tables = %d, want 1", uploads)
+	if agg.Pending() != 0 {
+		t.Fatalf("queue not empty after delivery (pending=%d)", agg.Pending())
 	}
 }
 

@@ -1,0 +1,299 @@
+package cloud
+
+import (
+	"nextdvfs/internal/core"
+	"nextdvfs/internal/learner"
+)
+
+// Merger is a reusable incremental federated-merge accumulator. A
+// from-scratch JoinDevices rebuilds a fresh accumulator map over every
+// device's full table each round — O(fleet) per merge, the measured
+// bottleneck of the 10k-device check-in cycle. Merger keeps the
+// accumulator state ("arena") alive across rounds: each re-upload is
+// diffed against the rows already in the arena, only the states whose
+// contribution actually changed are marked dirty, and Merge recomputes
+// just those states — in the same sorted-device order as the
+// from-scratch path, term for term, so the float association order is
+// identical and the output is byte-identical to JoinDevices over the
+// same uploads (differential-pinned in the tests). Clean states alias
+// the previous merged rows, which are immutable once published.
+//
+// The arena is keyed by the device set and table layout captured at
+// Rebuild. Structural changes — a new device, a learner or role-layout
+// change, a different action count — invalidate it: Upload returns
+// false and the caller runs Rebuild (which is JoinDevices plus arena
+// construction). Merger is not safe for concurrent use; callers
+// serialize (fleetd holds the shard lock).
+type Merger struct {
+	learnerName string
+	actions     int
+	roleNames   []string
+	// devices is the sorted device-ID order — the float association
+	// order of every weighted sum, fixed at Rebuild.
+	devices []string
+	devIdx  map[string]int
+	roles   []*roleArena
+	merged  *learner.TableSet
+	scratch []float64
+}
+
+// roleArena is one role's accumulator state across the fleet.
+type roleArena struct {
+	// slots maps state → per-device contributions, parallel to
+	// Merger.devices.
+	slots map[core.StateKey]*stateSlot
+	// dirty marks states whose next Merge must recompute.
+	dirty map[core.StateKey]struct{}
+	// steps/trained mirror each device's table metadata; stepsSum is
+	// the maintained exact (integer) sum.
+	steps    []int64
+	trained  []int64
+	stepsSum int64
+}
+
+// stateSlot is one state's contributions, indexed by sorted-device
+// position: device i's row lives at flat[i*actions:(i+1)*actions] and
+// its effective merge weight (>= 1 when present, 0 when absent) at
+// weights[i]. Rows are copied into the flat buffer at Rebuild/Upload
+// so a dirty-state recompute walks contiguous memory instead of
+// chasing one heap pointer per device — the copy costs O(changed
+// rows) per upload, the sequential scan saves a cache miss per device
+// per dirty state, which dominates at fleet scale.
+type stateSlot struct {
+	flat    []float64
+	weights []int
+	n       int // devices contributing; 0 = state no longer exists
+}
+
+// row returns device i's contribution, or nil when absent.
+func (s *stateSlot) row(i, actions int) []float64 {
+	if s.weights[i] == 0 {
+		return nil
+	}
+	return s.flat[i*actions : (i+1)*actions]
+}
+
+// NewMerger returns an empty arena; Rebuild must run before Merge.
+func NewMerger() *Merger { return &Merger{} }
+
+// Devices reports the device count the arena was built over (0 before
+// Rebuild).
+func (m *Merger) Devices() int { return len(m.devices) }
+
+// Rebuild recomputes the merge from scratch via JoinDevices — the
+// pinned reference path, so its output IS the from-scratch result —
+// and rebuilds the arena over the given uploads. The uploads map is
+// captured by reference: tables must be treated as immutable until the
+// next Upload replaces them (fleetd's store contract).
+func (m *Merger) Rebuild(uploads map[string]*learner.TableSet) (*learner.TableSet, []string, error) {
+	merged, devices, err := JoinDevices(uploads)
+	if err != nil {
+		return nil, nil, err
+	}
+	first := uploads[devices[0]]
+	m.learnerName = learner.Normalize(first.Learner)
+	m.actions = first.Primary().Actions
+	m.roleNames = make([]string, len(first.Roles))
+	for i, r := range first.Roles {
+		m.roleNames[i] = r.Role
+	}
+	m.devices = devices
+	m.devIdx = make(map[string]int, len(devices))
+	for i, d := range devices {
+		m.devIdx[d] = i
+	}
+	m.scratch = make([]float64, m.actions)
+	m.roles = make([]*roleArena, len(m.roleNames))
+	for r := range m.roleNames {
+		ra := &roleArena{
+			slots:   make(map[core.StateKey]*stateSlot, len(merged.Roles[r].Table.Q)),
+			dirty:   make(map[core.StateKey]struct{}),
+			steps:   make([]int64, len(devices)),
+			trained: make([]int64, len(devices)),
+		}
+		for i, d := range devices {
+			t := uploads[d].Roles[r].Table
+			ra.steps[i] = t.Steps
+			ra.stepsSum += t.Steps
+			ra.trained[i] = t.TrainedUS
+			for s, row := range t.Q {
+				slot := ra.slots[s]
+				if slot == nil {
+					slot = newStateSlot(len(devices), m.actions)
+					ra.slots[s] = slot
+				}
+				copy(slot.flat[i*m.actions:], row)
+				slot.weights[i] = effectiveWeight(t, s)
+				slot.n++
+			}
+		}
+		m.roles[r] = ra
+	}
+	m.merged = merged
+	return merged, devices, nil
+}
+
+func newStateSlot(devices, actions int) *stateSlot {
+	return &stateSlot{flat: make([]float64, devices*actions), weights: make([]int, devices)}
+}
+
+// effectiveWeight is MergeTables' per-device weight rule: the visit
+// count, floored at 1 for states seen but unweighted.
+func effectiveWeight(t *core.QTable, s core.StateKey) int {
+	if w := t.Visits[s]; w > 0 {
+		return w
+	}
+	return 1
+}
+
+// Upload integrates a device's replacement table set into the arena,
+// diffing it against the rows already there and dirtying only states
+// whose contribution (row values or weight) changed. It returns false
+// — arena invalidated, caller must Rebuild — on any structural change:
+// a device the arena doesn't know, a different learner or role layout,
+// or a different action count.
+func (m *Merger) Upload(device string, next *learner.TableSet) bool {
+	idx, ok := m.devIdx[device]
+	if !ok {
+		return false
+	}
+	if next == nil || next.Primary() == nil ||
+		learner.Normalize(next.Learner) != m.learnerName ||
+		next.Primary().Actions != m.actions ||
+		len(next.Roles) != len(m.roleNames) {
+		return false
+	}
+	for i, r := range next.Roles {
+		if r.Role != m.roleNames[i] || r.Table == nil || r.Table.Actions != m.actions {
+			return false
+		}
+	}
+	for r := range m.roleNames {
+		ra := m.roles[r]
+		t := next.Roles[r].Table
+		ra.stepsSum += t.Steps - ra.steps[idx]
+		ra.steps[idx] = t.Steps
+		ra.trained[idx] = t.TrainedUS
+		// States in the new table: install the row, dirty on change.
+		for s, row := range t.Q {
+			w := effectiveWeight(t, s)
+			slot := ra.slots[s]
+			if slot == nil {
+				slot = newStateSlot(len(m.devices), m.actions)
+				ra.slots[s] = slot
+			}
+			old := slot.row(idx, m.actions)
+			if old == nil {
+				slot.n++
+				ra.dirty[s] = struct{}{}
+			} else if slot.weights[idx] != w || !equalRow(old, row) {
+				ra.dirty[s] = struct{}{}
+			}
+			copy(slot.flat[idx*m.actions:], row)
+			slot.weights[idx] = w
+		}
+		// States the device previously contributed but dropped.
+		for s, slot := range ra.slots {
+			if slot.weights[idx] == 0 {
+				continue
+			}
+			if _, still := t.Q[s]; still {
+				continue
+			}
+			slot.weights[idx] = 0
+			slot.n--
+			ra.dirty[s] = struct{}{}
+		}
+	}
+	return true
+}
+
+func equalRow(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge produces the merged set for the arena's current uploads,
+// recomputing only dirty states — each in sorted-device order, the
+// same term order as MergeTables — and aliasing every clean state's
+// row from the previous output. The returned set is freshly allocated
+// (rows shared with prior outputs are immutable); Merge is byte-
+// identical to JoinDevices over the same uploads.
+func (m *Merger) Merge() *learner.TableSet {
+	if m.merged == nil {
+		return nil
+	}
+	out := &learner.TableSet{Learner: m.learnerName, Roles: make([]learner.RoleTable, len(m.roleNames))}
+	for r, roleName := range m.roleNames {
+		ra := m.roles[r]
+		prev := m.merged.Roles[r].Table
+		nt := core.NewQTable(m.actions)
+		nt.Q = make(map[core.StateKey][]float64, len(ra.slots))
+		nt.Visits = make(map[core.StateKey]int, len(ra.slots))
+		for s, slot := range ra.slots {
+			if slot.n == 0 {
+				delete(ra.slots, s) // every contributor dropped it
+				continue
+			}
+			if _, dirty := ra.dirty[s]; dirty {
+				row, weight := m.recompute(slot)
+				nt.Q[s] = row
+				nt.Visits[s] = weight
+			} else {
+				nt.Q[s] = prev.Q[s]
+				nt.Visits[s] = prev.Visits[s]
+			}
+		}
+		nt.Steps = ra.stepsSum
+		var trained int64
+		for _, v := range ra.trained {
+			if v > trained {
+				trained = v
+			}
+		}
+		nt.TrainedUS = trained
+		out.Roles[r] = learner.RoleTable{Role: roleName, Table: nt}
+		clear(ra.dirty)
+	}
+	m.merged = out
+	return out
+}
+
+// recompute is MergeTables' inner loop for one state: accumulate
+// weight-scaled rows in device order, divide once by the total weight.
+// Absent devices are skipped by weight, present rows stream out of the
+// slot's flat buffer in order — one sequential pass over contiguous
+// memory.
+func (m *Merger) recompute(slot *stateSlot) ([]float64, int) {
+	sum := m.scratch
+	for i := range sum {
+		sum[i] = 0
+	}
+	a := m.actions
+	weight := 0
+	for i, w := range slot.weights {
+		if w == 0 {
+			continue
+		}
+		fw := float64(w)
+		row := slot.flat[i*a : i*a+a]
+		sum = sum[:len(row)]
+		for j, v := range row {
+			sum[j] += v * fw
+		}
+		weight += w
+	}
+	out := make([]float64, len(sum))
+	fw := float64(weight)
+	for j := range out {
+		out[j] = sum[j] / fw
+	}
+	return out, weight
+}

@@ -1,0 +1,272 @@
+package cloud
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"nextdvfs/internal/core"
+	"nextdvfs/internal/learner"
+)
+
+// randFillTable populates a table with random rows, mixed visit
+// weights (positive, zero, absent), and metadata — every weight shape
+// MergeTables distinguishes.
+func randFillTable(rng *rand.Rand, t *core.QTable, states int) {
+	for k := 0; k < states; k++ {
+		s := core.StateKey(rng.Intn(120))
+		row := make([]float64, t.Actions)
+		for i := range row {
+			row[i] = rng.NormFloat64()
+		}
+		t.Q[s] = row
+		switch rng.Intn(4) {
+		case 0:
+			// seen but unweighted: exercises the w<=0 → 1 floor
+		case 1:
+			t.Visits[s] = 0
+		default:
+			t.Visits[s] = 1 + rng.Intn(200)
+		}
+	}
+	if rng.Intn(2) == 0 {
+		// A visit count without a row is legal and must not merge.
+		t.Visits[core.StateKey(1000+rng.Intn(5))] = 1 + rng.Intn(9)
+	}
+	t.Steps = int64(rng.Intn(10_000))
+	t.TrainedUS = int64(rng.Intn(1_000_000))
+}
+
+// randDeviceSet builds a random table set with the named learner's
+// exact role layout.
+func randDeviceSet(rng *rand.Rand, name string, actions int) *learner.TableSet {
+	set := learner.Must(name, actions).Snapshot()
+	for _, r := range set.Roles {
+		randFillTable(rng, r.Table, 3+rng.Intn(12))
+	}
+	return set
+}
+
+// mutateDeviceSet clones a set and perturbs a few states per role —
+// the realistic re-upload shape where most of the table is unchanged,
+// so the incremental path's clean-state aliasing actually engages.
+func mutateDeviceSet(rng *rand.Rand, prev *learner.TableSet) *learner.TableSet {
+	next := prev.Clone()
+	for _, r := range next.Roles {
+		t := r.Table
+		for i := 1 + rng.Intn(3); i > 0; i-- {
+			s := core.StateKey(rng.Intn(120))
+			switch rng.Intn(5) {
+			case 0: // drop the state entirely
+				delete(t.Q, s)
+				delete(t.Visits, s)
+			case 1: // bump only the weight
+				if _, ok := t.Q[s]; ok {
+					t.Visits[s] = 1 + rng.Intn(300)
+				}
+			default: // rewrite the row
+				row := make([]float64, t.Actions)
+				for j := range row {
+					row[j] = rng.NormFloat64()
+				}
+				t.Q[s] = row
+				t.Visits[s] = 1 + rng.Intn(200)
+			}
+		}
+		t.Steps += int64(rng.Intn(500))
+		t.TrainedUS += int64(rng.Intn(5_000))
+	}
+	return next
+}
+
+func setBytes(t *testing.T, set *learner.TableSet) string {
+	t.Helper()
+	data, err := core.MarshalTableSetCompact("app", set, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestMergerDifferentialByteIdentity is the tentpole pin: across every
+// registered learner, several fleet sizes, and a dozen federation
+// epochs of partial re-uploads (mutations, dropped states, weight-only
+// changes, a mid-run fleet join forcing a rebuild), the incremental
+// Merge output must be byte-identical to a from-scratch JoinDevices
+// over the same uploads.
+func TestMergerDifferentialByteIdentity(t *testing.T) {
+	for _, name := range learner.Names() {
+		for _, fleet := range []int{1, 3, 17} {
+			t.Run(fmt.Sprintf("%s/fleet=%d", name, fleet), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(7919*fleet + len(name))))
+				uploads := make(map[string]*learner.TableSet)
+				for i := 0; i < fleet; i++ {
+					uploads[fmt.Sprintf("dev-%03d", i)] = randDeviceSet(rng, name, 9)
+				}
+				m := NewMerger()
+				got, devices, err := m.Rebuild(uploads)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(devices) != fleet || m.Devices() != fleet {
+					t.Fatalf("rebuild saw %d devices, want %d", len(devices), fleet)
+				}
+				want, _, err := JoinDevices(uploads)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if setBytes(t, got) != setBytes(t, want) {
+					t.Fatal("rebuild diverges from JoinDevices")
+				}
+
+				ids := func() []string {
+					out := make([]string, 0, len(uploads))
+					for d := range uploads {
+						out = append(out, d)
+					}
+					return out
+				}
+				for epoch := 0; epoch < 12; epoch++ {
+					all := ids()
+					for j := 1 + rng.Intn(len(all)); j > 0; j-- {
+						d := all[rng.Intn(len(all))]
+						var next *learner.TableSet
+						if rng.Intn(4) == 0 {
+							next = randDeviceSet(rng, name, 9) // full rewrite
+						} else {
+							next = mutateDeviceSet(rng, uploads[d])
+						}
+						uploads[d] = next
+						if !m.Upload(d, next) {
+							t.Fatalf("epoch %d: same-layout re-upload invalidated the arena", epoch)
+						}
+					}
+					if epoch == 5 {
+						// A device joining mid-run is structural: the arena
+						// must refuse the upload and rebuild cleanly.
+						d := fmt.Sprintf("new-%03d", epoch)
+						next := randDeviceSet(rng, name, 9)
+						if m.Upload(d, next) {
+							t.Fatal("unknown device accepted into the arena")
+						}
+						uploads[d] = next
+						if _, _, err := m.Rebuild(uploads); err != nil {
+							t.Fatal(err)
+						}
+					}
+					got := m.Merge()
+					want, _, err := JoinDevices(uploads)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if setBytes(t, got) != setBytes(t, want) {
+						t.Fatalf("%s fleet=%d epoch=%d: incremental merge diverges from scratch merge", name, fleet, epoch)
+					}
+				}
+				// A merge round with zero uploads (everything clean) must
+				// still reproduce the same bytes.
+				clean := m.Merge()
+				want2, _, err := JoinDevices(uploads)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if setBytes(t, clean) != setBytes(t, want2) {
+					t.Fatal("clean-round merge diverges")
+				}
+			})
+		}
+	}
+}
+
+// TestMergerStructuralInvalidation: every layout change a hostile or
+// reconfigured device could ship must invalidate the arena instead of
+// corrupting it.
+func TestMergerStructuralInvalidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	uploads := map[string]*learner.TableSet{
+		"dev-0": randDeviceSet(rng, "watkins", 9),
+		"dev-1": randDeviceSet(rng, "watkins", 9),
+	}
+	m := NewMerger()
+	if _, _, err := m.Rebuild(uploads); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]*learner.TableSet{
+		"different learner":      randDeviceSet(rng, "doubleq", 9),
+		"different action count": randDeviceSet(rng, "watkins", 6),
+		"nil set":                nil,
+		"empty set":              {Learner: "watkins"},
+	}
+	for name, next := range cases {
+		if m.Upload("dev-0", next) {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+	// The arena stayed intact for valid traffic after the refusals.
+	next := mutateDeviceSet(rng, uploads["dev-1"])
+	uploads["dev-1"] = next
+	if !m.Upload("dev-1", next) {
+		t.Fatal("valid upload refused after structural refusals")
+	}
+	got := m.Merge()
+	want, _, err := JoinDevices(uploads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if setBytes(t, got) != setBytes(t, want) {
+		t.Fatal("arena corrupted by refused uploads")
+	}
+}
+
+// TestMergerAliasesCleanRows: the perf contract behind the 10k-device
+// target — a re-upload touching one state must leave every other
+// state's merged row physically shared with the previous output, not
+// recomputed.
+func TestMergerAliasesCleanRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	uploads := map[string]*learner.TableSet{
+		"dev-0": randDeviceSet(rng, "watkins", 9),
+		"dev-1": randDeviceSet(rng, "watkins", 9),
+	}
+	m := NewMerger()
+	first, _, err := m.Rebuild(uploads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch exactly one state on one device.
+	next := uploads["dev-0"].Clone()
+	var touched core.StateKey
+	for s := range next.Primary().Q {
+		touched = s
+		break
+	}
+	next.Primary().Q[touched][0] += 1
+	uploads["dev-0"] = next
+	if !m.Upload("dev-0", next) {
+		t.Fatal("upload refused")
+	}
+	second := m.Merge()
+	prevQ := first.Primary().Q
+	var aliased, recomputed int
+	for s, row := range second.Primary().Q {
+		if prev, ok := prevQ[s]; ok && &prev[0] == &row[0] {
+			aliased++
+		} else if s == touched {
+			recomputed++
+		}
+	}
+	if recomputed != 1 {
+		t.Fatalf("touched state not recomputed (recomputed=%d)", recomputed)
+	}
+	if aliased != len(second.Primary().Q)-1 {
+		t.Fatalf("clean states reallocated: %d aliased of %d", aliased, len(second.Primary().Q))
+	}
+	// And the recomputed output still matches from-scratch.
+	want, _, err := JoinDevices(uploads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if setBytes(t, second) != setBytes(t, want) {
+		t.Fatal("single-state merge diverges")
+	}
+}

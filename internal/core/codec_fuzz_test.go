@@ -1,0 +1,111 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"nextdvfs/internal/learner"
+)
+
+// fuzzSeedPayloads returns valid wire payloads in both encodings plus
+// hostile variants — the seeded corpus both fuzz targets start from.
+func fuzzSeedPayloads(tb testing.TB) (binSeeds, jsonSeeds [][]byte) {
+	tb.Helper()
+	sets := []*learner.TableSet{binTestSet()}
+	q := NewQTable(9)
+	q.Update(StateKey(11), 3, 0.5, StateKey(12), 0.2, 0.9)
+	sets = append(sets, learner.SingleTableSet(q))
+	sets = append(sets, learner.SingleTableSet(NewQTable(1))) // empty table
+
+	for _, set := range sets {
+		bin, err := MarshalTableSetBinary("spotify", set, true)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		js, err := MarshalTableSetCompact("spotify", set, true)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		binSeeds = append(binSeeds, bin, bin[:len(bin)/2], bin[:5])
+		jsonSeeds = append(jsonSeeds, js, js[:len(js)/2])
+	}
+	binSeeds = append(binSeeds,
+		[]byte{},
+		[]byte("NXTB"),
+		[]byte{'N', 'X', 'T', 'B', 1, 0, 0, 0, 2, 0xff, 0xff, 0xff, 0xff, 0x0f},
+	)
+	jsonSeeds = append(jsonSeeds,
+		[]byte(`{}`),
+		[]byte(`{"app":"x","actions":0}`),
+		[]byte(`{"app":"x","actions":9,"learner":"zzz"}`),
+		[]byte(`{"app":"x","actions":9,"q":{"1":[0,0,0,0,0,0,0,0,0]},"visits":{"1":-5}}`),
+		[]byte(`{"app":"x","actions":9,"aux":{"b":{"q":{},"visits":{}}}}`),
+	)
+	return binSeeds, jsonSeeds
+}
+
+// FuzzUnmarshalTableSetBinary fuzzes the binary wire decoder: any
+// input either errors or decodes to a set whose canonical re-encoding
+// is a decode fixed point. Panics and unbounded allocations are the
+// bugs this hunts.
+func FuzzUnmarshalTableSetBinary(f *testing.F) {
+	binSeeds, _ := fuzzSeedPayloads(f)
+	for _, s := range binSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		app, set, trained, err := UnmarshalTableSetBinary(data)
+		if err != nil {
+			return
+		}
+		re, err := MarshalTableSetBinary(app, set, trained)
+		if err != nil {
+			t.Fatalf("decoded set does not re-encode: %v", err)
+		}
+		app2, set2, trained2, err := UnmarshalTableSetBinary(re)
+		if err != nil {
+			t.Fatalf("re-encoded set does not decode: %v", err)
+		}
+		if app2 != app || trained2 != trained {
+			t.Fatalf("app/trained unstable: %q/%v vs %q/%v", app, trained, app2, trained2)
+		}
+		re2, err := MarshalTableSetBinary(app2, set2, trained2)
+		if err != nil || !bytes.Equal(re, re2) {
+			t.Fatalf("canonical encoding not a fixed point (err=%v)", err)
+		}
+	})
+}
+
+// FuzzUnmarshalTableSet fuzzes the JSON wire decoder with the same
+// property: accepted inputs must round-trip through the canonical
+// marshaler to a stable fixed point.
+func FuzzUnmarshalTableSet(f *testing.F) {
+	_, jsonSeeds := fuzzSeedPayloads(f)
+	for _, s := range jsonSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		app, set, trained, err := UnmarshalTableSet(data)
+		if err != nil {
+			return
+		}
+		re, err := MarshalTableSetCompact(app, set, trained)
+		if err != nil {
+			t.Fatalf("decoded set does not re-marshal: %v", err)
+		}
+		// Note: app is compared only after one canonicalization round —
+		// encoding/json coerces invalid UTF-8 to U+FFFD at marshal time,
+		// so a hostile raw app string legitimately changes once.
+		app2, set2, trained2, err := UnmarshalTableSet(re)
+		if err != nil {
+			t.Fatalf("canonical JSON does not decode: %v", err)
+		}
+		if trained2 != trained {
+			t.Fatalf("trained flag unstable: %v vs %v", trained, trained2)
+		}
+		re2, err := MarshalTableSetCompact(app2, set2, trained2)
+		if err != nil || !bytes.Equal(re, re2) {
+			t.Fatalf("canonical JSON not a fixed point (err=%v)", err)
+		}
+	})
+}

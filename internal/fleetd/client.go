@@ -22,13 +22,39 @@ import (
 type Client struct {
 	base string
 	http *http.Client
+
+	// UseBinary switches table traffic to the compact binary wire
+	// encoding: uploads go out as application/x-nextdvfs-table and
+	// policy downloads send the matching Accept header. Replies are
+	// sniffed, so a binary client still interoperates with a JSON-only
+	// server. Set before first use; the default (false) keeps every
+	// request byte-identical to the legacy JSON wire.
+	UseBinary bool
+}
+
+// newClientTransport builds the shared HTTP transport. The default
+// transport caps idle connections per host at 2, so a fleet harness
+// driving hundreds of concurrent devices through one *Client churns a
+// fresh TCP connection per check-in; raising the idle pool to the
+// fleet-concurrency scale keeps connections alive across the whole
+// check-in cycle (measured in BENCH_fleet.json).
+func newClientTransport() *http.Transport {
+	t, ok := http.DefaultTransport.(*http.Transport)
+	if !ok {
+		return &http.Transport{MaxIdleConns: 512, MaxIdleConnsPerHost: 256}
+	}
+	t = t.Clone()
+	t.MaxIdleConns = 512
+	t.MaxIdleConnsPerHost = 256
+	t.IdleConnTimeout = 90 * time.Second
+	return t
 }
 
 // NewClient targets a server base URL (e.g. "http://127.0.0.1:8077").
 func NewClient(base string) *Client {
 	return &Client{
 		base: strings.TrimRight(base, "/"),
-		http: &http.Client{Timeout: 30 * time.Second},
+		http: &http.Client{Timeout: 30 * time.Second, Transport: newClientTransport()},
 	}
 }
 
@@ -86,38 +112,76 @@ func (c *Client) Checkin(device, platform string) (CheckinReply, error) {
 }
 
 // UploadTable sends the device's table for one app. The table's app
-// name travels inside the marshaled body (compact JSON — the wire
-// doesn't need the on-disk format's indentation).
+// name travels inside the marshaled body (compact JSON — or the binary
+// encoding when the client is in binary mode).
 func (c *Client) UploadTable(device, platform, app string, t *core.QTable) (UploadReply, error) {
+	if c.UseBinary {
+		data, err := core.MarshalTableBinary(app, t, false)
+		if err != nil {
+			return UploadReply{}, err
+		}
+		return c.uploadBody(device, platform, core.TableSetMediaType, 0, data)
+	}
 	data, err := core.MarshalTableCompact(app, t, false)
 	if err != nil {
 		return UploadReply{}, err
 	}
-	return c.uploadBody(device, platform, data)
+	return c.uploadBody(device, platform, "application/json", 0, data)
 }
 
 // UploadTableSet sends a device's complete learner table set (both
 // Double-Q estimators; single-table learners degrade to the plain
 // UploadTable wire format).
 func (c *Client) UploadTableSet(device, platform, app string, set *core.TableSet) (UploadReply, error) {
-	data, err := core.MarshalTableSetCompact(app, set, false)
+	data, contentType, err := c.marshalUpload(app, set)
 	if err != nil {
 		return UploadReply{}, err
 	}
-	return c.uploadBody(device, platform, data)
+	return c.uploadBody(device, platform, contentType, 0, data)
 }
 
-func (c *Client) uploadBody(device, platform string, data []byte) (UploadReply, error) {
+// UploadTableSetDelta sends only the states trained since the last
+// accepted upload, echoing that upload's generation. The server
+// answers 409 — surfaced as an error matching errors.Is(err,
+// ErrDeltaBase) — when the base is gone (restart, eviction, competing
+// session); the caller then re-sends the full table. DeltaUploader
+// wraps this loop.
+func (c *Client) UploadTableSetDelta(device, platform, app string, delta *core.TableSet, baseGen int64) (UploadReply, error) {
+	data, contentType, err := c.marshalUpload(app, delta)
+	if err != nil {
+		return UploadReply{}, err
+	}
+	return c.uploadBody(device, platform, contentType, baseGen, data)
+}
+
+func (c *Client) marshalUpload(app string, set *core.TableSet) ([]byte, string, error) {
+	if c.UseBinary {
+		data, err := core.MarshalTableSetBinary(app, set, false)
+		return data, core.TableSetMediaType, err
+	}
+	data, err := core.MarshalTableSetCompact(app, set, false)
+	return data, "application/json", err
+}
+
+func (c *Client) uploadBody(device, platform, contentType string, baseGen int64, data []byte) (UploadReply, error) {
 	u := fmt.Sprintf("%s/v1/table?device=%s&platform=%s",
 		c.base, url.QueryEscape(device), url.QueryEscape(platform))
 	req, err := http.NewRequest(http.MethodPut, u, bytes.NewReader(data))
 	if err != nil {
 		return UploadReply{}, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", contentType)
+	if baseGen > 0 {
+		req.Header.Set(baseGenHeader, strconv.FormatInt(baseGen, 10))
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return UploadReply{}, err
+	}
+	if resp.StatusCode == http.StatusConflict {
+		err := apiErrorOf(resp)
+		resp.Body.Close()
+		return UploadReply{}, fmt.Errorf("%w: %s", ErrDeltaBase, err)
 	}
 	var reply UploadReply
 	err = c.decode(resp, &reply)
@@ -152,7 +216,14 @@ func (c *Client) Policy(app, platform string) (*core.QTable, int64, error) {
 func (c *Client) PolicySet(app, platform string) (*core.TableSet, int64, error) {
 	u := fmt.Sprintf("%s/v1/policy?app=%s&platform=%s",
 		c.base, url.QueryEscape(app), url.QueryEscape(platform))
-	resp, err := c.http.Get(u)
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	if c.UseBinary {
+		req.Header.Set("Accept", core.TableSetMediaType)
+	}
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -164,7 +235,9 @@ func (c *Client) PolicySet(app, platform string) (*core.TableSet, int64, error) 
 	if err != nil {
 		return nil, 0, err
 	}
-	_, set, _, err := core.UnmarshalTableSet(data)
+	// Sniffed, not assumed: a binary-mode client downgrades cleanly
+	// when talking to a JSON-only server.
+	_, set, _, err := core.UnmarshalTableSetAny(data)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -199,6 +272,9 @@ func (c *Client) PolicyForDevice(device, app, platform, etag string) (*core.Tabl
 	if etag != "" {
 		req.Header.Set("If-None-Match", etag)
 	}
+	if c.UseBinary {
+		req.Header.Set("Accept", core.TableSetMediaType)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, PolicyMeta{}, false, err
@@ -219,7 +295,7 @@ func (c *Client) PolicyForDevice(device, app, platform, etag string) (*core.Tabl
 	if err != nil {
 		return nil, PolicyMeta{}, false, err
 	}
-	_, set, _, err := core.UnmarshalTableSet(data)
+	_, set, _, err := core.UnmarshalTableSetAny(data)
 	if err != nil {
 		return nil, PolicyMeta{}, false, err
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 
 	"nextdvfs/internal/core"
@@ -57,14 +58,22 @@ type FederateReply struct {
 const maxFederateErrors = 8
 
 func (s *Server) handleFederate(w http.ResponseWriter, r *http.Request) int {
-	var req FederateRequest
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxFederateBytes)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxFederateBytes))
+	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			return writeErr(w, http.StatusRequestEntityTooLarge,
 				fmt.Errorf("fleetd: federation push exceeds %d bytes", tooBig.Limit))
 		}
+		return writeErr(w, http.StatusBadRequest, fmt.Errorf("fleetd: reading federation body: %w", err))
+	}
+	var req FederateRequest
+	if mediaType(r.Header.Get("Content-Type")) == FederateMediaType {
+		req, err = UnmarshalFederateRequest(data)
+	} else {
+		err = json.Unmarshal(data, &req)
+	}
+	if err != nil {
 		return writeErr(w, http.StatusBadRequest, fmt.Errorf("fleetd: bad federation body: %w", err))
 	}
 	if !safeName(req.Agg) {
@@ -92,12 +101,14 @@ func (s *Server) handleFederate(w http.ResponseWriter, r *http.Request) int {
 }
 
 // acceptFederated lands one relayed device table through the same
-// validation and sanitization path a direct upload takes.
+// validation and sanitization path a direct upload takes. Bodies are
+// sniffed per upload (UnmarshalTableSetAny) because one envelope may
+// relay a mixed fleet of binary and legacy-JSON devices.
 func (s *Server) acceptFederated(up FederatedUpload) error {
 	if int64(len(up.Body)) > s.cfg.MaxBodyBytes {
 		return fmt.Errorf("fleetd: federated upload from %q exceeds %d bytes", up.Device, s.cfg.MaxBodyBytes)
 	}
-	app, set, _, err := core.UnmarshalTableSet(up.Body)
+	app, set, _, err := core.UnmarshalTableSetAny(up.Body)
 	if err != nil {
 		return fmt.Errorf("fleetd: federated upload from %q: %w", up.Device, err)
 	}
@@ -107,13 +118,28 @@ func (s *Server) acceptFederated(up FederatedUpload) error {
 
 // Federate pushes a batch of device tables (and newly checked-in
 // device IDs) upward to the root. Aggregators call it from their flush
-// pipeline; devices never do.
+// pipeline; devices never do. The envelope encoding is chosen
+// automatically: if any queued body is binary (or the client is in
+// binary mode) the push uses the NXTF envelope, since json.RawMessage
+// cannot carry binary bodies; otherwise the legacy JSON envelope goes
+// out byte-identical to before.
 func (c *Client) Federate(req FederateRequest) (FederateReply, error) {
-	body, err := json.Marshal(req)
-	if err != nil {
+	binary := c.UseBinary
+	for _, up := range req.Uploads {
+		if core.IsBinaryTableSet(up.Body) {
+			binary = true
+			break
+		}
+	}
+	var body []byte
+	var err error
+	contentType := "application/json"
+	if binary {
+		body, contentType = MarshalFederateRequest(req), FederateMediaType
+	} else if body, err = json.Marshal(req); err != nil {
 		return FederateReply{}, err
 	}
-	resp, err := c.http.Post(c.base+"/v1/federate", "application/json", bytes.NewReader(body))
+	resp, err := c.http.Post(c.base+"/v1/federate", contentType, bytes.NewReader(body))
 	if err != nil {
 		return FederateReply{}, err
 	}

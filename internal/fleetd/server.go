@@ -20,6 +20,14 @@ import (
 // roundHeader carries the merge-round number on policy downloads.
 const roundHeader = "X-Fleet-Round"
 
+// baseGenHeader turns PUT /v1/table into a delta upload: it echoes the
+// per-device generation from the device's last accepted UploadReply,
+// and the body carries only the states trained since. A mismatch —
+// device unknown, server restarted, another session uploaded in
+// between — answers 409 Conflict and the client falls back to a full
+// upload.
+const baseGenHeader = "X-Fleet-Base-Gen"
+
 // Version-negotiation headers on policy downloads when the rollout
 // lifecycle is enabled.
 const (
@@ -217,12 +225,58 @@ func (s *Server) noteDevice(device string) {
 	}
 }
 
-// UploadReply acknowledges a table upload.
+// UploadReply acknowledges a table upload. Gen is the device's upload
+// generation — echo it in the X-Fleet-Base-Gen header to send the next
+// upload as a delta. Servers that don't track generations (aggregator
+// edges) omit it.
 type UploadReply struct {
 	App      string `json:"app"`
 	Platform string `json:"platform"`
 	Device   string `json:"device"`
 	Devices  int    `json:"devices"`
+	Gen      int64  `json:"gen,omitempty"`
+}
+
+// mediaType normalizes a Content-Type/Accept member: parameters after
+// ';' stripped, trimmed, lowercased.
+func mediaType(v string) string {
+	if i := strings.IndexByte(v, ';'); i >= 0 {
+		v = v[:i]
+	}
+	return strings.ToLower(strings.TrimSpace(v))
+}
+
+// DecodeTableSet picks the wire codec by Content-Type: the binary
+// media type decodes strictly as NXTB; every other type (including the
+// default empty one) takes the legacy JSON path unchanged. The
+// aggregator tier shares it so both tiers negotiate identically.
+func DecodeTableSet(contentType string, data []byte) (string, *core.TableSet, bool, error) {
+	if mediaType(contentType) == core.TableSetMediaType {
+		return core.UnmarshalTableSetBinary(data)
+	}
+	return core.UnmarshalTableSet(data)
+}
+
+// AcceptsBinary reports whether any member of the request's Accept
+// list names the binary table media type.
+func AcceptsBinary(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		if mediaType(part) == core.TableSetMediaType {
+			return true
+		}
+	}
+	return false
+}
+
+// EncodePolicy encodes a policy body in the negotiated encoding and
+// returns the matching Content-Type.
+func EncodePolicy(app string, set *core.TableSet, binary bool) ([]byte, string, error) {
+	if binary {
+		data, err := core.MarshalTableSetBinary(app, set, true)
+		return data, core.TableSetMediaType, err
+	}
+	data, err := core.MarshalTableSetCompact(app, set, true)
+	return data, "application/json", err
 }
 
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) int {
@@ -237,15 +291,33 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) int {
 		}
 		return writeErr(w, http.StatusBadRequest, fmt.Errorf("fleetd: reading upload: %w", err))
 	}
-	app, set, _, err := core.UnmarshalTableSet(data)
+	app, set, _, err := DecodeTableSet(r.Header.Get("Content-Type"), data)
 	if err != nil {
 		return writeErr(w, http.StatusBadRequest, fmt.Errorf("fleetd: bad table upload: %w", err))
 	}
-	n, err := s.store.UploadSetOwned(Key{App: app, Platform: platform}, device, set)
+	k := Key{App: app, Platform: platform}
+	if baseHdr := r.Header.Get(baseGenHeader); baseHdr != "" {
+		baseGen, perr := strconv.ParseInt(baseHdr, 10, 64)
+		if perr != nil {
+			return writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("fleetd: bad %s header: %w", baseGenHeader, perr))
+		}
+		n, gen, err := s.store.UploadDelta(k, device, set, baseGen)
+		if err != nil {
+			if errors.Is(err, ErrDeltaBase) {
+				return writeErr(w, http.StatusConflict, err)
+			}
+			return writeErr(w, http.StatusBadRequest, err)
+		}
+		return writeJSON(w, http.StatusOK,
+			UploadReply{App: app, Platform: platform, Device: device, Devices: n, Gen: gen})
+	}
+	n, gen, err := s.store.UploadSetGen(k, device, set)
 	if err != nil {
 		return writeErr(w, http.StatusBadRequest, err)
 	}
-	return writeJSON(w, http.StatusOK, UploadReply{App: app, Platform: platform, Device: device, Devices: n})
+	return writeJSON(w, http.StatusOK,
+		UploadReply{App: app, Platform: platform, Device: device, Devices: n, Gen: gen})
 }
 
 func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) int {
@@ -309,6 +381,10 @@ func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) int {
 		return writeErr(w, http.StatusBadRequest,
 			fmt.Errorf("fleetd: device must be a single [a-zA-Z0-9._-] segment"))
 	}
+	// Accept-negotiated encoding. The ETag hashes the table content,
+	// not the transfer encoding, so a client may switch encodings
+	// between polls without invalidating its cache.
+	binary := AcceptsBinary(r)
 	if s.rollout != nil {
 		if art, cohort, ok := s.rollout.Resolve(k.String(), device); ok {
 			etag := artifactETag(art.ArtifactMeta)
@@ -323,11 +399,11 @@ func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) int {
 				w.WriteHeader(http.StatusNotModified)
 				return http.StatusNotModified
 			}
-			data, err := core.MarshalTableSetCompact(k.App, art.Set, true)
+			data, ct, err := EncodePolicy(k.App, art.Set, binary)
 			if err != nil {
 				return writeErr(w, http.StatusInternalServerError, err)
 			}
-			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Type", ct)
 			w.WriteHeader(http.StatusOK)
 			w.Write(data)
 			return http.StatusOK
@@ -344,11 +420,11 @@ func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) int {
 	if !ok {
 		return writeErr(w, http.StatusNotFound, fmt.Errorf("fleetd: no merged policy for %s", k))
 	}
-	data, err := core.MarshalTableSetCompact(k.App, set, true)
+	data, ct, err := EncodePolicy(k.App, set, binary)
 	if err != nil {
 		return writeErr(w, http.StatusInternalServerError, err)
 	}
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", ct)
 	w.Header().Set(roundHeader, strconv.FormatInt(round, 10))
 	w.WriteHeader(http.StatusOK)
 	w.Write(data)

@@ -1,6 +1,7 @@
 package fleetd
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"os"
@@ -170,6 +171,16 @@ type entry struct {
 	// predates the installed one never overwrites it backwards.
 	uploadGen    int64
 	installedGen int64
+	// merger is the incremental dirty-state merge arena. Non-nil means
+	// it reflects exactly the current uploads (every accepted upload
+	// either updated it in place or nilled it), so a merge round can
+	// recompute only what changed. Nil means the next round runs the
+	// phased from-scratch path, which rebuilds it.
+	merger *cloud.Merger
+	// devGen counts accepted uploads per device — the generation a
+	// delta upload must echo to prove its base is the set the store
+	// holds (see UploadDelta).
+	devGen map[string]int64
 }
 
 // NewStore returns an empty store with the default per-key device cap.
@@ -237,49 +248,180 @@ func (s *Store) UploadSet(k Key, device string, set *learner.TableSet) (devices 
 // tables merge role-by-role, and averaging a Double-Q estimator into a
 // single-table policy would silently corrupt both.
 func (s *Store) UploadSetOwned(k Key, device string, set *learner.TableSet) (devices int, err error) {
+	devices, _, err = s.UploadSetGen(k, device, set)
+	return devices, err
+}
+
+// UploadSetGen is UploadSetOwned returning the device's new upload
+// generation alongside the device count — the value the server echoes
+// so the client can base its next delta upload on this one.
+func (s *Store) UploadSetGen(k Key, device string, set *learner.TableSet) (devices int, gen int64, err error) {
 	if err := k.validate(); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if !safeName(device) {
-		return 0, fmt.Errorf("fleetd: %s: bad device ID %q (want a single [a-zA-Z0-9._-] segment)", k, device)
+		return 0, 0, fmt.Errorf("fleetd: %s: bad device ID %q (want a single [a-zA-Z0-9._-] segment)", k, device)
 	}
 	if set == nil || set.Primary() == nil {
-		return 0, fmt.Errorf("fleetd: %s: empty table set from %q", k, device)
+		return 0, 0, fmt.Errorf("fleetd: %s: empty table set from %q", k, device)
 	}
 	// Registry validation before anything is stored: a hostile first
 	// upload with a made-up learner name (or bogus role names) would
 	// otherwise pin an unmatchable layout onto the key and lock out
 	// every legitimate device.
 	if err := learner.ValidateSet(set); err != nil {
-		return 0, fmt.Errorf("fleetd: %s: upload from %q: %w", k, device, err)
+		return 0, 0, fmt.Errorf("fleetd: %s: upload from %q: %w", k, device, err)
+	}
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, err := s.entryForUpload(sh, k, device, set)
+	if err != nil {
+		return 0, 0, err
+	}
+	sanitizeSet(set)
+	gen = e.install(device, set)
+	return len(e.uploads), gen, nil
+}
+
+// entryForUpload runs the per-entry admission checks (key/device caps,
+// action-space and learner consistency) and returns the entry, creating
+// it on first contact. Callers hold the shard write lock.
+func (s *Store) entryForUpload(sh *storeShard, k Key, device string, set *learner.TableSet) (*entry, error) {
+	e := sh.entries[k]
+	if e == nil {
+		if len(sh.entries) >= maxKeysPerShard {
+			return nil, fmt.Errorf("fleetd: %s: policy-key limit reached (%d per shard)", k, maxKeysPerShard)
+		}
+		e = &entry{uploads: make(map[string]*learner.TableSet)}
+		sh.entries[k] = e
+	}
+	if want := e.actions(); want > 0 && set.Primary().Actions != want {
+		return nil, fmt.Errorf("fleetd: %s: upload from %q has %d actions, fleet has %d", k, device, set.Primary().Actions, want)
+	}
+	// ValidateSet already pinned the role layout to the learner name,
+	// so cross-upload consistency reduces to the name itself.
+	if ref := e.anySet(); ref != nil && learner.Normalize(ref.Learner) != learner.Normalize(set.Learner) {
+		return nil, fmt.Errorf("fleetd: %s: upload from %q: learner %q does not match the fleet's %q",
+			k, device, learner.Normalize(set.Learner), learner.Normalize(ref.Learner))
+	}
+	if _, seen := e.uploads[device]; !seen && len(e.uploads) >= s.maxDevices {
+		return nil, fmt.Errorf("fleetd: %s: device limit reached (%d)", k, s.maxDevices)
+	}
+	return e, nil
+}
+
+// install records a sanitized set as the device's latest upload, bumps
+// the generations, and keeps the incremental merge arena in step: a
+// re-upload from a known device updates it in place; anything
+// structural (first upload from a new device, layout change) drops it,
+// and the next merge's from-scratch rebuild recreates it. Callers hold
+// the shard write lock.
+func (e *entry) install(device string, set *learner.TableSet) (gen int64) {
+	_, known := e.uploads[device]
+	e.uploads[device] = set
+	e.uploadGen++
+	if e.devGen == nil {
+		e.devGen = make(map[string]int64)
+	}
+	e.devGen[device]++
+	if e.merger != nil && (!known || !e.merger.Upload(device, set)) {
+		e.merger = nil
+	}
+	return e.devGen[device]
+}
+
+// ErrDeltaBase marks a delta upload whose base generation does not
+// match the set the store holds for the device — the client's view is
+// stale (server restart, lost reply, aggregator tier that does not
+// store deltas) and it must fall back to a full upload. The server
+// maps it to HTTP 409.
+var ErrDeltaBase = errors.New("fleetd: delta base generation mismatch")
+
+// UploadDelta applies a delta upload: a table set carrying only the
+// states changed since the device's last accepted upload (plus
+// absolute metadata), guarded by the generation echo from that upload.
+// The delta's layout must match the stored base exactly; states in the
+// delta replace the base's, states absent carry over. On success it
+// returns the device count and the new generation for the next delta.
+// A missing base or a stale baseGen fails with ErrDeltaBase (full
+// upload required); the store is never modified on error.
+func (s *Store) UploadDelta(k Key, device string, delta *learner.TableSet, baseGen int64) (devices int, gen int64, err error) {
+	if err := k.validate(); err != nil {
+		return 0, 0, err
+	}
+	if !safeName(device) {
+		return 0, 0, fmt.Errorf("fleetd: %s: bad device ID %q (want a single [a-zA-Z0-9._-] segment)", k, device)
+	}
+	if delta == nil || delta.Primary() == nil {
+		return 0, 0, fmt.Errorf("fleetd: %s: empty delta from %q", k, device)
+	}
+	if err := learner.ValidateSet(delta); err != nil {
+		return 0, 0, fmt.Errorf("fleetd: %s: delta from %q: %w", k, device, err)
 	}
 	sh := s.shardFor(k)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	e := sh.entries[k]
 	if e == nil {
-		if len(sh.entries) >= maxKeysPerShard {
-			return 0, fmt.Errorf("fleetd: %s: policy-key limit reached (%d per shard)", k, maxKeysPerShard)
+		return 0, 0, fmt.Errorf("fleetd: %s: delta from %q: %w (no uploads for key)", k, device, ErrDeltaBase)
+	}
+	prev := e.uploads[device]
+	if prev == nil {
+		return 0, 0, fmt.Errorf("fleetd: %s: delta from %q: %w (no base upload)", k, device, ErrDeltaBase)
+	}
+	if have := e.devGen[device]; have != baseGen {
+		return 0, 0, fmt.Errorf("fleetd: %s: delta from %q: %w (base %d, store at %d)", k, device, ErrDeltaBase, baseGen, have)
+	}
+	if learner.Normalize(delta.Learner) != learner.Normalize(prev.Learner) ||
+		delta.Primary().Actions != prev.Primary().Actions ||
+		len(delta.Roles) != len(prev.Roles) {
+		return 0, 0, fmt.Errorf("fleetd: %s: delta from %q does not match the stored base layout", k, device)
+	}
+	for i, r := range delta.Roles {
+		if r.Role != prev.Roles[i].Role {
+			return 0, 0, fmt.Errorf("fleetd: %s: delta from %q does not match the stored base layout", k, device)
 		}
-		e = &entry{uploads: make(map[string]*learner.TableSet)}
-		sh.entries[k] = e
 	}
-	if want := e.actions(); want > 0 && set.Primary().Actions != want {
-		return 0, fmt.Errorf("fleetd: %s: upload from %q has %d actions, fleet has %d", k, device, set.Primary().Actions, want)
+	// Sanitize the delta, then overlay it on the (already sanitized,
+	// immutable) base into a fresh set: unchanged rows are shared, never
+	// copied — the base stays untouched for in-flight merge snapshots.
+	sanitizeSet(delta)
+	next := applyDelta(prev, delta)
+	gen = e.install(device, next)
+	return len(e.uploads), gen, nil
+}
+
+// applyDelta overlays a delta set on its base role-by-role. The result
+// is a fresh set whose unchanged rows alias the base (both are
+// immutable in the store); metadata is absolute from the delta.
+func applyDelta(base, delta *learner.TableSet) *learner.TableSet {
+	next := &learner.TableSet{Learner: base.Learner, Roles: make([]learner.RoleTable, len(base.Roles))}
+	for i := range base.Roles {
+		bt, dt := base.Roles[i].Table, delta.Roles[i].Table
+		nt := &core.QTable{
+			Actions:       bt.Actions,
+			Q:             make(map[core.StateKey][]float64, len(bt.Q)+len(dt.Q)),
+			Visits:        make(map[core.StateKey]int, len(bt.Visits)+len(dt.Visits)),
+			Steps:         dt.Steps,
+			TrainedUS:     dt.TrainedUS,
+			ConvergedAtUS: dt.ConvergedAtUS,
+		}
+		for s, row := range bt.Q {
+			nt.Q[s] = row
+		}
+		for s, v := range bt.Visits {
+			nt.Visits[s] = v
+		}
+		for s, row := range dt.Q {
+			nt.Q[s] = row
+		}
+		for s, v := range dt.Visits {
+			nt.Visits[s] = v
+		}
+		next.Roles[i] = learner.RoleTable{Role: base.Roles[i].Role, Table: nt}
 	}
-	// ValidateSet already pinned the role layout to the learner name,
-	// so cross-upload consistency reduces to the name itself.
-	if ref := e.anySet(); ref != nil && learner.Normalize(ref.Learner) != learner.Normalize(set.Learner) {
-		return 0, fmt.Errorf("fleetd: %s: upload from %q: learner %q does not match the fleet's %q",
-			k, device, learner.Normalize(set.Learner), learner.Normalize(ref.Learner))
-	}
-	if _, seen := e.uploads[device]; !seen && len(e.uploads) >= s.maxDevices {
-		return 0, fmt.Errorf("fleetd: %s: device limit reached (%d)", k, s.maxDevices)
-	}
-	sanitizeSet(set)
-	e.uploads[device] = set
-	e.uploadGen++
-	return len(e.uploads), nil
+	return next
 }
 
 // actions returns the entry's established action-space size (0 if the
@@ -356,6 +498,27 @@ func (s *Store) MergeSet(k Key) (MergeInfo, *learner.TableSet, error) {
 	}
 	sh := s.shardFor(k)
 
+	// Incremental fast path: when the arena is live it reflects exactly
+	// the current uploads, so the round is a dirty-state recompute —
+	// O(changed state), not O(fleet). It runs under the shard write
+	// lock: the work is milliseconds even at 10k devices, and holding
+	// the lock is what lets the arena absorb the round without the
+	// generation dance the from-scratch path needs.
+	sh.mu.Lock()
+	if e := sh.entries[k]; e != nil && e.merger != nil && len(e.uploads) > 0 {
+		merged := e.merger.Merge()
+		e.merged = merged
+		e.installedGen = e.uploadGen
+		e.round++
+		info := MergeInfo{
+			App: k.App, Platform: k.Platform,
+			Round: e.round, Devices: len(e.uploads), States: merged.Primary().States(),
+		}
+		sh.mu.Unlock()
+		return info, merged, nil
+	}
+	sh.mu.Unlock()
+
 	// Split.
 	sh.mu.RLock()
 	e := sh.entries[k]
@@ -373,8 +536,11 @@ func (s *Store) MergeSet(k Key) (MergeInfo, *learner.TableSet, error) {
 		return MergeInfo{}, nil, fmt.Errorf("fleetd: %s: no device tables to merge", k)
 	}
 
-	// Local-merge (no lock held).
-	merged, devices, err := cloud.JoinDevices(snap)
+	// Local-merge (no lock held): the from-scratch join also builds the
+	// incremental arena for future rounds (Rebuild IS JoinDevices plus
+	// arena construction, so this phase's output is unchanged).
+	m := cloud.NewMerger()
+	merged, devices, err := m.Rebuild(snap)
 	if err != nil {
 		return MergeInfo{}, nil, fmt.Errorf("fleetd: %s: %w", k, err)
 	}
@@ -386,6 +552,13 @@ func (s *Store) MergeSet(k Key) (MergeInfo, *learner.TableSet, error) {
 		e.installedGen = gen
 	} else {
 		merged = e.merged // a round over newer uploads already installed
+	}
+	// Adopt the arena only if no upload landed while the join computed
+	// (it reflects exactly the snapshot's generation) and no concurrent
+	// round already installed a live one — which uploads since have
+	// been keeping current, making it strictly fresher than ours.
+	if gen == e.uploadGen && e.merger == nil {
+		e.merger = m
 	}
 	e.round++
 	info := MergeInfo{

@@ -89,6 +89,26 @@ type Options struct {
 	// then the root's federated join. The root's final table is
 	// byte-identical to the flat run's. Excludes Rollout.
 	Aggregators int
+	// Binary moves the fleet's table traffic to the binary wire codec
+	// (application/x-nextdvfs-table uploads, Accept-negotiated policy
+	// downloads, NXTF federation envelopes in two-tier runs). Purely a
+	// transport choice: the merged tables and the report are identical
+	// to a JSON-wire run.
+	Binary bool
+	// DeltaUploads re-uploads each device's table as a state delta
+	// against its previous accepted upload (X-Fleet-Base-Gen protocol),
+	// falling back to full uploads automatically on a base mismatch.
+	// Only re-uploads shrink — the first upload of any device is always
+	// full — so this pays off with Epochs > 1. The merged output is
+	// byte-identical to full uploads of the same tables.
+	DeltaUploads bool
+	// Epochs repeats the check-in cycle: each epoch the whole fleet
+	// uploads (in parallel), ONE merge round runs per app, and every
+	// device pulls and installs the round's policy before training one
+	// more session for the next epoch. 0/1 keeps the legacy single-pass
+	// traffic unchanged; > 1 requires the phased deterministic loop and
+	// excludes Scenarios, Lockstep, Rollout and Aggregators.
+	Epochs int
 }
 
 func (o *Options) defaults() {
@@ -244,8 +264,15 @@ func Run(baseURL string, opts Options) (Report, error) {
 		return runRollout(baseURL, opts)
 	}
 	client := fleetd.NewClient(baseURL)
+	client.UseBinary = opts.Binary
 	if _, err := client.Healthz(); err != nil {
 		return Report{}, fmt.Errorf("fleetsim: server not reachable: %w", err)
+	}
+	if opts.Epochs > 1 {
+		if len(opts.Scenarios) > 0 || opts.Lockstep || opts.Aggregators > 0 {
+			return Report{}, fmt.Errorf("fleetsim: epochs > 1 excludes scenarios, lockstep and aggregator tiers")
+		}
+		return runPhased(client, plat, opts)
 	}
 
 	report := Report{Options: opts, Devices: make([]DeviceResult, opts.Devices)}

@@ -70,7 +70,9 @@ func startAggTier(rootURL string, opts Options) (*aggTier, error) {
 		go srv.Serve(ln)
 		t.aggs = append(t.aggs, agg)
 		t.srvs = append(t.srvs, srv)
-		t.clients = append(t.clients, fleetd.NewClient("http://"+ln.Addr().String()))
+		c := fleetd.NewClient("http://" + ln.Addr().String())
+		c.UseBinary = opts.Binary
+		t.clients = append(t.clients, c)
 	}
 	return t, nil
 }
